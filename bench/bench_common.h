@@ -1,0 +1,79 @@
+// Shared scaffolding for the reproduction benches: world/experiment setup,
+// paper-vs-measured row helpers, CSV output.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/classify.h"
+#include "core/experiment.h"
+#include "ditl/world.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace cd::bench {
+
+/// A generated world plus completed experiment results.
+struct Run {
+  std::unique_ptr<cd::ditl::World> world;
+  std::unique_ptr<cd::core::Experiment> experiment;
+  const cd::core::ExperimentResults* results = nullptr;
+};
+
+/// Generates the bench world and runs the full campaign (the expensive part
+/// every table/figure bench shares). `scale` multiplies the AS count.
+inline Run run_standard_experiment(double scale = 1.0,
+                                   bool wildcard_answers = false,
+                                   std::uint64_t seed = 42) {
+  using clock = std::chrono::steady_clock;
+
+  cd::ditl::WorldSpec spec = cd::ditl::bench_world_spec();
+  spec.n_asns = static_cast<int>(spec.n_asns * scale);
+  spec.wildcard_answers = wildcard_answers;
+  spec.seed = seed;
+
+  const auto t0 = clock::now();
+  Run run;
+  run.world = cd::ditl::generate_world(spec);
+  const auto t1 = clock::now();
+
+  cd::core::ExperimentConfig config;
+  config.analyst = cd::scanner::AnalystConfig{};
+  run.experiment =
+      std::make_unique<cd::core::Experiment>(*run.world, config);
+  run.results = &run.experiment->run();
+  const auto t2 = clock::now();
+
+  const auto ms = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count();
+  };
+  std::printf(
+      "# world: %zu ASes, %zu resolvers, %zu targets (gen %lldms)\n"
+      "# campaign: %llu probes, %llu auth log entries, %llu events "
+      "(run %lldms)\n\n",
+      run.world->topology.as_count(), run.world->resolvers.size(),
+      run.world->targets.size(), static_cast<long long>(ms(t0, t1)),
+      static_cast<unsigned long long>(run.results->queries_sent),
+      static_cast<unsigned long long>(run.results->collector_stats.entries_seen),
+      static_cast<unsigned long long>(run.world->loop.executed()),
+      static_cast<long long>(ms(t1, t2)));
+  return run;
+}
+
+/// "measured (paper: X)" cell helper.
+inline std::string vs_paper(const std::string& measured,
+                            const std::string& paper) {
+  return measured + "  (paper: " + paper + ")";
+}
+
+inline std::string count_pct(std::uint64_t part, std::uint64_t whole,
+                             int digits = 1) {
+  return cd::with_commas(part) + " (" +
+         cd::percent(static_cast<double>(part), static_cast<double>(whole),
+                     digits) +
+         ")";
+}
+
+}  // namespace cd::bench

@@ -1,0 +1,70 @@
+// Figure 3a: controlled-lab frequency distribution of 10-query source-port
+// sample ranges for FreeBSD, Linux, Windows DNS, and full-port-range
+// configurations, with the theoretical Beta(9,2) overlays.
+#include "analysis/beta.h"
+#include "analysis/histogram.h"
+#include "analysis/port_range.h"
+#include "bench_common.h"
+#include "lab_common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace cd;
+  std::printf("== fig3a_lab_hist: paper Figure 3a ==\n");
+
+  struct Config {
+    const char* label;
+    resolver::DnsSoftware software;
+    sim::OsId os;
+    int instances;
+    double pool;  // model pool size
+  };
+  static const Config kConfigs[] = {
+      {"Windows DNS", resolver::DnsSoftware::kWindowsDns2008R2,
+       sim::OsId::kWin2012, 10, 2500},
+      {"FreeBSD", resolver::DnsSoftware::kBind9913To9160,
+       sim::OsId::kFreeBsd121, 1, 16384},
+      {"Linux", resolver::DnsSoftware::kBind9913To9160, sim::OsId::kUbuntu1904,
+       1, 28233},
+      {"Full Port Range", resolver::DnsSoftware::kUnbound190,
+       sim::OsId::kUbuntu1904, 1, 64512},
+  };
+
+  analysis::StackedHistogram hist(0, 65535, 500,
+                                  {"Windows DNS", "FreeBSD", "Linux",
+                                   "Full Port Range"});
+  CsvWriter csv("fig3a_lab_samples.csv");
+  csv.write_row({"config", "sample_range"});
+
+  for (std::size_t c = 0; c < 4; ++c) {
+    const Config& config = kConfigs[c];
+    const int queries = 10000 / config.instances;
+    const auto per_instance = bench::lab_collect_ports(
+        config.software, config.os, config.instances, queries, 1234 + c);
+
+    std::size_t samples = 0;
+    for (const auto& ports : per_instance) {
+      // The paper's procedure: consecutive samples of 10, range of each,
+      // with the Windows wrap adjustment applied.
+      for (std::size_t i = 0; i + 10 <= ports.size(); i += 10) {
+        const std::span<const std::uint16_t> sample(&ports[i], 10);
+        const int range = analysis::adjusted_range(sample);
+        hist.add(range, c);
+        csv.write_row({config.label, std::to_string(range)});
+        ++samples;
+      }
+    }
+    // Model check: where should the distribution peak? (mode of Beta(9,2)
+    // is 8/9 of the pool.)
+    std::printf("%-16s %5zu samples; model peak at range %.0f, q99.9 = %.0f\n",
+                config.label, samples, (config.pool - 1) * 8.0 / 9.0,
+                analysis::range_quantile(0.999, config.pool));
+  }
+
+  std::printf("\n%s\n", hist.render_ascii().c_str());
+  std::printf(
+      "paper's shape: four humps, one per pool, each peaked near 8/9 of its\n"
+      "pool size (Beta(9,2) mode): ~2,2xx / ~14,5xx / ~25,1xx / ~57,3xx.\n"
+      "CSV: fig3a_lab_samples.csv\n");
+  return 0;
+}

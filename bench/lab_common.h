@@ -1,0 +1,102 @@
+// Controlled-lab harness (paper §5.3.2/§5.3.3): a minimal simulated network
+// with one authoritative server acting as the root, plus resolver instances
+// under test. Issues unique queries and returns the source ports observed at
+// the authoritative side — the paper's lab procedure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dns/zone.h"
+#include "resolver/auth.h"
+#include "resolver/recursive.h"
+#include "sim/host.h"
+
+namespace cd::bench {
+
+/// Runs `n_instances` resolvers of the given software/OS combination, each
+/// issuing `queries_per_instance` uniquely-named resolutions, and returns
+/// the per-instance source-port sequences observed at the lab authoritative
+/// server.
+inline std::vector<std::vector<std::uint16_t>> lab_collect_ports(
+    cd::resolver::DnsSoftware software, cd::sim::OsId os_id, int n_instances,
+    int queries_per_instance, std::uint64_t seed) {
+  using namespace cd;
+
+  sim::EventLoop loop;
+  sim::Topology topology;
+  Rng rng(seed);
+  sim::Network network(topology, loop, rng.split("net"));
+
+  topology.add_as(1, sim::FilterPolicy{});
+  topology.announce(1, net::Prefix::must_parse("50.0.0.0/16"));
+  topology.announce(1, net::Prefix::must_parse("2620:50::/32"));
+
+  const auto auth_v4 = net::IpAddr::must_parse("50.0.0.1");
+  const auto auth_v6 = net::IpAddr::must_parse("2620:50::1");
+  sim::Host auth_host(network, 1, sim::os_profile(sim::OsId::kUbuntu1904),
+                      {auth_v4, auth_v6}, rng.split("auth"), "lab-auth");
+
+  // One zone at the root with a wildcard so every unique query resolves.
+  dns::SoaRdata soa;
+  soa.mname = dns::DnsName::must_parse("lab");
+  soa.rname = dns::DnsName::must_parse("lab");
+  auto zone = std::make_shared<dns::Zone>(dns::DnsName(), soa);
+  zone->add(dns::make_a(dns::DnsName::must_parse("*.lab"), auth_v4, 1));
+  resolver::AuthServer auth(auth_host);
+  auth.add_zone(zone);
+
+  resolver::RootHints hints;
+  hints.servers = {auth_v4, auth_v6};
+
+  const sim::OsProfile& os = sim::os_profile(os_id);
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<resolver::RecursiveResolver>> resolvers;
+  std::vector<net::IpAddr> addrs;
+  for (int i = 0; i < n_instances; ++i) {
+    const auto addr = net::IpAddr::v4(0x32000100u + static_cast<unsigned>(i));
+    addrs.push_back(addr);
+    hosts.push_back(std::make_unique<sim::Host>(
+        network, 1, os, std::vector<net::IpAddr>{addr},
+        rng.split("host" + std::to_string(i)), "lab-r" + std::to_string(i)));
+    resolver::ResolverConfig config;
+    config.open = true;
+    config.cache.max_ttl = 1;  // the wildcard answer must not mask queries
+    resolvers.push_back(std::make_unique<resolver::RecursiveResolver>(
+        *hosts.back(), config, hints,
+        resolver::make_default_allocator(software, os,
+                                         rng.split("alloc" + std::to_string(i))),
+        rng.split("res" + std::to_string(i))));
+  }
+
+  // Collect ports at the auth, per resolver address.
+  std::vector<std::vector<std::uint16_t>> ports(
+      static_cast<std::size_t>(n_instances));
+  auth.add_observer([&](const resolver::AuthLogEntry& entry) {
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      if (entry.client == addrs[i]) {
+        ports[i].push_back(entry.client_port);
+        return;
+      }
+    }
+  });
+
+  // Issue uniquely-named queries, spaced so only a handful are in flight.
+  for (int i = 0; i < n_instances; ++i) {
+    auto* res = resolvers[static_cast<std::size_t>(i)].get();
+    for (int q = 0; q < queries_per_instance; ++q) {
+      loop.schedule_at(
+          static_cast<sim::SimTime>(q) * 20 * sim::kMillisecond,
+          [res, i, q] {
+            const auto qname = dns::DnsName::must_parse(
+                "q" + std::to_string(q) + ".r" + std::to_string(i) + ".lab");
+            res->resolve(qname, dns::RrType::kA,
+                         [](dns::Rcode, const std::vector<dns::DnsRr>&) {});
+          });
+    }
+  }
+  loop.run(200'000'000);
+  return ports;
+}
+
+}  // namespace cd::bench

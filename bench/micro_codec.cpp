@@ -1,0 +1,95 @@
+// Microbenchmarks: wire codecs (DNS messages, names, packets, query-name
+// encoding) — the per-packet cost floor of the simulator.
+#include <benchmark/benchmark.h>
+
+#include "dns/message.h"
+#include "net/packet.h"
+#include "scanner/qname.h"
+
+namespace {
+
+using namespace cd;
+
+dns::DnsMessage sample_response() {
+  dns::DnsMessage query = dns::make_query(
+      0x1234,
+      dns::DnsName::must_parse("1699999999.c0a8000a.c0a80001.64512.m0.x1.dns-lab.org"),
+      dns::RrType::kA);
+  dns::DnsMessage resp = dns::make_response(query, dns::Rcode::kNxDomain);
+  dns::SoaRdata soa;
+  soa.mname = dns::DnsName::must_parse("www.dns-lab.org");
+  soa.rname = dns::DnsName::must_parse("research.dns-lab.org");
+  resp.authorities.push_back(
+      dns::make_soa(dns::DnsName::must_parse("dns-lab.org"), soa));
+  return resp;
+}
+
+void BM_DnsMessageEncode(benchmark::State& state) {
+  const dns::DnsMessage msg = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.encode());
+  }
+}
+BENCHMARK(BM_DnsMessageEncode);
+
+void BM_DnsMessageDecode(benchmark::State& state) {
+  const auto wire = sample_response().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::DnsMessage::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsMessageDecode);
+
+void BM_DnsNameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dns::DnsName::parse("a.long.query.name.example.dns-lab.org"));
+  }
+}
+BENCHMARK(BM_DnsNameParse);
+
+void BM_PacketSerializeUdp(benchmark::State& state) {
+  const auto payload = sample_response().encode();
+  const net::Packet pkt = net::make_udp(
+      net::IpAddr::must_parse("192.0.2.1"), 5353,
+      net::IpAddr::must_parse("198.51.100.2"), 53, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.serialize());
+  }
+}
+BENCHMARK(BM_PacketSerializeUdp);
+
+void BM_PacketRoundTripTcpSyn(benchmark::State& state) {
+  net::Packet pkt = net::make_tcp(net::IpAddr::must_parse("2001:db8::1"),
+                                  40000, net::IpAddr::must_parse("2001:db8::2"),
+                                  53, net::TcpFlags{.syn = true});
+  pkt.tcp_window = 29200;
+  pkt.tcp_options = {{net::TcpOptionKind::kMss, 1460},
+                     {net::TcpOptionKind::kSackPermitted, 0},
+                     {net::TcpOptionKind::kTimestamp, 1},
+                     {net::TcpOptionKind::kNop, 0},
+                     {net::TcpOptionKind::kWindowScale, 7}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Packet::parse(pkt.serialize()));
+  }
+}
+BENCHMARK(BM_PacketRoundTripTcpSyn);
+
+void BM_QnameEncodeDecode(benchmark::State& state) {
+  const scanner::QnameCodec codec(dns::DnsName::must_parse("dns-lab.org"),
+                                  "x1");
+  scanner::QnameInfo info;
+  info.ts = 123456789;
+  info.src = net::IpAddr::must_parse("192.0.2.10");
+  info.dst = net::IpAddr::must_parse("198.51.100.20");
+  info.asn = 64512;
+  info.mode = scanner::QueryMode::kV4Only;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(codec.encode(info)));
+  }
+}
+BENCHMARK(BM_QnameEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Microbenchmarks: simulator hot paths — longest-prefix routing, the event
+// loop, resolver cache, port allocators, and the Beta range model.
+#include <benchmark/benchmark.h>
+
+#include "analysis/beta.h"
+#include "dns/cache.h"
+#include "resolver/port_alloc.h"
+#include "sim/event_loop.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+
+sim::Topology make_topology(int n_asns) {
+  sim::Topology topo;
+  for (int i = 0; i < n_asns; ++i) {
+    const auto asn = static_cast<sim::Asn>(100 + i);
+    topo.add_as(asn);
+    const std::uint32_t base = ((20u + static_cast<unsigned>(i) / 256) << 24) |
+                               ((static_cast<unsigned>(i) % 256) << 16);
+    topo.announce(asn, net::Prefix(net::IpAddr::v4(base), 16));
+    topo.announce(
+        asn, net::Prefix(net::IpAddr::v6(
+                             (0x2400000000000000ULL) |
+                                 (static_cast<std::uint64_t>(i) << 32),
+                             0),
+                         32));
+  }
+  return topo;
+}
+
+void BM_RoutingLookupV4(benchmark::State& state) {
+  const auto topo = make_topology(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  std::vector<net::IpAddr> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(net::IpAddr::v4(
+        static_cast<std::uint32_t>((20u << 24) + rng.u64())));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.asn_of(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RoutingLookupV4)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(i * 10, [&sum] { ++sum; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_CacheInsertLookup(benchmark::State& state) {
+  dns::Cache cache;
+  const auto name = dns::DnsName::must_parse("host.example.org");
+  cache.insert_positive({dns::make_a(name, net::IpAddr::v4(0x01020304))}, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(name, dns::RrType::kA, 1000));
+  }
+}
+BENCHMARK(BM_CacheInsertLookup);
+
+void BM_Rfc8020AncestorWalk(benchmark::State& state) {
+  dns::Cache cache;
+  cache.insert_nxdomain(dns::DnsName::must_parse("x1.dns-lab.org"), 300, 0);
+  const auto deep = dns::DnsName::must_parse(
+      "123.abcd.ef01.64512.m0.x1.dns-lab.org");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(deep, dns::RrType::kA, 1000));
+  }
+}
+BENCHMARK(BM_Rfc8020AncestorWalk);
+
+void BM_PortAllocators(benchmark::State& state) {
+  Rng rng(7);
+  resolver::UniformRangeAllocator uniform(1024, 65535, rng.split(1));
+  resolver::WindowsPoolAllocator windows(rng.split(2));
+  resolver::SequentialAllocator seq(1024, 1224, 1100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uniform.next());
+    benchmark::DoNotOptimize(windows.next());
+    benchmark::DoNotOptimize(seq.next());
+  }
+}
+BENCHMARK(BM_PortAllocators);
+
+void BM_BetaRangeCdf(benchmark::State& state) {
+  double x = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::range_cdf(x, 28233));
+    x = (x < 28000) ? x + 1 : 100;
+  }
+}
+BENCHMARK(BM_BetaRangeCdf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Table 5: default source-port allocation behaviour by DNS software,
+// measured the paper's way — run each implementation in the lab, issue
+// queries, and characterize the ports observed at the authoritative server.
+#include <algorithm>
+#include <set>
+
+#include "analysis/port_range.h"
+#include "bench_common.h"
+#include "lab_common.h"
+
+namespace {
+
+struct Row {
+  cd::resolver::DnsSoftware software;
+  cd::sim::OsId os;
+  const char* paper;
+};
+
+}  // namespace
+
+int main() {
+  using namespace cd;
+  std::printf("== table5_software_pools: paper Table 5 ==\n");
+
+  static const Row kRows[] = {
+      {resolver::DnsSoftware::kBind950, sim::OsId::kUbuntu1904,
+       "8 ports, selected at startup"},
+      {resolver::DnsSoftware::kBind952To988, sim::OsId::kUbuntu1904,
+       "1024-65535"},
+      {resolver::DnsSoftware::kBind9913To9160, sim::OsId::kUbuntu1904,
+       "OS defaults"},
+      {resolver::DnsSoftware::kBind9913To9160, sim::OsId::kFreeBsd121,
+       "OS defaults"},
+      {resolver::DnsSoftware::kKnot321, sim::OsId::kUbuntu1904,
+       "OS defaults"},
+      {resolver::DnsSoftware::kUnbound190, sim::OsId::kUbuntu1904,
+       "1024-65535"},
+      {resolver::DnsSoftware::kPowerDns420, sim::OsId::kUbuntu1904,
+       "1024-65535"},
+      {resolver::DnsSoftware::kWindowsDns2003, sim::OsId::kWin2003,
+       "1 port, > 1023, selected at startup"},
+      {resolver::DnsSoftware::kWindowsDns2008R2, sim::OsId::kWin2012,
+       "2,500 contiguous ports (with wrapping), selected at startup"},
+      {resolver::DnsSoftware::kBind8, sim::OsId::kUbuntu1004,
+       "port 53 (pre-8.1 default)"},
+  };
+
+  TextTable t({"Software (on OS)", "unique", "min", "max", "range",
+               "observed behaviour", "paper"});
+  for (std::size_t c = 1; c < 5; ++c) t.set_align(c, Align::kRight);
+
+  for (const Row& row : kRows) {
+    const auto per_instance = bench::lab_collect_ports(
+        row.software, row.os, /*n_instances=*/1, /*queries=*/2000, 97);
+    const auto& ports = per_instance.front();
+    const auto stats = analysis::compute_port_stats(ports);
+    const std::set<std::uint16_t> unique(ports.begin(), ports.end());
+
+    std::string behaviour;
+    if (unique.size() == 1) {
+      behaviour = "single port " + std::to_string(*unique.begin());
+    } else if (unique.size() <= 16) {
+      behaviour = std::to_string(unique.size()) + "-port pool";
+    } else if (stats.min >= 49152 && stats.range <= 2499) {
+      behaviour = "2,500-port windowed pool in IANA range";
+    } else if (stats.min >= 32768 && stats.max <= 61000) {
+      behaviour = "Linux default pool (32768-61000)";
+    } else if (stats.min >= 49152) {
+      behaviour = "IANA range (49152-65535)";
+    } else {
+      behaviour = "full unprivileged range";
+    }
+
+    const std::string name =
+        resolver::software_profile(row.software).name + " / " +
+        sim::os_profile(row.os).name;
+    t.add_row({name, std::to_string(unique.size()),
+               std::to_string(stats.min), std::to_string(stats.max),
+               std::to_string(stats.range), behaviour, row.paper});
+  }
+  std::printf("%s\n(each row: 2,000 lab queries through a live resolver "
+              "instance)\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,135 @@
+// os_fingerprint: identify the operating system behind a DNS resolver from
+// the outside, combining the paper's two §5.3 techniques:
+//   1. p0f-style TCP SYN fingerprinting (elicited via a TC=1 truncation), and
+//   2. the Beta(9,2) source-port-range model over 10 UDP queries.
+//
+// Sets up resolvers on a spread of OSes, probes each like the measurement
+// would, and prints the blind identification next to the truth.
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "analysis/beta.h"
+#include "analysis/p0f.h"
+#include "analysis/port_range.h"
+#include "dns/zone.h"
+#include "resolver/auth.h"
+#include "resolver/recursive.h"
+#include "sim/host.h"
+
+using namespace cd;
+
+int main() {
+  sim::EventLoop loop;
+  sim::Topology topology;
+  Rng rng(7);
+  sim::Network network(topology, loop, rng.split("net"));
+  topology.add_as(1, sim::FilterPolicy{});
+  topology.announce(1, net::Prefix::must_parse("50.0.0.0/16"));
+
+  // Lab root/auth: answers everything via wildcard, truncates `tcp.` names
+  // over UDP to force the resolvers onto TCP (SYN capture for p0f).
+  const auto auth_addr = net::IpAddr::must_parse("50.0.0.1");
+  sim::Host auth_host(network, 1, sim::os_profile(sim::OsId::kUbuntu1904),
+                      {auth_addr}, rng.split("auth"), "auth");
+  dns::SoaRdata soa;
+  soa.mname = dns::DnsName::must_parse("lab");
+  soa.rname = dns::DnsName::must_parse("lab");
+  auto zone = std::make_shared<dns::Zone>(dns::DnsName(), soa);
+  zone->add(dns::make_a(dns::DnsName::must_parse("*.lab"), auth_addr, 1));
+  zone->add(dns::make_a(dns::DnsName::must_parse("*.tcp.lab"), auth_addr, 1));
+  resolver::AuthConfig auth_config;
+  auth_config.truncate_suffixes.push_back(dns::DnsName::must_parse("tcp.lab"));
+  resolver::AuthServer auth(auth_host, auth_config);
+  auth.add_zone(zone);
+
+  struct Subject {
+    const char* addr;
+    sim::OsId os;
+    resolver::DnsSoftware software;
+  };
+  const Subject subjects[] = {
+      {"50.0.1.1", sim::OsId::kUbuntu1904,
+       resolver::DnsSoftware::kBind9913To9160},
+      {"50.0.1.2", sim::OsId::kFreeBsd121,
+       resolver::DnsSoftware::kBind9913To9160},
+      {"50.0.1.3", sim::OsId::kWin2016,
+       resolver::DnsSoftware::kWindowsDns2008R2},
+      {"50.0.1.4", sim::OsId::kWin2003,
+       resolver::DnsSoftware::kWindowsDns2003},
+      {"50.0.1.5", sim::OsId::kEmbeddedCpe,
+       resolver::DnsSoftware::kUnbound190},
+  };
+
+  std::deque<sim::Host> hosts;
+  std::vector<std::unique_ptr<resolver::RecursiveResolver>> resolvers;
+  for (const Subject& s : subjects) {
+    auto& host = hosts.emplace_back(
+        network, 1, sim::os_profile(s.os),
+        std::vector<net::IpAddr>{net::IpAddr::must_parse(s.addr)},
+        rng.split(s.addr), s.addr);
+    resolver::ResolverConfig config;
+    config.open = true;
+    config.cache.max_ttl = 1;
+    resolvers.push_back(std::make_unique<resolver::RecursiveResolver>(
+        host, config, resolver::RootHints{{auth_addr}},
+        resolver::make_default_allocator(s.software, host.os(),
+                                         rng.split(std::string(s.addr) + "a")),
+        rng.split(std::string(s.addr) + "r")));
+  }
+
+  // Evidence collection at the auth: UDP source ports + TCP SYNs.
+  struct Evidence {
+    std::vector<std::uint16_t> ports;
+    std::optional<net::Packet> syn;
+  };
+  std::map<std::string, Evidence> evidence;
+  auth.add_observer([&](const resolver::AuthLogEntry& entry) {
+    Evidence& ev = evidence[entry.client.to_string()];
+    if (entry.tcp) {
+      if (!ev.syn) ev.syn = entry.syn;
+    } else if (ev.ports.size() < 10) {
+      ev.ports.push_back(entry.client_port);
+    }
+  });
+
+  // Probe: 10 unique UDP queries + 1 truncation-forcing query per subject.
+  for (std::size_t i = 0; i < resolvers.size(); ++i) {
+    auto* res = resolvers[i].get();
+    for (int q = 0; q <= 10; ++q) {
+      const std::string qname =
+          q < 10 ? "q" + std::to_string(q) + ".r" + std::to_string(i) + ".lab"
+                 : "t.r" + std::to_string(i) + ".tcp.lab";
+      loop.schedule_at(static_cast<sim::SimTime>(q) * sim::kSecond +
+                           static_cast<sim::SimTime>(i),
+                       [res, qname] {
+                         res->resolve(dns::DnsName::must_parse(qname),
+                                      dns::RrType::kA,
+                                      [](dns::Rcode,
+                                         const std::vector<dns::DnsRr>&) {});
+                       });
+    }
+  }
+  loop.run(10'000'000);
+
+  // Identification: p0f on the SYN; Beta-model band on the port range.
+  const auto& p0f = analysis::P0fDatabase::standard();
+  std::printf("%-12s %-28s %-14s %-22s %s\n", "resolver", "truth (planted)",
+              "p0f verdict", "port-range verdict", "range");
+  for (const Subject& s : subjects) {
+    const Evidence& ev = evidence[s.addr];
+    const auto cls = ev.syn ? p0f.classify(*ev.syn)
+                            : analysis::P0fClass::kUnknown;
+    const int range = analysis::adjusted_range(ev.ports);
+    const auto& band = analysis::table4_bands()[analysis::classify_range(range)];
+    std::printf("%-12s %-28s %-14s %-22s %d\n", s.addr,
+                sim::os_profile(s.os).name.c_str(),
+                analysis::p0f_class_name(cls).c_str(),
+                band.os.empty() ? band.label.c_str() : band.os.c_str(), range);
+  }
+  std::printf(
+      "\nnote the pre-2008 Windows row: a single source port (range 0) — the\n"
+      "configuration that reduces a poisoning attack to guessing one txid.\n");
+  return 0;
+}

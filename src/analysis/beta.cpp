@@ -1,0 +1,144 @@
+#include "analysis/beta.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cd::analysis {
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Lentz's algorithm, as in Numerical Recipes' betacf).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double ln_beta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+}  // namespace
+
+double beta_cdf(double x, double a, double b) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front =
+      a * std::log(x) + b * std::log(1.0 - x) - ln_beta(a, b);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double beta_pdf(double x, double a, double b) {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return std::exp((a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) -
+                  ln_beta(a, b));
+}
+
+double beta_quantile(double p, double a, double b) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (beta_cdf(mid, a, b) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double range_pdf(double range, double pool) {
+  CD_ENSURE(pool > 1.0, "range_pdf: pool too small");
+  const double scale = pool - 1.0;
+  return beta_pdf(range / scale, kRangeSamples - 1, 2) / scale;
+}
+
+double range_cdf(double range, double pool) {
+  CD_ENSURE(pool > 1.0, "range_cdf: pool too small");
+  return beta_cdf(range / (pool - 1.0), kRangeSamples - 1, 2);
+}
+
+double range_quantile(double accuracy, double pool) {
+  return beta_quantile(accuracy, kRangeSamples - 1, 2) * (pool - 1.0);
+}
+
+CutoffResult optimal_cutoff(double small_pool, double large_pool) {
+  CD_ENSURE(small_pool < large_pool, "optimal_cutoff: pools out of order");
+  CutoffResult best;
+  double best_total = 2.0;
+  const int hi = static_cast<int>(large_pool);
+  for (int r = 0; r <= hi; ++r) {
+    // Samples from the small pool above r are misclassified as large; samples
+    // from the large pool at or below r are misclassified as small.
+    const double err_small = 1.0 - range_cdf(r, small_pool);
+    const double err_large = range_cdf(r, large_pool);
+    const double total = err_small + err_large;
+    if (total < best_total) {
+      best_total = total;
+      best = CutoffResult{r, err_small, err_large};
+    }
+  }
+  return best;
+}
+
+double small_pool_probability(int pool_size, int n, int max_unique) {
+  CD_ENSURE(pool_size > 0 && n > 0, "small_pool_probability: bad arguments");
+  // dp[u] = P(u distinct values seen so far). Each draw either repeats one of
+  // the u seen values (prob u/pool) or introduces a new one.
+  std::vector<double> dp(static_cast<std::size_t>(n) + 1, 0.0);
+  dp[0] = 1.0;
+  const double pool = pool_size;
+  for (int draw = 0; draw < n; ++draw) {
+    for (int u = std::min(draw, pool_size); u >= 0; --u) {
+      const double p = dp[static_cast<std::size_t>(u)];
+      if (p == 0.0) continue;
+      dp[static_cast<std::size_t>(u)] = p * (u / pool);
+      if (u + 1 <= n) dp[static_cast<std::size_t>(u) + 1] += p * (1.0 - u / pool);
+    }
+  }
+  double total = 0.0;
+  for (int u = 0; u <= std::min(max_unique, n); ++u) {
+    total += dp[static_cast<std::size_t>(u)];
+  }
+  return total;
+}
+
+}  // namespace cd::analysis

@@ -1,0 +1,51 @@
+// Beta-distribution model of source-port sample ranges (paper §5.3.2).
+//
+// If a resolver draws its source ports uniformly from a pool of size N, the
+// range of a sample of n=10 ports, normalized by N, follows Beta(n-1, 2) =
+// Beta(9, 2). Comparing an observed range against this model identifies the
+// pool size — and hence the OS — behind the ports.
+#pragma once
+
+#include <cstddef>
+
+namespace cd::analysis {
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1].
+[[nodiscard]] double beta_cdf(double x, double a, double b);
+
+/// Beta(a, b) density at x.
+[[nodiscard]] double beta_pdf(double x, double a, double b);
+
+/// Inverse of beta_cdf in x (bisection; p in [0, 1]).
+[[nodiscard]] double beta_quantile(double p, double a, double b);
+
+/// Number of samples per range estimate used throughout the paper.
+inline constexpr int kRangeSamples = 10;
+
+/// Density of the observed port range `range` for a uniform pool of size
+/// `pool` (Beta(9,2) scaled to [0, pool-1]).
+[[nodiscard]] double range_pdf(double range, double pool);
+
+/// P(sample range <= range) for a pool of size `pool`.
+[[nodiscard]] double range_cdf(double range, double pool);
+
+/// Range value below which a fraction `accuracy` of samples from `pool`
+/// fall (e.g. 0.999 for the paper's 99.9% band edges).
+[[nodiscard]] double range_quantile(double accuracy, double pool);
+
+struct CutoffResult {
+  int cutoff = 0;               // ranges <= cutoff classify as the small pool
+  double small_pool_error = 0;  // P(small pool sample misclassified as large)
+  double large_pool_error = 0;  // P(large pool sample misclassified as small)
+};
+
+/// The integer range cutoff between two pool sizes that minimizes total
+/// misclassification probability (how the paper derived 16,331 and 28,222).
+[[nodiscard]] CutoffResult optimal_cutoff(double small_pool, double large_pool);
+
+/// P(a sample of `n` uniform draws from a pool of `pool_size` ports contains
+/// at most `max_unique` distinct values) — the §5.2.3 "0.066%" computation.
+[[nodiscard]] double small_pool_probability(int pool_size, int n,
+                                            int max_unique);
+
+}  // namespace cd::analysis

@@ -1,0 +1,351 @@
+#include "analysis/classify.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace cd::analysis {
+
+using cd::net::IpAddr;
+using cd::scanner::SourceCategory;
+using cd::scanner::TargetInfo;
+using cd::scanner::TargetRecord;
+using cd::sim::Asn;
+
+namespace {
+
+int family_index(const IpAddr& addr) {
+  return addr.is_v4() ? 0 : 1;
+}
+
+const TargetRecord* reachable_record(const Records& records,
+                                     const IpAddr& addr) {
+  const auto it = records.find(addr);
+  if (it == records.end() || !it->second.reachable()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+DsavSummary summarize_dsav(const Records& records,
+                           std::span<const TargetInfo> targets) {
+  DsavSummary out;
+  std::set<Asn> total_asns[2];
+  std::set<Asn> reach_asns[2];
+
+  for (const TargetInfo& t : targets) {
+    const int f = family_index(t.addr);
+    FamilyDsav& fam = f == 0 ? out.v4 : out.v6;
+    ++fam.targets_total;
+    total_asns[f].insert(t.asn);
+    if (reachable_record(records, t.addr)) {
+      ++fam.targets_reachable;
+      reach_asns[f].insert(t.asn);
+    }
+  }
+  out.v4.asns_total = total_asns[0].size();
+  out.v6.asns_total = total_asns[1].size();
+  out.v4.asns_reachable = reach_asns[0].size();
+  out.v6.asns_reachable = reach_asns[1].size();
+  return out;
+}
+
+CategoryTable build_category_table(const Records& records,
+                                   std::span<const TargetInfo> targets) {
+  CategoryTable out;
+  // Per (family, category): ASes where *some* target was hit by the category
+  // (inclusive), and ASes where *every* reachable target depends solely on
+  // the category (exclusive).
+  std::set<Asn> incl_asns[cd::scanner::kSourceCategoryCount][2];
+  std::set<Asn> queried_asns[2];
+  std::set<Asn> reach_asns[2];
+
+  for (const TargetInfo& t : targets) {
+    const int f = family_index(t.addr);
+    ++out.queried[f].addrs;
+    queried_asns[f].insert(t.asn);
+
+    const TargetRecord* rec = reachable_record(records, t.addr);
+    if (!rec) continue;
+    ++out.reachable[f].addrs;
+    reach_asns[f].insert(t.asn);
+
+    for (const SourceCategory cat : rec->categories_hit) {
+      const auto c = static_cast<std::size_t>(cat);
+      ++out.inclusive[c][f].addrs;
+      incl_asns[c][f].insert(t.asn);
+    }
+    // Address-level exclusivity: only one category ever reached this target.
+    if (rec->categories_hit.size() == 1) {
+      const auto c = static_cast<std::size_t>(*rec->categories_hit.begin());
+      ++out.exclusive[c][f].addrs;
+    }
+  }
+
+  for (int f = 0; f < 2; ++f) {
+    out.queried[f].asns = queried_asns[f].size();
+    out.reachable[f].asns = reach_asns[f].size();
+    for (int c = 0; c < cd::scanner::kSourceCategoryCount; ++c) {
+      out.inclusive[c][f].asns = incl_asns[c][f].size();
+    }
+  }
+
+  // AS-level exclusivity: recompute by asking, for each AS and category,
+  // whether the AS would still have any reachable target with that category
+  // removed.
+  std::map<std::pair<Asn, int>, std::set<SourceCategory>> per_as_union;
+  std::map<std::pair<Asn, int>, std::set<SourceCategory>> per_as_multi;
+  for (const TargetInfo& t : targets) {
+    const TargetRecord* rec = reachable_record(records, t.addr);
+    if (!rec) continue;
+    const int f = family_index(t.addr);
+    auto& uni = per_as_union[{t.asn, f}];
+    uni.insert(rec->categories_hit.begin(), rec->categories_hit.end());
+    if (rec->categories_hit.size() > 1) {
+      auto& multi = per_as_multi[{t.asn, f}];
+      multi.insert(rec->categories_hit.begin(), rec->categories_hit.end());
+    }
+  }
+  for (const auto& [key, uni] : per_as_union) {
+    const auto& [asn, f] = key;
+    for (const SourceCategory cat : uni) {
+      // Removing `cat`: a target still counts if it was hit by any other
+      // category. The AS survives if the union of other-category hits is
+      // non-empty.
+      bool survives = false;
+      const auto mit = per_as_multi.find(key);
+      if (mit != per_as_multi.end()) {
+        // Some target was hit by >1 category; unless that set is exactly
+        // {cat}, which cannot happen (size > 1), the AS survives.
+        survives = true;
+      }
+      if (!survives) {
+        // All targets were single-category; survives iff another category
+        // appears in the union.
+        survives = uni.size() > 1;
+      }
+      if (!survives) {
+        ++out.exclusive[static_cast<std::size_t>(cat)][f].asns;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CountryRow> dsav_by_country(const Records& records,
+                                        std::span<const TargetInfo> targets,
+                                        const GeoDb& geo) {
+  struct Acc {
+    std::set<Asn> ases_total;
+    std::set<Asn> ases_reachable;
+    std::uint64_t targets_total = 0;
+    std::uint64_t targets_reachable = 0;
+  };
+  std::map<std::string, Acc> by_country;
+
+  for (const TargetInfo& t : targets) {
+    const auto country = geo.country_of(t.addr);
+    if (!country) continue;
+    Acc& acc = by_country[*country];
+    acc.ases_total.insert(t.asn);
+    ++acc.targets_total;
+    if (reachable_record(records, t.addr)) {
+      acc.ases_reachable.insert(t.asn);
+      ++acc.targets_reachable;
+    }
+  }
+
+  std::vector<CountryRow> out;
+  out.reserve(by_country.size());
+  for (const auto& [country, acc] : by_country) {
+    out.push_back(CountryRow{country, acc.ases_total.size(),
+                             acc.ases_reachable.size(), acc.targets_total,
+                             acc.targets_reachable});
+  }
+  return out;
+}
+
+OpenClosedStats open_closed_stats(const Records& records) {
+  OpenClosedStats out;
+  std::set<Asn> reach_asns;
+  std::set<Asn> closed_asns;
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    reach_asns.insert(rec.asn);
+    if (rec.open_hit) {
+      ++out.open;
+    } else {
+      ++out.closed;
+      closed_asns.insert(rec.asn);
+    }
+  }
+  out.reachable_asns = reach_asns.size();
+  out.asns_with_closed = closed_asns.size();
+  return out;
+}
+
+ForwardingStats forwarding_stats(const Records& records) {
+  ForwardingStats out;
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    if (!rec.direct_seen && !rec.forwarded_seen) continue;
+    ForwardingStats::Family& fam = addr.is_v4() ? out.v4 : out.v6;
+    ++fam.resolved;
+    if (rec.direct_seen) ++fam.direct;
+    if (rec.forwarded_seen) ++fam.forwarded;
+    if (rec.direct_seen && rec.forwarded_seen) ++fam.both;
+  }
+  return out;
+}
+
+MiddleboxStats middlebox_stats(
+    const Records& records,
+    const std::vector<IpAddr>& public_dns_addrs) {
+  MiddleboxStats out;
+  struct AsEvidence {
+    bool in_as = false;
+    bool via_public = false;
+  };
+  std::map<std::pair<Asn, int>, AsEvidence> per_as;
+
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    const int f = family_index(addr);
+    AsEvidence& ev = per_as[{rec.asn, f}];
+    // The target answering directly, or any client inside the target AS,
+    // proves the AS border was crossed.
+    if (rec.direct_seen || rec.client_in_target_as) ev.in_as = true;
+    for (const IpAddr& fwd : rec.forwarders_seen) {
+      if (std::find(public_dns_addrs.begin(), public_dns_addrs.end(), fwd) !=
+          public_dns_addrs.end()) {
+        ev.via_public = true;
+      }
+    }
+  }
+
+  for (const auto& [key, ev] : per_as) {
+    MiddleboxStats::Family& fam = key.second == 0 ? out.v4 : out.v6;
+    ++fam.reachable_asns;
+    if (ev.in_as) {
+      ++fam.with_in_as_client;
+    } else if (ev.via_public) {
+      ++fam.remainder_via_public_dns;
+    } else {
+      ++fam.unexplained;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> combined_ports(const TargetRecord& record) {
+  std::vector<std::uint16_t> ports = record.ports_v4;
+  ports.insert(ports.end(), record.ports_v6.begin(), record.ports_v6.end());
+  return ports;
+}
+
+Table4Result build_table4(const Records& records, const P0fDatabase& p0f) {
+  Table4Result out;
+  out.rows.reserve(table4_bands().size());
+  for (const RangeBand& band : table4_bands()) {
+    out.rows.push_back(Table4Row{band, 0, 0, 0, 0, 0});
+  }
+
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    const std::vector<std::uint16_t> ports = combined_ports(rec);
+    if (ports.size() < kMinPortSamples) continue;
+    ++out.classified_targets;
+
+    P0fClass cls = P0fClass::kUnknown;
+    if (rec.tcp_syn) cls = p0f.classify(*rec.tcp_syn);
+
+    // The paper adjusts ports for resolvers p0f identified as Windows.
+    int range;
+    if (cls == P0fClass::kWindows) {
+      range = adjusted_range(ports);
+    } else {
+      const PortStats stats = compute_port_stats(ports);
+      range = stats.range;
+    }
+
+    Table4Row& row = out.rows[classify_range(range)];
+    ++row.total;
+    if (rec.open_hit) {
+      ++row.open;
+    } else {
+      ++row.closed;
+    }
+    if (cls == P0fClass::kWindows) ++row.p0f_windows;
+    if (cls == P0fClass::kLinux) ++row.p0f_linux;
+  }
+  return out;
+}
+
+ZeroRangeStats zero_range_stats(const Records& records) {
+  ZeroRangeStats out;
+  std::set<Asn> asns;
+  std::set<Asn> closed_asns;
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    const std::vector<std::uint16_t> ports = combined_ports(rec);
+    if (ports.size() < kMinPortSamples) continue;
+    const PortStats stats = compute_port_stats(ports);
+    if (stats.range != 0) continue;
+    ++out.total;
+    ++out.port_counts[ports.front()];
+    asns.insert(rec.asn);
+    if (rec.open_hit) {
+      ++out.open;
+    } else {
+      ++out.closed;
+      closed_asns.insert(rec.asn);
+    }
+  }
+  out.asns = asns.size();
+  out.asns_with_closed = closed_asns.size();
+  return out;
+}
+
+LowRangeStats low_range_stats(const Records& records) {
+  LowRangeStats out;
+  std::set<Asn> asns;
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    const std::vector<std::uint16_t> ports = combined_ports(rec);
+    if (ports.size() < kMinPortSamples) continue;
+    const PortStats stats = compute_port_stats(ports);
+    if (stats.range < 1 || stats.range > 200) continue;
+    ++out.total;
+    asns.insert(rec.asn);
+    if (stats.strictly_increasing) {
+      ++out.strictly_increasing;
+      if (stats.wrapped) ++out.wrapped;
+    }
+    if (stats.unique_count <= 7) ++out.few_unique;
+  }
+  out.asns = asns.size();
+  return out;
+}
+
+std::vector<RangeSample> range_samples(const Records& records,
+                                       const P0fDatabase& p0f) {
+  std::vector<RangeSample> out;
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    const std::vector<std::uint16_t> ports = combined_ports(rec);
+    if (ports.size() < kMinPortSamples) continue;
+
+    RangeSample sample;
+    if (rec.tcp_syn) sample.p0f = p0f.classify(*rec.tcp_syn);
+    if (sample.p0f == P0fClass::kWindows) {
+      sample.range = adjusted_range(ports);
+    } else {
+      sample.range = compute_port_stats(ports).range;
+    }
+    sample.open = rec.open_hit;
+    out.push_back(sample);
+  }
+  return out;
+}
+
+}  // namespace cd::analysis

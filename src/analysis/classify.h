@@ -1,0 +1,191 @@
+// Aggregations over collected target records: everything needed to
+// regenerate the paper's Tables 1-4 and the §4/§5 headline statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/geo.h"
+#include "analysis/p0f.h"
+#include "analysis/port_range.h"
+#include "scanner/collector.h"
+#include "scanner/prober.h"
+
+namespace cd::analysis {
+
+using Records = std::unordered_map<cd::net::IpAddr, cd::scanner::TargetRecord,
+                                   cd::net::IpAddrHash>;
+
+// --- §4 headline: DSAV prevalence ------------------------------------------
+
+struct FamilyDsav {
+  std::uint64_t targets_total = 0;
+  std::uint64_t targets_reachable = 0;
+  std::uint64_t asns_total = 0;
+  std::uint64_t asns_reachable = 0;
+};
+
+struct DsavSummary {
+  FamilyDsav v4;
+  FamilyDsav v6;
+};
+
+[[nodiscard]] DsavSummary summarize_dsav(
+    const Records& records, std::span<const cd::scanner::TargetInfo> targets);
+
+// --- Table 3: spoofed-source category effectiveness -------------------------
+
+struct CategoryCell {
+  std::uint64_t addrs = 0;
+  std::uint64_t asns = 0;
+};
+
+struct CategoryTable {
+  // Indexed [category][family] with family 0 = IPv4, 1 = IPv6.
+  CategoryCell inclusive[cd::scanner::kSourceCategoryCount][2];
+  CategoryCell exclusive[cd::scanner::kSourceCategoryCount][2];
+  CategoryCell queried[2];
+  CategoryCell reachable[2];
+};
+
+[[nodiscard]] CategoryTable build_category_table(
+    const Records& records, std::span<const cd::scanner::TargetInfo> targets);
+
+// --- Tables 1-2: DSAV by country ---------------------------------------------
+
+struct CountryRow {
+  std::string country;
+  std::uint64_t ases_total = 0;
+  std::uint64_t ases_reachable = 0;
+  std::uint64_t targets_total = 0;
+  std::uint64_t targets_reachable = 0;
+};
+
+/// One row per country (v4+v6 combined, as in the paper). An AS is counted
+/// in every country its constituent targets geolocate to.
+[[nodiscard]] std::vector<CountryRow> dsav_by_country(
+    const Records& records, std::span<const cd::scanner::TargetInfo> targets,
+    const GeoDb& geo);
+
+// --- §5.1: open vs. closed resolvers -----------------------------------------
+
+struct OpenClosedStats {
+  std::uint64_t open = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t reachable_asns = 0;
+  /// ASes lacking DSAV in which at least one *closed* resolver was reached
+  /// (the paper's "nearly 9 out of 10 networks" statistic).
+  std::uint64_t asns_with_closed = 0;
+};
+
+[[nodiscard]] OpenClosedStats open_closed_stats(const Records& records);
+
+// --- §5.4: forwarding behaviour ----------------------------------------------
+
+struct ForwardingStats {
+  struct Family {
+    std::uint64_t resolved = 0;  // targets with any follow-up evidence
+    std::uint64_t direct = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t both = 0;
+  };
+  Family v4;
+  Family v6;
+};
+
+[[nodiscard]] ForwardingStats forwarding_stats(const Records& records);
+
+// --- §3.6.1: middlebox consideration -----------------------------------------
+
+struct MiddleboxStats {
+  struct Family {
+    std::uint64_t reachable_asns = 0;
+    /// ASes where >= 1 recursive-to-auth query came from an address inside
+    /// the AS itself (direct evidence the AS border was crossed).
+    std::uint64_t with_in_as_client = 0;
+    /// Of the remainder, ASes whose queries arrived via major public DNS
+    /// services (forwarding, not middlebox interception).
+    std::uint64_t remainder_via_public_dns = 0;
+    /// ASes with neither signal (possible middlebox ambiguity).
+    std::uint64_t unexplained = 0;
+  };
+  Family v4;
+  Family v6;
+};
+
+/// The paper's §3.6.1 argument that middleboxes do not confound the per-AS
+/// DSAV results: 86%/95% of ASes show in-AS clients; public-DNS forwarding
+/// explains most of the rest; ~2%/1% remain ambiguous.
+[[nodiscard]] MiddleboxStats middlebox_stats(
+    const Records& records,
+    const std::vector<cd::net::IpAddr>& public_dns_addrs);
+
+// --- Table 4: port ranges x status x p0f --------------------------------------
+
+struct Table4Row {
+  RangeBand band;
+  std::uint64_t total = 0;
+  std::uint64_t open = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t p0f_windows = 0;
+  std::uint64_t p0f_linux = 0;
+};
+
+struct Table4Result {
+  std::vector<Table4Row> rows;
+  std::uint64_t classified_targets = 0;  // targets with enough port samples
+};
+
+/// Minimum direct port samples required to estimate a resolver's range.
+inline constexpr std::size_t kMinPortSamples = 8;
+
+[[nodiscard]] Table4Result build_table4(const Records& records,
+                                        const P0fDatabase& p0f);
+
+// --- §5.2.1: zero source-port randomization ----------------------------------
+
+struct ZeroRangeStats {
+  std::uint64_t total = 0;
+  std::uint64_t open = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t asns = 0;
+  std::uint64_t asns_with_closed = 0;
+  std::map<std::uint16_t, std::uint64_t> port_counts;  // which fixed port
+};
+
+[[nodiscard]] ZeroRangeStats zero_range_stats(const Records& records);
+
+// --- §5.2.3: ineffective allocation (range 1-200) -----------------------------
+
+struct LowRangeStats {
+  std::uint64_t total = 0;
+  std::uint64_t asns = 0;
+  std::uint64_t strictly_increasing = 0;
+  std::uint64_t wrapped = 0;
+  /// Resolvers showing <= 7 unique ports out of 10 samples.
+  std::uint64_t few_unique = 0;
+};
+
+[[nodiscard]] LowRangeStats low_range_stats(const Records& records);
+
+// --- Figure 2 / 3b raw series --------------------------------------------------
+
+struct RangeSample {
+  int range = 0;  // Windows-wrap-adjusted when p0f identifies Windows
+  bool open = false;
+  P0fClass p0f = P0fClass::kUnknown;
+};
+
+[[nodiscard]] std::vector<RangeSample> range_samples(const Records& records,
+                                                     const P0fDatabase& p0f);
+
+/// Helper shared by Table 4 / Fig 2 / Fig 3b: a target's combined direct
+/// port samples (v4 then v6 follow-ups).
+[[nodiscard]] std::vector<std::uint16_t> combined_ports(
+    const cd::scanner::TargetRecord& record);
+
+}  // namespace cd::analysis

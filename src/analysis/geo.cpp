@@ -1,0 +1,31 @@
+#include "analysis/geo.h"
+
+namespace cd::analysis {
+
+using cd::net::IpAddr;
+using cd::net::Prefix;
+using cd::net::U128;
+
+void GeoDb::add(const Prefix& prefix, std::string country) {
+  LengthMap& table = prefix.family() == cd::net::IpFamily::kV4 ? v4_ : v6_;
+  auto [it, inserted] =
+      table[prefix.length()].emplace(prefix.base().bits(), std::move(country));
+  if (inserted) {
+    ++count_;
+  }
+}
+
+std::optional<std::string> GeoDb::country_of(const IpAddr& addr) const {
+  const LengthMap& table = addr.is_v4() ? v4_ : v6_;
+  const int width = addr.width();
+  for (const auto& [length, entries] : table) {
+    const int shift = width - length;
+    U128 key = addr.bits();
+    if (shift > 0) key = (key >> shift) << shift;
+    const auto it = entries.find(key);
+    if (it != entries.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cd::analysis

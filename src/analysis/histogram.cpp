@@ -1,0 +1,122 @@
+#include "analysis/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace cd::analysis {
+
+StackedHistogram::StackedHistogram(int lo, int hi, int bin_width,
+                                   std::vector<std::string> series_names)
+    : lo_(lo), bin_width_(bin_width), series_names_(std::move(series_names)) {
+  CD_ENSURE(hi > lo && bin_width > 0, "StackedHistogram: bad bounds");
+  CD_ENSURE(!series_names_.empty(), "StackedHistogram: no series");
+  bins_ = static_cast<std::size_t>((hi - lo) / bin_width) + 1;
+  counts_.assign(series_names_.size(),
+                 std::vector<std::uint64_t>(bins_, 0));
+}
+
+void StackedHistogram::add(int value, std::size_t series) {
+  CD_ENSURE(series < counts_.size(), "StackedHistogram: bad series");
+  long bin = (static_cast<long>(value) - lo_) / bin_width_;
+  bin = std::clamp<long>(bin, 0, static_cast<long>(bins_) - 1);
+  ++counts_[series][static_cast<std::size_t>(bin)];
+}
+
+int StackedHistogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<int>(bin) * bin_width_;
+}
+
+int StackedHistogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + bin_width_ - 1;
+}
+
+std::uint64_t StackedHistogram::count(std::size_t bin,
+                                      std::size_t series) const {
+  return counts_[series][bin];
+}
+
+std::uint64_t StackedHistogram::total(std::size_t series) const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts_[series]) sum += c;
+  return sum;
+}
+
+std::uint64_t StackedHistogram::bin_total(std::size_t bin) const {
+  std::uint64_t sum = 0;
+  for (const auto& series : counts_) sum += series[bin];
+  return sum;
+}
+
+void StackedHistogram::set_overlay(std::vector<double> overlay) {
+  CD_ENSURE(overlay.size() == bins_, "StackedHistogram: overlay size");
+  overlay_ = std::move(overlay);
+}
+
+std::string StackedHistogram::render_ascii(std::size_t max_bar,
+                                           bool skip_empty) const {
+  // Glyph per series, cycled if there are many.
+  static const char kGlyphs[] = {'#', 'o', '+', '*', '.', '%'};
+
+  std::uint64_t peak = 1;
+  for (std::size_t b = 0; b < bins_; ++b) {
+    peak = std::max(peak, bin_total(b));
+  }
+
+  std::string out;
+  out += "legend:";
+  for (std::size_t s = 0; s < series_names_.size(); ++s) {
+    out += "  ";
+    out += kGlyphs[s % sizeof(kGlyphs)];
+    out += "=" + series_names_[s];
+  }
+  out += '\n';
+
+  char label[64];
+  for (std::size_t b = 0; b < bins_; ++b) {
+    const std::uint64_t total_here = bin_total(b);
+    if (skip_empty && total_here == 0) continue;
+    std::snprintf(label, sizeof(label), "[%6d,%6d] %8llu |", bin_lo(b),
+                  bin_hi(b), static_cast<unsigned long long>(total_here));
+    out += label;
+    for (std::size_t s = 0; s < counts_.size(); ++s) {
+      const std::size_t width = static_cast<std::size_t>(
+          static_cast<double>(counts_[s][b]) / static_cast<double>(peak) *
+          static_cast<double>(max_bar));
+      out.append(width, kGlyphs[s % sizeof(kGlyphs)]);
+    }
+    if (!overlay_.empty()) {
+      std::snprintf(label, sizeof(label), "  (model %.4g)", overlay_[b]);
+      out += label;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> StackedHistogram::csv_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"bin_lo", "bin_hi"};
+  for (const std::string& name : series_names_) header.push_back(name);
+  if (!overlay_.empty()) header.push_back("model");
+  rows.push_back(std::move(header));
+
+  for (std::size_t b = 0; b < bins_; ++b) {
+    std::vector<std::string> row = {std::to_string(bin_lo(b)),
+                                    std::to_string(bin_hi(b))};
+    for (std::size_t s = 0; s < counts_.size(); ++s) {
+      row.push_back(std::to_string(counts_[s][b]));
+    }
+    if (!overlay_.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", overlay_[b]);
+      row.emplace_back(buf);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace cd::analysis

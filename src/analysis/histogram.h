@@ -1,0 +1,50 @@
+// Binned histograms with stacked series, for the paper's Figures 2 and 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cd::analysis {
+
+/// Fixed-width-bin histogram over [lo, hi] with one or more stacked series
+/// (e.g. open vs. closed resolvers). Renders as ASCII for terminal output
+/// and dumps as CSV rows for plotting.
+class StackedHistogram {
+ public:
+  StackedHistogram(int lo, int hi, int bin_width,
+                   std::vector<std::string> series_names);
+
+  /// Adds one observation to `series`. Out-of-range values clamp to the
+  /// first/last bin.
+  void add(int value, std::size_t series = 0);
+
+  [[nodiscard]] std::size_t bin_count() const { return bins_; }
+  [[nodiscard]] int bin_lo(std::size_t bin) const;
+  [[nodiscard]] int bin_hi(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t count(std::size_t bin, std::size_t series) const;
+  [[nodiscard]] std::uint64_t total(std::size_t series) const;
+  [[nodiscard]] std::uint64_t bin_total(std::size_t bin) const;
+
+  /// Horizontal bar chart; one row per non-empty bin (plus an overlay column
+  /// when `overlay` values are supplied via set_overlay()).
+  [[nodiscard]] std::string render_ascii(std::size_t max_bar = 60,
+                                         bool skip_empty = true) const;
+
+  /// Model overlay (e.g. scaled Beta densities), one value per bin; rendered
+  /// as a column in the ASCII output and included in CSV rows.
+  void set_overlay(std::vector<double> overlay);
+
+  /// Header + one row per bin: lo, hi, series counts..., overlay?
+  [[nodiscard]] std::vector<std::vector<std::string>> csv_rows() const;
+
+ private:
+  int lo_;
+  int bin_width_;
+  std::size_t bins_;
+  std::vector<std::string> series_names_;
+  std::vector<std::vector<std::uint64_t>> counts_;  // [series][bin]
+  std::vector<double> overlay_;
+};
+
+}  // namespace cd::analysis

@@ -1,0 +1,88 @@
+#include "analysis/p0f.h"
+
+namespace cd::analysis {
+
+using cd::net::TcpOptionKind;
+
+std::string p0f_class_name(P0fClass cls) {
+  switch (cls) {
+    case P0fClass::kUnknown: return "unknown";
+    case P0fClass::kLinux: return "Linux";
+    case P0fClass::kWindows: return "Windows";
+    case P0fClass::kFreeBsd: return "FreeBSD";
+    case P0fClass::kBaiduSpider: return "BaiduSpider";
+  }
+  return "?";
+}
+
+void P0fDatabase::add(P0fSignature signature) {
+  signatures_.push_back(std::move(signature));
+}
+
+const P0fDatabase& P0fDatabase::standard() {
+  static const P0fDatabase db = [] {
+    P0fDatabase d;
+    d.add({P0fClass::kLinux,
+           "Linux 3.x-5.x",
+           64,
+           29200,
+           1460,
+           {TcpOptionKind::kMss, TcpOptionKind::kSackPermitted,
+            TcpOptionKind::kTimestamp, TcpOptionKind::kNop,
+            TcpOptionKind::kWindowScale}});
+    d.add({P0fClass::kWindows,
+           "Windows NT 6.x+",
+           128,
+           8192,
+           1460,
+           {TcpOptionKind::kMss, TcpOptionKind::kNop,
+            TcpOptionKind::kWindowScale, TcpOptionKind::kNop,
+            TcpOptionKind::kNop, TcpOptionKind::kSackPermitted}});
+    d.add({P0fClass::kFreeBsd,
+           "FreeBSD 11-12",
+           64,
+           65535,
+           1460,
+           {TcpOptionKind::kMss, TcpOptionKind::kNop,
+            TcpOptionKind::kWindowScale, TcpOptionKind::kSackPermitted,
+            TcpOptionKind::kTimestamp}});
+    d.add({P0fClass::kBaiduSpider,
+           "BaiduSpider crawler stack",
+           64,
+           8190,
+           1440,
+           {TcpOptionKind::kMss, TcpOptionKind::kNop, TcpOptionKind::kNop,
+            TcpOptionKind::kSackPermitted}});
+    return d;
+  }();
+  return db;
+}
+
+P0fClass P0fDatabase::classify(const cd::net::Packet& syn) const {
+  if (syn.proto != cd::net::IpProto::kTcp || !syn.tcp_flags.syn) {
+    return P0fClass::kUnknown;
+  }
+
+  // Extract the SYN's MSS and option layout.
+  std::uint16_t mss = 0;
+  std::vector<TcpOptionKind> layout;
+  layout.reserve(syn.tcp_options.size());
+  for (const cd::net::TcpOption& opt : syn.tcp_options) {
+    layout.push_back(opt.kind);
+    if (opt.kind == TcpOptionKind::kMss) {
+      mss = static_cast<std::uint16_t>(opt.value);
+    }
+  }
+
+  for (const P0fSignature& sig : signatures_) {
+    if (syn.ttl > sig.initial_ttl) continue;
+    if (sig.initial_ttl - syn.ttl >= 32) continue;  // implausibly far away
+    if (syn.tcp_window != sig.window) continue;
+    if (mss != sig.mss) continue;
+    if (layout != sig.options) continue;
+    return sig.cls;
+  }
+  return P0fClass::kUnknown;
+}
+
+}  // namespace cd::analysis

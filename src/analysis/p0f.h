@@ -1,0 +1,56 @@
+// Passive TCP/IP OS fingerprinting in the style of p0f (paper §5.3.1).
+//
+// Classifies a captured SYN by matching its TTL, window size, MSS, and TCP
+// option layout against a small signature database. Like the real tool, most
+// stacks in the wild match nothing and come back unknown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace cd::analysis {
+
+enum class P0fClass : std::uint8_t {
+  kUnknown = 0,
+  kLinux,
+  kWindows,
+  kFreeBsd,
+  kBaiduSpider,
+};
+
+[[nodiscard]] std::string p0f_class_name(P0fClass cls);
+
+struct P0fSignature {
+  P0fClass cls = P0fClass::kUnknown;
+  std::string label;
+  std::uint8_t initial_ttl = 64;
+  std::uint16_t window = 0;
+  std::uint16_t mss = 0;
+  std::vector<cd::net::TcpOptionKind> options;  // layout, in order
+};
+
+class P0fDatabase {
+ public:
+  /// The built-in signature set (Linux / Windows / FreeBSD / BaiduSpider).
+  [[nodiscard]] static const P0fDatabase& standard();
+
+  void add(P0fSignature signature);
+
+  /// Classifies a SYN packet; kUnknown when nothing matches. The observed
+  /// TTL must be at or below the signature's initial TTL by fewer than 32
+  /// hops (distance tolerance), and window/MSS/option layout must match
+  /// exactly.
+  [[nodiscard]] P0fClass classify(const cd::net::Packet& syn) const;
+
+  [[nodiscard]] const std::vector<P0fSignature>& signatures() const {
+    return signatures_;
+  }
+
+ private:
+  std::vector<P0fSignature> signatures_;
+};
+
+}  // namespace cd::analysis

@@ -1,0 +1,46 @@
+#include "analysis/passive.h"
+
+#include <algorithm>
+
+#include "analysis/port_range.h"
+
+namespace cd::analysis {
+
+PassiveComparison compare_with_passive(const Records& records,
+                                       const PassiveCapture& capture) {
+  PassiveComparison out;
+  for (const auto& [addr, rec] : records) {
+    if (!rec.reachable()) continue;
+    const std::vector<std::uint16_t> ports = combined_ports(rec);
+    if (ports.size() < kMinPortSamples) continue;
+    const PortStats active = compute_port_stats(ports);
+    if (active.range != 0) continue;
+    ++out.zero_now;
+    const std::uint16_t fixed_port = ports.front();
+
+    const auto it = capture.find(addr);
+    if (it == capture.end() || it->second.empty()) {
+      ++out.insufficient;
+      continue;
+    }
+    const std::vector<std::uint16_t>& old_ports = it->second;
+    const bool enough_queries = old_ports.size() >= kPassiveMinSamples;
+    const bool all_same_fixed =
+        std::all_of(old_ports.begin(), old_ports.end(),
+                    [&](std::uint16_t p) { return p == fixed_port; });
+    if (!enough_queries && !all_same_fixed) {
+      ++out.insufficient;
+      continue;
+    }
+
+    const PortStats old_stats = compute_port_stats(old_ports);
+    if (old_stats.range == 0) {
+      ++out.zero_then;  // "similarly showed no variance in 2018"
+    } else {
+      ++out.varied_then;  // randomization existed and was later lost
+    }
+  }
+  return out;
+}
+
+}  // namespace cd::analysis

@@ -1,0 +1,41 @@
+// Passive-measurement cross-check (paper §5.2.2).
+//
+// The paper validated its active zero-source-port findings against the 2018
+// DITL capture: for each resolver currently using a single source port, did
+// the same address already show zero port variance 18 months earlier?
+// Findings: 51% already fixed, 25% *regressed* (had variance before), 24%
+// lacked comparable passive data.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/classify.h"
+
+namespace cd::analysis {
+
+/// Historical source-port observations per resolver address (what a root
+/// operator's packet capture yields after filtering to one client).
+using PassiveCapture =
+    std::unordered_map<cd::net::IpAddr, std::vector<std::uint16_t>,
+                       cd::net::IpAddrHash>;
+
+struct PassiveComparison {
+  std::uint64_t zero_now = 0;      // actively measured zero-range resolvers
+  std::uint64_t zero_then = 0;     // also zero-variance in the old capture
+  std::uint64_t varied_then = 0;   // had variance before: security regressed
+  std::uint64_t insufficient = 0;  // old capture lacks comparable data
+};
+
+/// Number of passive samples required for a fair comparison (the paper's
+/// condition 1: "10 queries for unique query names").
+inline constexpr std::size_t kPassiveMinSamples = 10;
+
+/// Applies the paper's inclusion rules: a zero-range resolver is comparable
+/// if the old capture holds >= kPassiveMinSamples queries from it, or if
+/// every old query used exactly the port seen actively (condition 2).
+[[nodiscard]] PassiveComparison compare_with_passive(
+    const Records& records, const PassiveCapture& capture);
+
+}  // namespace cd::analysis

@@ -1,0 +1,102 @@
+#include "analysis/port_range.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cd::analysis {
+
+PortStats compute_port_stats(std::span<const std::uint16_t> ports) {
+  PortStats stats;
+  stats.n = ports.size();
+  if (ports.empty()) return stats;
+
+  stats.min = *std::min_element(ports.begin(), ports.end());
+  stats.max = *std::max_element(ports.begin(), ports.end());
+  stats.range = static_cast<int>(stats.max) - static_cast<int>(stats.min);
+  stats.unique_count = std::set<std::uint16_t>(ports.begin(), ports.end()).size();
+
+  if (ports.size() >= 3) {
+    int decreases = 0;
+    bool equal_seen = false;
+    for (std::size_t i = 1; i < ports.size(); ++i) {
+      if (ports[i] == ports[i - 1]) equal_seen = true;
+      if (ports[i] < ports[i - 1]) ++decreases;
+    }
+    stats.strictly_increasing = !equal_seen && decreases <= 1;
+    stats.wrapped = stats.strictly_increasing && decreases == 1;
+  }
+  return stats;
+}
+
+namespace {
+
+constexpr std::uint32_t kS = 2500;
+constexpr std::uint32_t kIanaMin = 49152;
+constexpr std::uint32_t kIanaMax = 65535;
+
+bool in_low(std::uint16_t p) {
+  return p >= kIanaMin && p <= kIanaMin + kS - 1;
+}
+bool in_high(std::uint16_t p) {
+  return p > kIanaMax - (kS - 1) && p <= kIanaMax;
+}
+
+}  // namespace
+
+bool windows_wrap_applies(std::span<const std::uint16_t> ports) {
+  if (ports.empty()) return false;
+  bool any_low = false, any_high = false;
+  for (const std::uint16_t p : ports) {
+    const bool low = in_low(p);
+    const bool high = in_high(p);
+    if (!low && !high) return false;  // condition 1: all ports in a region
+    // A port can satisfy both region tests only if the regions overlap
+    // (kS > range/2, which does not hold for s=2500); treat low as primary.
+    if (low) any_low = true;
+    if (high && !low) any_high = true;
+  }
+  return any_low && any_high;  // conditions 2 and 3
+}
+
+std::vector<std::uint32_t> adjust_windows_wrap(
+    std::span<const std::uint16_t> ports) {
+  std::vector<std::uint32_t> out(ports.begin(), ports.end());
+  if (!windows_wrap_applies(ports)) return out;
+  for (std::uint32_t& p : out) {
+    if (in_low(static_cast<std::uint16_t>(p))) {
+      p += kIanaMax - kIanaMin;
+    }
+  }
+  return out;
+}
+
+int adjusted_range(std::span<const std::uint16_t> ports) {
+  if (ports.empty()) return 0;
+  const auto adjusted = adjust_windows_wrap(ports);
+  const auto [mn, mx] = std::minmax_element(adjusted.begin(), adjusted.end());
+  return static_cast<int>(*mx) - static_cast<int>(*mn);
+}
+
+const std::vector<RangeBand>& table4_bands() {
+  static const std::vector<RangeBand> bands = {
+      {0, 0, "0", ""},
+      {1, 200, "1-200", ""},
+      {201, 940, "201-940", ""},
+      {941, 2488, "941-2,488", "Windows DNS"},
+      {2489, 6124, "2,489-6,124", ""},
+      {6125, 16331, "6,125-16,331", "FreeBSD"},
+      {16332, 28222, "16,332-28,222", "Linux"},
+      {28223, 65536, "28,223-65,536", "Full Port Range"},
+  };
+  return bands;
+}
+
+std::size_t classify_range(int range) {
+  const auto& bands = table4_bands();
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    if (range >= bands[i].lo && range <= bands[i].hi) return i;
+  }
+  return bands.size() - 1;  // ranges beyond 65,536 cannot occur for u16 ports
+}
+
+}  // namespace cd::analysis

@@ -1,0 +1,58 @@
+// Source-port range statistics and OS classification bands (paper §5.2-5.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cd::analysis {
+
+/// Summary of one resolver's observed source ports.
+struct PortStats {
+  std::size_t n = 0;
+  std::uint16_t min = 0;
+  std::uint16_t max = 0;
+  int range = 0;  // max - min
+  std::size_t unique_count = 0;
+  /// All consecutive deltas positive, allowing at most one wrap (the §5.2.3
+  /// "strictly increasing" pattern).
+  bool strictly_increasing = false;
+  /// The increasing pattern wrapped from its maximum back to a lower value.
+  bool wrapped = false;
+};
+
+[[nodiscard]] PortStats compute_port_stats(std::span<const std::uint16_t> ports);
+
+/// The paper's §5.3.2 Windows wrap adjustment, verbatim:
+/// with s = 2500, i_min = 49152, i_max = 65535, R_low = [i_min, i_min+s-1],
+/// R_high = (i_max-(s-1), i_max]: if every port lies in R_low or R_high and
+/// both regions are occupied, ports in R_low are increased by i_max - i_min,
+/// making a wrapped pool's range comparable to a contiguous one's. Adjusted
+/// values can exceed 65,535, hence the wider element type.
+[[nodiscard]] std::vector<std::uint32_t> adjust_windows_wrap(
+    std::span<const std::uint16_t> ports);
+
+/// Range (max - min) of the ports after Windows wrap adjustment.
+[[nodiscard]] int adjusted_range(std::span<const std::uint16_t> ports);
+
+/// Whether adjust_windows_wrap() would modify these ports.
+[[nodiscard]] bool windows_wrap_applies(std::span<const std::uint16_t> ports);
+
+/// Table 4's range bands. `os` is empty for bands without an OS association.
+struct RangeBand {
+  int lo = 0;
+  int hi = 0;
+  std::string label;
+  std::string os;
+};
+
+/// The eight bands of Table 4: 0; 1-200; 201-940; 941-2,488 (Windows DNS);
+/// 2,489-6,124; 6,125-16,331 (FreeBSD); 16,332-28,222 (Linux);
+/// 28,223-65,536 (Full Port Range).
+[[nodiscard]] const std::vector<RangeBand>& table4_bands();
+
+/// Index into table4_bands() for an adjusted range value.
+[[nodiscard]] std::size_t classify_range(int range);
+
+}  // namespace cd::analysis

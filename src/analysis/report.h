@@ -1,0 +1,34 @@
+// One-call experiment report: renders every §4/§5 aggregate from a
+// completed run as a human-readable text document (the library's equivalent
+// of the paper's evaluation section).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/passive.h"
+
+namespace cd::analysis {
+
+struct ReportOptions {
+  /// Include the per-country Table 1/2 sections (needs a populated GeoDb).
+  bool countries = true;
+  /// Rows per country table.
+  std::size_t country_rows = 10;
+  /// Include the §5.2.2 section (needs a passive capture).
+  bool passive = true;
+};
+
+/// Renders the full measurement report: DSAV prevalence, category
+/// effectiveness, open/closed, forwarding, port-range bands, zero-range and
+/// low-range drill-downs, and (optionally) country tables and the passive
+/// cross-check. Pure function of its inputs; safe to call repeatedly.
+[[nodiscard]] std::string render_report(
+    const Records& records, std::span<const cd::scanner::TargetInfo> targets,
+    const GeoDb& geo, const PassiveCapture& passive,
+    const std::vector<cd::net::IpAddr>& public_dns_addrs,
+    const ReportOptions& options = {});
+
+}  // namespace cd::analysis

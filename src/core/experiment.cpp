@@ -1,0 +1,60 @@
+#include "core/experiment.h"
+
+#include "util/error.h"
+
+namespace cd::core {
+
+using cd::scanner::Collector;
+using cd::scanner::FollowupEngine;
+using cd::scanner::Prober;
+using cd::scanner::QnameCodec;
+using cd::scanner::SourceSelector;
+
+Experiment::Experiment(cd::ditl::World& world, ExperimentConfig config)
+    : world_(world), config_(config) {
+  CD_ENSURE(world_.vantage != nullptr, "Experiment: world has no vantage");
+  CD_ENSURE(!world_.experiment_auths.empty(),
+            "Experiment: world has no experiment auth servers");
+
+  cd::Rng rng(world_.spec.seed ^ 0xE9C0DE5EEDULL);
+
+  QnameCodec codec(world_.base_zone, world_.keyword);
+  selector_ = std::make_unique<SourceSelector>(
+      world_.topology, world_.hitlist_v6, cd::scanner::SourceSelectConfig{},
+      rng.split("select"));
+  prober_ = std::make_unique<Prober>(*world_.vantage, codec, *selector_,
+                                     config_.probe, rng.split("probe"));
+  collector_ = std::make_unique<Collector>(codec, config_.collector,
+                                           &world_.topology);
+  for (cd::resolver::AuthServer* auth : world_.experiment_auths) {
+    collector_->attach(*auth);
+  }
+  followup_ = std::make_unique<FollowupEngine>(*prober_, *collector_,
+                                               config_.followup);
+  if (config_.analyst && !world_.public_dns_addrs.empty()) {
+    analyst_ = std::make_unique<cd::scanner::AnalystSimulator>(
+        *world_.network, world_.ids_asns, world_.public_dns_addrs.front(),
+        *config_.analyst, rng.split("analyst"));
+  }
+}
+
+const ExperimentResults& Experiment::run() {
+  if (results_) return *results_;
+
+  prober_->schedule_campaign(world_.targets);
+  world_.loop.run(config_.max_events);
+
+  ExperimentResults results;
+  results.records = collector_->records();
+  results.collector_stats = collector_->stats();
+  results.qmin_asns = collector_->qmin_asns();
+  results.lifetime_excluded_targets = collector_->lifetime_excluded_targets();
+  results.network_stats = world_.network->stats();
+  results.queries_sent = prober_->queries_sent();
+  results.followup_batteries = followup_->batteries_sent();
+  results.analyst_replays = analyst_ ? analyst_->replays() : 0;
+  results_ = std::move(results);
+  return *results_;
+}
+
+}  // namespace cd::core

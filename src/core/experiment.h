@@ -1,0 +1,74 @@
+// End-to-end experiment orchestration: the paper's whole pipeline on a
+// generated world — probe campaign, follow-ups, collection — in one call.
+//
+// This is the library's primary entry point:
+//
+//   auto world = cd::ditl::generate_world(cd::ditl::bench_world_spec());
+//   cd::core::Experiment experiment(*world, {});
+//   const cd::core::ExperimentResults& results = experiment.run();
+//   auto summary = cd::analysis::summarize_dsav(results.records,
+//                                               world->targets);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "analysis/classify.h"
+#include "ditl/world.h"
+#include "scanner/analyst.h"
+#include "scanner/collector.h"
+#include "scanner/followup.h"
+#include "scanner/prober.h"
+
+namespace cd::core {
+
+struct ExperimentConfig {
+  cd::scanner::ProbeConfig probe;
+  cd::scanner::CollectorConfig collector;
+  cd::scanner::FollowupConfig followup;
+  /// When set, simulate IDS analysts replaying logged probes (§3.6.3).
+  std::optional<cd::scanner::AnalystConfig> analyst;
+  /// Safety valve for the event loop.
+  std::uint64_t max_events = 400'000'000;
+};
+
+struct ExperimentResults {
+  cd::analysis::Records records;
+  cd::scanner::CollectorStats collector_stats;
+  std::set<cd::sim::Asn> qmin_asns;
+  std::set<cd::net::IpAddr> lifetime_excluded_targets;
+  cd::sim::NetworkStats network_stats;
+  std::uint64_t queries_sent = 0;
+  std::uint64_t followup_batteries = 0;
+  std::uint64_t analyst_replays = 0;
+};
+
+/// Wires scanner components onto a World and runs the campaign to
+/// completion. The world must outlive the experiment.
+class Experiment {
+ public:
+  Experiment(cd::ditl::World& world, ExperimentConfig config);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Schedules the campaign and drains the event loop. Idempotent: a second
+  /// call returns the cached results.
+  const ExperimentResults& run();
+
+  [[nodiscard]] cd::scanner::Prober& prober() { return *prober_; }
+  [[nodiscard]] cd::scanner::Collector& collector() { return *collector_; }
+
+ private:
+  cd::ditl::World& world_;
+  ExperimentConfig config_;
+  std::unique_ptr<cd::scanner::SourceSelector> selector_;
+  std::unique_ptr<cd::scanner::Prober> prober_;
+  std::unique_ptr<cd::scanner::Collector> collector_;
+  std::unique_ptr<cd::scanner::FollowupEngine> followup_;
+  std::unique_ptr<cd::scanner::AnalystSimulator> analyst_;
+  std::optional<ExperimentResults> results_;
+};
+
+}  // namespace cd::core

@@ -1,0 +1,32 @@
+#include "ditl/ditl.h"
+
+#include "net/special.h"
+
+namespace cd::ditl {
+
+std::vector<cd::scanner::TargetInfo> filter_ditl(
+    const std::vector<cd::net::IpAddr>& raw, const cd::sim::Topology& topology,
+    DitlFilterStats* stats) {
+  DitlFilterStats local;
+  std::vector<cd::scanner::TargetInfo> out;
+  out.reserve(raw.size());
+
+  for (const cd::net::IpAddr& addr : raw) {
+    ++local.raw;
+    if (cd::net::is_special_purpose(addr)) {
+      ++local.excluded_special;
+      continue;
+    }
+    const auto asn = topology.asn_of(addr);
+    if (!asn) {
+      ++local.excluded_unrouted;
+      continue;
+    }
+    ++local.accepted;
+    out.push_back(cd::scanner::TargetInfo{addr, *asn});
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace cd::ditl

@@ -1,0 +1,29 @@
+// DITL-capture filtering (paper §3.1): turning a raw list of source
+// addresses observed at the root servers into the probe target list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scanner/prober.h"
+#include "sim/topology.h"
+
+namespace cd::ditl {
+
+struct DitlFilterStats {
+  std::uint64_t raw = 0;
+  std::uint64_t excluded_special = 0;   // IANA special-purpose addresses
+  std::uint64_t excluded_unrouted = 0;  // no announced route (no other-prefix
+                                        // sources can be derived)
+  std::uint64_t accepted = 0;
+};
+
+/// Applies the paper's target exclusions: drop special-purpose addresses and
+/// addresses with no covering announcement; annotate the rest with their
+/// origin AS. Duplicate raw entries are kept (DITL de-duplication happens at
+/// capture extraction, which our generator already does).
+[[nodiscard]] std::vector<cd::scanner::TargetInfo> filter_ditl(
+    const std::vector<cd::net::IpAddr>& raw, const cd::sim::Topology& topology,
+    DitlFilterStats* stats = nullptr);
+
+}  // namespace cd::ditl

@@ -1,0 +1,91 @@
+// The generated world: a complete simulated Internet ready for scanning.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/geo.h"
+#include "analysis/passive.h"
+#include "dns/zone.h"
+#include "ditl/world_spec.h"
+#include "resolver/auth.h"
+#include "resolver/recursive.h"
+#include "scanner/prober.h"
+#include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace cd::ditl {
+
+/// Ground truth for one deployed resolver (for validating that the blind
+/// analysis pipeline recovers what was planted).
+struct ResolverTruth {
+  cd::sim::OsId os = cd::sim::OsId::kEmbeddedCpe;
+  cd::resolver::DnsSoftware software =
+      cd::resolver::DnsSoftware::kBind9913To9160;
+  bool open = false;
+  bool forwards = false;
+  bool qmin = false;
+  int band = 0;  // index into the BandMix ordering (0=zero .. 5=full)
+};
+
+/// Owns every simulation object. Member order is destruction-order
+/// sensitive: hosts detach from the network in their destructors, so the
+/// network (and loop/topology) must be declared first.
+struct World {
+  WorldSpec spec;
+
+  cd::sim::EventLoop loop;
+  cd::sim::Topology topology;
+  std::unique_ptr<cd::sim::Network> network;
+
+  // Stable storage for hosts and customized OS profiles (deque: no moves).
+  std::deque<cd::sim::OsProfile> os_profiles;
+  std::deque<cd::sim::Host> hosts;
+
+  std::vector<std::shared_ptr<cd::dns::Zone>> zones;
+  std::vector<std::unique_ptr<cd::resolver::AuthServer>> auths;
+  std::vector<std::unique_ptr<cd::resolver::RecursiveResolver>> resolvers;
+
+  cd::resolver::RootHints hints;
+  cd::analysis::GeoDb geo;
+
+  cd::sim::Host* vantage = nullptr;
+  /// Authoritative servers receiving experiment queries (base + subzones);
+  /// the collector attaches to each.
+  std::vector<cd::resolver::AuthServer*> experiment_auths;
+
+  cd::dns::DnsName base_zone;
+  std::string keyword;
+
+  /// Raw DITL-style capture (resolver sources plus stale/special/unrouted
+  /// noise), and the post-exclusion target list actually probed.
+  std::vector<cd::net::IpAddr> ditl_raw;
+  std::vector<cd::scanner::TargetInfo> targets;
+  std::vector<cd::net::IpAddr> hitlist_v6;
+  /// Synthetic 18-months-earlier capture: per-resolver historical source
+  /// ports (the paper's 2018 DITL stand-in, §5.2.2).
+  cd::analysis::PassiveCapture passive_capture;
+
+  std::set<cd::sim::Asn> ids_asns;
+  std::vector<cd::net::IpAddr> public_dns_addrs;
+
+  // Ground truth for validation.
+  std::unordered_map<cd::sim::Asn, bool> truth_dsav;  // true = deploys DSAV
+  std::unordered_map<cd::net::IpAddr, ResolverTruth, cd::net::IpAddrHash>
+      truth_resolvers;
+
+  World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+};
+
+/// Builds a world from `spec`. Deterministic: equal specs (including seed)
+/// produce identical worlds.
+[[nodiscard]] std::unique_ptr<World> generate_world(const WorldSpec& spec);
+
+}  // namespace cd::ditl

@@ -1,0 +1,812 @@
+#include <algorithm>
+#include <optional>
+
+#include "ditl/world.h"
+
+#include "ditl/ditl.h"
+#include "net/special.h"
+#include "util/error.h"
+
+namespace cd::ditl {
+
+using cd::dns::DnsName;
+using cd::dns::RrType;
+using cd::dns::SoaRdata;
+using cd::dns::Zone;
+using cd::net::IpAddr;
+using cd::net::IpFamily;
+using cd::net::Prefix;
+using cd::net::U128;
+using cd::resolver::AuthConfig;
+using cd::resolver::AuthServer;
+using cd::resolver::DnsSoftware;
+using cd::resolver::QminMode;
+using cd::resolver::RecursiveResolver;
+using cd::resolver::ResolverConfig;
+using cd::sim::Asn;
+using cd::sim::FilterPolicy;
+using cd::sim::OsId;
+using cd::sim::OsProfile;
+
+namespace {
+
+constexpr Asn kInfraAsn = 64500;
+constexpr Asn kVantageAsn = 64501;
+constexpr Asn kPublicDnsAsnBase = 64510;
+constexpr Asn kEdgeAsnBase = 100;
+
+/// One well-known public DNS service (the paper checks forwarding against
+/// Cloudflare/Google/CenturyLink/OpenDNS/Quad9).
+struct PublicDnsSpec {
+  const char* name;
+  const char* v4;
+  const char* v4_prefix;
+  const char* v6;
+  const char* v6_prefix;
+};
+
+constexpr PublicDnsSpec kPublicDns[] = {
+    {"cloudflare-like", "1.1.1.1", "1.1.1.0/24", "2606:4700::1111",
+     "2606:4700::/32"},
+    {"google-like", "8.8.8.8", "8.8.8.0/24", "2001:4860::8888",
+     "2001:4860::/32"},
+    {"quad9-like", "9.9.9.9", "9.9.9.0/24", "2620:fe::9", "2620:fe::/32"},
+    {"opendns-like", "208.67.222.222", "208.67.222.0/24", "2620:119::222",
+     "2620:119::/32"},
+};
+
+class WorldBuilder {
+ public:
+  explicit WorldBuilder(const WorldSpec& spec)
+      : spec_(spec), rng_(spec.seed), w_(std::make_unique<World>()) {
+    w_->spec = spec_;
+  }
+
+  std::unique_ptr<World> build() {
+    w_->network = std::make_unique<cd::sim::Network>(w_->topology, w_->loop,
+                                                     rng_.split("network"));
+    w_->base_zone = DnsName::must_parse(spec_.base_zone);
+    w_->keyword = spec_.keyword;
+    build_infra();
+    build_public_dns();
+    build_vantage();
+    build_edge_ases();
+    build_noise();
+    w_->targets = filter_ditl(w_->ditl_raw, w_->topology);
+    return std::move(w_);
+  }
+
+ private:
+  // --- helpers ---------------------------------------------------------------
+
+  cd::sim::Host& add_host(Asn asn, const OsProfile& os,
+                          std::vector<IpAddr> addrs, std::string label) {
+    return w_->hosts.emplace_back(*w_->network, asn, os, std::move(addrs),
+                                  rng_.split("host" + label), std::move(label));
+  }
+
+  /// Real OS profile, or a copy whose TCP fingerprint a middlebox hides from
+  /// p0f (stack semantics — Table 6 acceptance, ephemeral range — unchanged).
+  const OsProfile& os_for(OsId id, bool fp_visible) {
+    if (fp_visible) return cd::sim::os_profile(id);
+    OsProfile hidden = cd::sim::os_profile(id);
+    hidden.name += " (fp-normalized)";
+    hidden.fp = cd::sim::os_profile(OsId::kMiddleboxFronted).fp;
+    return w_->os_profiles.emplace_back(std::move(hidden));
+  }
+
+  /// Next free /16 for an edge AS, skipping special-purpose space and the
+  /// 11.0.0.0/8 block reserved as never-announced noise.
+  Prefix next_v4_block16() {
+    for (;;) {
+      const std::uint32_t base = ((20u + v4_block_ / 256) << 24) |
+                                 ((v4_block_ % 256) << 16);
+      ++v4_block_;
+      const Prefix p(IpAddr::v4(base), 16);
+      if ((base >> 24) == 11) continue;
+      if (cd::net::is_special_purpose(p.first()) ||
+          cd::net::is_special_purpose(p.last())) {
+        continue;
+      }
+      return p;
+    }
+  }
+
+  Prefix next_v4_block22() {
+    if (v4_sub_count_ == 0 || v4_sub_count_ >= 64) {
+      v4_sub_parent_ = next_v4_block16();
+      v4_sub_count_ = 0;
+    }
+    const Prefix p(v4_sub_parent_.base().offset_by(
+                       static_cast<std::uint64_t>(v4_sub_count_) << 10),
+                   22);
+    ++v4_sub_count_;
+    return p;
+  }
+
+  Prefix next_v6_block32() {
+    const std::uint64_t hi =
+        (static_cast<std::uint64_t>(0x24000000u + v6_block_)) << 32;
+    ++v6_block_;
+    return Prefix(IpAddr::v6(hi, 0), 32);
+  }
+
+  std::shared_ptr<Zone> make_zone(const std::string& origin,
+                                  const std::string& rname) {
+    SoaRdata soa;
+    soa.mname = DnsName::must_parse("www." + spec_.base_zone);
+    soa.rname = DnsName::must_parse(rname);
+    soa.serial = 2019110601;
+    soa.minimum = 300;
+    auto zone = std::make_shared<Zone>(DnsName::must_parse(origin), soa);
+    w_->zones.push_back(zone);
+    return zone;
+  }
+
+  // --- infrastructure: roots, org TLD, experiment zones ----------------------
+
+  void build_infra() {
+    auto& as_info = w_->topology.add_as(
+        kInfraAsn, FilterPolicy{.osav = true, .dsav = true,
+                                .drop_inbound_martians = true});
+    (void)as_info;
+    w_->topology.announce(kInfraAsn, Prefix::must_parse("199.7.0.0/16"));
+    w_->topology.announce(kInfraAsn, Prefix::must_parse("2620:4f::/32"));
+    w_->geo.add(Prefix::must_parse("199.7.0.0/16"), "United States");
+    w_->geo.add(Prefix::must_parse("2620:4f::/32"), "United States");
+
+    const OsProfile& infra_os = cd::sim::os_profile(OsId::kUbuntu1904);
+    const IpAddr root_a4 = IpAddr::must_parse("199.7.0.1");
+    const IpAddr root_a6 = IpAddr::must_parse("2620:4f::1");
+    const IpAddr root_b4 = IpAddr::must_parse("199.7.0.2");
+    const IpAddr root_b6 = IpAddr::must_parse("2620:4f::2");
+    const IpAddr org4 = IpAddr::must_parse("199.7.1.1");
+    const IpAddr org6 = IpAddr::must_parse("2620:4f:1::1");
+    const IpAddr ns1_4 = IpAddr::must_parse("199.7.2.1");
+    const IpAddr ns1_6 = IpAddr::must_parse("2620:4f:2::1");
+    const IpAddr nsv4 = IpAddr::must_parse("199.7.2.4");
+    const IpAddr nsv6 = IpAddr::must_parse("2620:4f:2::6");
+
+    auto& root_a = add_host(kInfraAsn, infra_os, {root_a4, root_a6}, "a.root");
+    auto& root_b = add_host(kInfraAsn, infra_os, {root_b4, root_b6}, "b.root");
+    auto& org_host = add_host(kInfraAsn, infra_os, {org4, org6}, "org-ns");
+    auto& ns1 = add_host(kInfraAsn, infra_os, {ns1_4, ns1_6}, "ns1.dns-lab");
+    auto& ns4_host = add_host(kInfraAsn, infra_os, {nsv4}, "nsv4.dns-lab");
+    auto& ns6_host = add_host(kInfraAsn, infra_os, {nsv6}, "nsv6.dns-lab");
+
+    const std::string base = spec_.base_zone;
+    const std::string contact = "research." + base;
+
+    // Root zone: self NS + org delegation with glue.
+    auto root_zone = make_zone(".", contact);
+    const DnsName root_ns_a = DnsName::must_parse("a.root-servers.cdnet");
+    const DnsName root_ns_b = DnsName::must_parse("b.root-servers.cdnet");
+    root_zone->add(cd::dns::make_ns(DnsName(), root_ns_a));
+    root_zone->add(cd::dns::make_ns(DnsName(), root_ns_b));
+    root_zone->add(cd::dns::make_a(root_ns_a, root_a4));
+    root_zone->add(cd::dns::make_aaaa(root_ns_a, root_a6));
+    root_zone->add(cd::dns::make_a(root_ns_b, root_b4));
+    root_zone->add(cd::dns::make_aaaa(root_ns_b, root_b6));
+    const DnsName org_ns = DnsName::must_parse("ns1.org-servers.cdnet");
+    root_zone->add(cd::dns::make_ns(DnsName::must_parse("org"), org_ns));
+    root_zone->add(cd::dns::make_a(org_ns, org4));
+    root_zone->add(cd::dns::make_aaaa(org_ns, org6));
+
+    // org zone: delegation to the experiment zone.
+    auto org_zone = make_zone("org", contact);
+    const DnsName ns1_name = DnsName::must_parse("ns1." + base);
+    org_zone->add(cd::dns::make_ns(DnsName::must_parse(base), ns1_name));
+    org_zone->add(cd::dns::make_a(ns1_name, ns1_4));
+    org_zone->add(cd::dns::make_aaaa(ns1_name, ns1_6));
+
+    // Experiment base zone. The tcp.<base> names are *not* delegated: ns1
+    // itself answers them, truncating UDP to force DNS-over-TCP.
+    auto base_zone = make_zone(base, contact);
+    base_zone->add(cd::dns::make_ns(DnsName::must_parse(base), ns1_name));
+    base_zone->add(cd::dns::make_a(ns1_name, ns1_4));
+    base_zone->add(cd::dns::make_aaaa(ns1_name, ns1_6));
+    // The project web host named by the SOA MNAME (opt-out info).
+    base_zone->add(cd::dns::make_a(DnsName::must_parse("www." + base), ns1_4));
+    const DnsName nsv4_name = DnsName::must_parse("nsv4." + base);
+    const DnsName nsv6_name = DnsName::must_parse("nsv6." + base);
+    base_zone->add(
+        cd::dns::make_ns(DnsName::must_parse("v4." + base), nsv4_name));
+    base_zone->add(cd::dns::make_a(nsv4_name, nsv4));  // v4-only glue
+    base_zone->add(
+        cd::dns::make_ns(DnsName::must_parse("v6." + base), nsv6_name));
+    base_zone->add(cd::dns::make_aaaa(nsv6_name, nsv6));  // v6-only glue
+
+    auto v4_zone = make_zone("v4." + base, contact);
+    auto v6_zone = make_zone("v6." + base, contact);
+
+    if (spec_.wildcard_answers) {
+      // The paper's proposed improvement: synthesize answers so QNAME
+      // minimization never hits NXDOMAIN and full query names always arrive.
+      const std::string kw = spec_.keyword;
+      base_zone->add(cd::dns::make_a(
+          DnsName::must_parse("*." + kw + "." + base), ns1_4));
+      base_zone->add(cd::dns::make_a(
+          DnsName::must_parse("*." + kw + ".tcp." + base), ns1_4));
+      v4_zone->add(cd::dns::make_a(
+          DnsName::must_parse("*." + kw + ".v4." + base), nsv4));
+      v6_zone->add(cd::dns::make_a(
+          DnsName::must_parse("*." + kw + ".v6." + base), nsv4));
+    }
+
+    auto add_auth = [&](cd::sim::Host& host, AuthConfig config,
+                        std::vector<std::shared_ptr<Zone>> zones,
+                        bool experiment) {
+      auto auth = std::make_unique<AuthServer>(host, std::move(config));
+      for (auto& z : zones) auth->add_zone(std::move(z));
+      if (experiment) w_->experiment_auths.push_back(auth.get());
+      w_->auths.push_back(std::move(auth));
+    };
+
+    add_auth(root_a, {}, {root_zone}, false);
+    add_auth(root_b, {}, {root_zone}, false);
+    add_auth(org_host, {}, {org_zone}, false);
+    AuthConfig ns1_config;
+    ns1_config.truncate_suffixes.push_back(
+        DnsName::must_parse("tcp." + base));
+    add_auth(ns1, std::move(ns1_config), {base_zone}, true);
+    add_auth(ns4_host, {}, {v4_zone}, true);
+    add_auth(ns6_host, {}, {v6_zone}, true);
+
+    w_->hints.servers = {root_a4, root_a6, root_b4, root_b6};
+  }
+
+  void build_public_dns() {
+    int i = 0;
+    for (const PublicDnsSpec& svc : kPublicDns) {
+      const Asn asn = kPublicDnsAsnBase + static_cast<Asn>(i++);
+      w_->topology.add_as(asn, FilterPolicy{.osav = true, .dsav = true,
+                                            .drop_inbound_martians = true});
+      w_->topology.announce(asn, Prefix::must_parse(svc.v4_prefix));
+      w_->topology.announce(asn, Prefix::must_parse(svc.v6_prefix));
+      w_->geo.add(Prefix::must_parse(svc.v4_prefix), "United States");
+      w_->geo.add(Prefix::must_parse(svc.v6_prefix), "United States");
+
+      const IpAddr v4 = IpAddr::must_parse(svc.v4);
+      const IpAddr v6 = IpAddr::must_parse(svc.v6);
+      auto& host = add_host(asn, cd::sim::os_profile(OsId::kUbuntu1904),
+                            {v4, v6}, svc.name);
+      ResolverConfig config;
+      config.open = true;
+      auto alloc = cd::resolver::make_default_allocator(
+          DnsSoftware::kUnbound190, host.os(), rng_.split(svc.name));
+      w_->resolvers.push_back(std::make_unique<RecursiveResolver>(
+          host, std::move(config), w_->hints, std::move(alloc),
+          rng_.split(std::string("pubres") + svc.name)));
+      w_->public_dns_addrs.push_back(v4);
+      w_->public_dns_addrs.push_back(v6);
+    }
+  }
+
+  void build_vantage() {
+    // The measurement network: crucially, no OSAV (paper §3.4).
+    w_->topology.add_as(kVantageAsn, FilterPolicy{});
+    w_->topology.announce(kVantageAsn, Prefix::must_parse("203.98.0.0/16"));
+    w_->topology.announce(kVantageAsn, Prefix::must_parse("2620:5f::/32"));
+    w_->geo.add(Prefix::must_parse("203.98.0.0/16"), "United States");
+    w_->geo.add(Prefix::must_parse("2620:5f::/32"), "United States");
+    w_->vantage =
+        &add_host(kVantageAsn, cd::sim::os_profile(OsId::kUbuntu1904),
+                  {IpAddr::must_parse("203.98.0.10"),
+                   IpAddr::must_parse("2620:5f::10")},
+                  "vantage");
+  }
+
+  // --- edge ASes with resolver fleets ------------------------------------------
+
+  struct BandChoice {
+    int band = 5;
+    DnsSoftware software = DnsSoftware::kBind952To988;
+    OsId os = OsId::kEmbeddedCpe;
+    bool fp_visible = false;
+    double open_p = 0.066;
+    std::optional<std::uint16_t> fixed_port;  // zero band: the pinned port
+  };
+
+  BandChoice choose_band(cd::Rng& rng) {
+    const BandMix& mix = spec_.band_mix;
+    const double weights[6] = {mix.zero, mix.low,   mix.windows,
+                               mix.freebsd, mix.linux, mix.full};
+    double total = 0;
+    for (const double wgt : weights) total += wgt;
+    double roll = rng.real() * total;
+    int band = 5;
+    for (int i = 0; i < 6; ++i) {
+      if (roll < weights[i]) {
+        band = i;
+        break;
+      }
+      roll -= weights[i];
+    }
+
+    BandChoice c;
+    c.band = band;
+    switch (band) {
+      case 0: {  // zero source-port randomization
+        const double fp_roll = rng.real();
+        if (fp_roll < spec_.fp_visible_zero_baidu) {
+          c.os = OsId::kBaiduLike;
+          c.fp_visible = true;
+        } else if (fp_roll <
+                   spec_.fp_visible_zero_baidu + spec_.fp_visible_zero_windows) {
+          c.os = OsId::kWin2003;
+          c.fp_visible = true;
+        } else {
+          c.os = OsId::kEmbeddedCpe;
+        }
+        // Fixed-port mix per §5.2.1: 34% port 53 (BIND 8 defaults and
+        // `query-source port 53` configs), 12% port 32768, 3.8% 32769, the
+        // rest an arbitrary unprivileged port chosen at startup.
+        const double port_roll = rng.real();
+        if (port_roll < 0.34) {
+          c.software = DnsSoftware::kBind8;
+          c.fixed_port = 53;
+        } else if (port_roll < 0.46) {
+          c.software = DnsSoftware::kFixedMisconfig;
+          c.fixed_port = 32768;
+        } else if (port_roll < 0.498) {
+          c.software = DnsSoftware::kFixedMisconfig;
+          c.fixed_port = 32769;
+        } else {
+          c.software = c.os == OsId::kWin2003
+                           ? DnsSoftware::kWindowsDns2003
+                           : DnsSoftware::kFixedMisconfig;
+          c.fixed_port =
+              static_cast<std::uint16_t>(1024 + rng.uniform(64512));
+        }
+        c.open_p = spec_.zero_open_fraction;
+        break;
+      }
+      case 1: {  // ineffective allocation, range 1-200
+        c.software = rng.chance(0.65) ? DnsSoftware::kLegacySequential
+                                      : DnsSoftware::kLegacySmallPool;
+        if (rng.chance(spec_.fp_visible_low_windows)) {
+          c.os = OsId::kWin2008;
+          c.fp_visible = true;
+        } else {
+          c.os = OsId::kEmbeddedCpe;
+        }
+        c.open_p = spec_.low_open_fraction;
+        break;
+      }
+      case 2: {  // Windows DNS 2008 R2+
+        static constexpr OsId kWinModern[] = {OsId::kWin2008R2, OsId::kWin2012,
+                                              OsId::kWin2012R2, OsId::kWin2016,
+                                              OsId::kWin2019};
+        c.os = kWinModern[rng.uniform(5)];
+        c.software = DnsSoftware::kWindowsDns2008R2;
+        c.fp_visible = rng.chance(spec_.fp_visible_windows_band);
+        c.open_p = spec_.windows_open_fraction;
+        break;
+      }
+      case 3: {  // FreeBSD OS-default pool
+        static constexpr OsId kBsd[] = {OsId::kFreeBsd113, OsId::kFreeBsd120,
+                                        OsId::kFreeBsd121};
+        c.os = kBsd[rng.uniform(3)];
+        c.software = DnsSoftware::kBind9913To9160;
+        c.fp_visible = rng.chance(spec_.fp_visible_freebsd_band);
+        c.open_p = 0.10;
+        break;
+      }
+      case 4: {  // Linux OS-default pool
+        static constexpr OsId kLinuxModern[] = {
+            OsId::kUbuntu1604, OsId::kUbuntu1804, OsId::kUbuntu1904};
+        static constexpr OsId kLinuxOld[] = {
+            OsId::kUbuntu1004, OsId::kUbuntu1204, OsId::kUbuntu1404};
+        // A tail of old kernels keeps the loopback-v6 acceptance path alive.
+        c.os = rng.chance(0.10) ? kLinuxOld[rng.uniform(3)]
+                                : kLinuxModern[rng.uniform(3)];
+        c.software = DnsSoftware::kBind9913To9160;
+        c.fp_visible = rng.chance(spec_.fp_visible_linux_band);
+        c.open_p = 0.027;
+        break;
+      }
+      default: {  // full unprivileged range
+        static constexpr DnsSoftware kFull[] = {DnsSoftware::kBind952To988,
+                                                DnsSoftware::kUnbound190,
+                                                DnsSoftware::kPowerDns420};
+        c.software = kFull[rng.uniform(3)];
+        const double fp_roll = rng.real();
+        if (fp_roll < spec_.fp_visible_full_windows) {
+          // BIND on Windows Server: full unprivileged range (§5.3.2's noted
+          // discrepancy) with a Windows fingerprint.
+          c.os = OsId::kWin2016;
+          c.fp_visible = true;
+          c.software = DnsSoftware::kBind952To988;
+        } else if (fp_roll <
+                   spec_.fp_visible_full_windows + spec_.fp_visible_full_linux) {
+          static constexpr OsId kLin[] = {OsId::kUbuntu1604, OsId::kUbuntu1804,
+                                          OsId::kUbuntu1904};
+          c.os = kLin[rng.uniform(3)];
+          c.fp_visible = true;
+        } else {
+          const double os_roll = rng.real();
+          if (os_roll < 0.5) {
+            c.os = OsId::kEmbeddedCpe;
+          } else if (os_roll < 0.8) {
+            c.os = OsId::kUbuntu1804;
+          } else {
+            c.os = OsId::kFreeBsd121;
+          }
+          c.fp_visible = false;
+        }
+        c.open_p = 0.066;
+        break;
+      }
+    }
+    return c;
+  }
+
+  const CountryWeight& choose_country(cd::Rng& rng) {
+    double total = 0;
+    for (const CountryWeight& cw : spec_.countries) total += cw.as_share;
+    double roll = rng.real() * total;
+    for (const CountryWeight& cw : spec_.countries) {
+      if (roll < cw.as_share) return cw;
+      roll -= cw.as_share;
+    }
+    return spec_.countries.back();
+  }
+
+  void build_edge_ases() {
+    cd::Rng rng = rng_.split("edge");
+    for (int i = 0; i < spec_.n_asns; ++i) {
+      build_one_as(kEdgeAsnBase + static_cast<Asn>(i), rng);
+    }
+  }
+
+  void build_one_as(Asn asn, cd::Rng& rng) {
+    const CountryWeight& country = choose_country(rng);
+
+    FilterPolicy policy;
+    policy.dsav = rng.chance(country.dsav_rate);
+    policy.osav = rng.chance(spec_.osav_fraction);
+    policy.drop_inbound_martians =
+        rng.chance(policy.dsav ? spec_.martian_fraction_with_dsav
+                               : spec_.martian_fraction_without_dsav);
+    policy.drop_inbound_same_subnet = rng.chance(spec_.urpf_subnet_fraction);
+    w_->topology.add_as(asn, policy);
+    w_->truth_dsav[asn] = policy.dsav;
+    if (rng.chance(spec_.ids_fraction)) w_->ids_asns.insert(asn);
+
+    // Prefixes: a minority of ASes are large (/16, exercising the 97-prefix
+    // other-prefix cap); the rest announce one or two /22s.
+    std::vector<Prefix> v4_prefixes;
+    if (rng.chance(0.2)) {
+      v4_prefixes.push_back(next_v4_block16());
+    } else {
+      v4_prefixes.push_back(next_v4_block22());
+      if (rng.chance(0.3)) v4_prefixes.push_back(next_v4_block22());
+    }
+    const bool multi_country = v4_prefixes.size() > 1 && rng.chance(0.05);
+    for (std::size_t p = 0; p < v4_prefixes.size(); ++p) {
+      w_->topology.announce(asn, v4_prefixes[p]);
+      const CountryWeight& c2 =
+          (multi_country && p > 0) ? choose_country(rng) : country;
+      w_->geo.add(v4_prefixes[p], c2.country);
+    }
+
+    std::optional<Prefix> v6_prefix;
+    if (rng.chance(spec_.v6_as_fraction)) {
+      v6_prefix = next_v6_block32();
+      w_->topology.announce(asn, *v6_prefix);
+      w_->geo.add(*v6_prefix, country.country);
+    }
+
+    // Resolver fleet size: geometric with country-weighted mean.
+    const double mean =
+        std::max(1.0, spec_.resolvers_per_as_mean * country.resolver_density);
+    int n_resolvers = 1;
+    while (n_resolvers < 64 && rng.chance(1.0 - 1.0 / mean)) ++n_resolvers;
+
+    for (int j = 0; j < n_resolvers; ++j) {
+      build_one_resolver(asn, v4_prefixes, v6_prefix, j, rng);
+    }
+  }
+
+  void build_one_resolver(Asn asn, const std::vector<Prefix>& v4_prefixes,
+                          const std::optional<Prefix>& v6_prefix, int index,
+                          cd::Rng& rng) {
+    const BandChoice band = choose_band(rng);
+    const OsProfile& os = os_for(band.os, band.fp_visible);
+
+    // Addressing: spread resolvers across the AS's /24s; dual-stack where the
+    // AS has v6 space.
+    std::vector<IpAddr> addrs;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const Prefix& p = v4_prefixes[static_cast<std::size_t>(
+          rng.uniform(v4_prefixes.size()))];
+      const std::uint64_t n24 = p.count_subprefixes(24);
+      const std::uint64_t sub = rng.uniform(n24);
+      const std::uint64_t host = 10 + rng.uniform(200);
+      const IpAddr addr = p.base().offset_by((sub << 8) + host);
+      // Addresses must be unique: a collision would silently shadow an
+      // existing host in the network's delivery map.
+      if (w_->network->host_at(addr)) continue;
+      addrs.push_back(addr);
+      break;
+    }
+    if (addrs.empty()) return;  // AS address space exhausted; skip
+    bool has_v6 = false;
+    if (v6_prefix && rng.chance(spec_.dual_stack_fraction)) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::uint64_t sub64 = rng.uniform(4096);
+        const U128 base = v6_prefix->base().bits() + (U128{sub64} << 64) +
+                          U128{5 + rng.uniform(90)};
+        const IpAddr addr = IpAddr::from_bits(IpFamily::kV6, base);
+        if (w_->network->host_at(addr)) continue;
+        addrs.push_back(addr);
+        has_v6 = true;
+        break;
+      }
+    }
+
+    cd::sim::Host& host = add_host(asn, os, addrs,
+                                   "r" + std::to_string(asn) + "-" +
+                                       std::to_string(index));
+
+    // Behaviour.
+    ResolverConfig config;
+    const bool is_infra = index == 0;  // each AS's resolver 0: the upstream
+                                       // others may forward to
+    bool forwards = false;
+    if (!is_infra) {
+      const double fwd_p = has_v6 ? spec_.forward_fraction_v6 * 1.3
+                                  : spec_.forward_fraction_v4 * 1.45;
+      forwards = rng.chance(std::min(0.95, fwd_p));
+    }
+
+    const double open_p = forwards ? 0.82 : band.open_p;
+    config.open = rng.chance(open_p);
+    if (!config.open) {
+      // ACL scope.
+      const double scope = rng.real();
+      if (is_infra || scope < spec_.acl_as_wide) {
+        for (const Prefix& p : v4_prefixes) config.acl.push_back(p);
+        if (v6_prefix) config.acl.push_back(*v6_prefix);
+      } else if (scope < spec_.acl_as_wide + spec_.acl_subnet_only) {
+        config.acl.emplace_back(addrs[0], 24);
+        if (addrs.size() > 1) config.acl.emplace_back(addrs[1], 64);
+      } else {
+        // AS-wide plus a peer prefix (managed-service style).
+        for (const Prefix& p : v4_prefixes) config.acl.push_back(p);
+        if (v6_prefix) config.acl.push_back(*v6_prefix);
+      }
+      if (rng.chance(spec_.acl_allows_private)) {
+        config.acl.push_back(Prefix::must_parse("192.168.0.0/16"));
+        config.acl.push_back(Prefix::must_parse("10.0.0.0/8"));
+        config.acl.push_back(Prefix::must_parse("fc00::/7"));
+      }
+    }
+
+    if (forwards) {
+      if (rng.chance(spec_.forward_to_public_dns) || !as_infra_.count(asn)) {
+        // Public service of a family we can reach.
+        const IpAddr& up = w_->public_dns_addrs[static_cast<std::size_t>(
+            rng.uniform(w_->public_dns_addrs.size()) & ~1ULL)];  // v4 entry
+        config.forwarders.push_back(up);
+        if (has_v6) {
+          config.forwarders.push_back(
+              w_->public_dns_addrs[1]);  // a v6 service address
+        }
+      } else {
+        config.forwarders.push_back(as_infra_.at(asn));
+      }
+      // A few forwarders run forward-first failover and sometimes iterate
+      // themselves (the paper's small "both direct and forwarded" class).
+      if (rng.chance(0.05)) config.forward_ratio = 0.8;
+    }
+
+    bool qmin = false;
+    if (rng.chance(spec_.qmin_fraction)) {
+      qmin = true;
+      config.qmin = rng.chance(spec_.qmin_strict_share) ? QminMode::kStrict
+                                                        : QminMode::kRelaxed;
+    }
+
+    std::unique_ptr<cd::resolver::PortAllocator> alloc;
+    if (band.fixed_port) {
+      alloc = std::make_unique<cd::resolver::FixedPortAllocator>(
+          *band.fixed_port);
+    } else {
+      alloc = cd::resolver::make_default_allocator(
+          band.software, os, rng.split("alloc" + host.label()));
+    }
+    w_->resolvers.push_back(std::make_unique<RecursiveResolver>(
+        host, std::move(config), w_->hints, std::move(alloc),
+        rng.split("res" + host.label())));
+
+    if (is_infra) as_infra_[asn] = addrs[0];
+
+    // Capture + ground truth.
+    for (const IpAddr& addr : addrs) {
+      ResolverTruth truth;
+      truth.os = band.os;
+      truth.software = band.software;
+      truth.open = w_->resolvers.back()->config().open;
+      truth.forwards = forwards;
+      truth.qmin = qmin;
+      truth.band = band.band;
+      w_->truth_resolvers.emplace(addr, truth);
+      const double miss = addr.is_v6()
+                              ? 1.0 - (1.0 - spec_.capture_miss) *
+                                          (1.0 - spec_.capture_miss_v6)
+                              : spec_.capture_miss;
+      if (!rng.chance(miss)) {
+        w_->ditl_raw.push_back(addr);
+      }
+      if (addr.is_v6() && rng.chance(spec_.hitlist_coverage)) {
+        w_->hitlist_v6.push_back(addr);
+      }
+      build_passive_history(addr, band, rng);
+    }
+  }
+
+  /// Synthesizes the resolver's 18-months-earlier port behaviour (§5.2.2).
+  void build_passive_history(const IpAddr& addr, const BandChoice& band,
+                             cd::Rng& rng) {
+    std::vector<std::uint16_t> old_ports;
+    if (band.band == 0) {
+      // Today's fixed-port population: already-fixed / regressed /
+      // insufficient, per the paper's 51/25/24 split.
+      const double roll = rng.real();
+      if (roll < spec_.passive_already_fixed) {
+        old_ports.assign(12, band.fixed_port.value_or(53));
+      } else if (roll < spec_.passive_already_fixed + spec_.passive_regressed) {
+        for (int i = 0; i < 12; ++i) {
+          old_ports.push_back(
+              static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+        }
+      } else {
+        // Insufficient: a few scattered queries that satisfy neither of the
+        // paper's comparability conditions (or nothing at all).
+        if (rng.chance(0.5)) {
+          for (int i = 0; i < 3; ++i) {
+            old_ports.push_back(
+                static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+          }
+        }
+      }
+    } else {
+      // Everyone else: ordinary randomized history when captured at all.
+      if (rng.chance(0.76)) {
+        for (int i = 0; i < 12; ++i) {
+          old_ports.push_back(
+              static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+        }
+      }
+    }
+    if (!old_ports.empty()) w_->passive_capture.emplace(addr, std::move(old_ports));
+  }
+
+  // --- DITL noise ---------------------------------------------------------------
+
+  void build_noise() {
+    cd::Rng rng = rng_.split("noise");
+    const std::size_t live = w_->ditl_raw.size();
+    const auto as_count =
+        static_cast<std::uint64_t>(std::max(1, spec_.n_asns));
+
+    const auto n_stale =
+        static_cast<std::size_t>(static_cast<double>(live) * spec_.stale_per_live);
+    std::size_t produced = 0;
+    for (std::size_t attempt = 0; produced < n_stale && attempt < n_stale * 4;
+         ++attempt) {
+      // A once-active resolver address inside some edge AS, now dark.
+      const Asn asn = kEdgeAsnBase + static_cast<Asn>(rng.uniform(as_count));
+      const auto& prefixes =
+          w_->topology.prefixes_of(asn, rng.chance(1.0 - spec_.stale_v6_share)
+                                   ? IpFamily::kV4
+                                   : IpFamily::kV6);
+      if (prefixes.empty()) continue;  // AS without v6; redraw
+      const Prefix& p = prefixes[static_cast<std::size_t>(
+          rng.uniform(prefixes.size()))];
+      IpAddr addr;
+      if (p.family() == IpFamily::kV4) {
+        addr = p.base().offset_by(
+            (rng.uniform(p.count_subprefixes(24)) << 8) + 10 +
+            rng.uniform(200));
+      } else {
+        addr = IpAddr::from_bits(
+            IpFamily::kV6, p.base().bits() + (U128{rng.uniform(4096)} << 64) +
+                               U128{5 + rng.uniform(90)});
+      }
+      if (w_->network->host_at(addr)) continue;  // accidentally live; skip
+      w_->ditl_raw.push_back(addr);
+      ++produced;
+    }
+
+    const auto n_special = static_cast<std::size_t>(
+        static_cast<double>(live) * spec_.special_per_live);
+    for (std::size_t i = 0; i < n_special; ++i) {
+      static const char* kSpecialBases[] = {"10.0.0.0/8", "192.168.0.0/16",
+                                            "172.16.0.0/12", "100.64.0.0/10"};
+      const Prefix p = Prefix::must_parse(kSpecialBases[rng.uniform(4)]);
+      w_->ditl_raw.push_back(p.base().offset_by(1 + rng.uniform(65000)));
+    }
+
+    const auto n_unrouted = static_cast<std::size_t>(
+        static_cast<double>(live) * spec_.unrouted_per_live);
+    for (std::size_t i = 0; i < n_unrouted; ++i) {
+      // 11.0.0.0/8 is deliberately never announced in this world.
+      w_->ditl_raw.push_back(
+          IpAddr::v4((11u << 24) + static_cast<std::uint32_t>(
+                                       rng.uniform(1u << 24))));
+    }
+
+    // Shuffle the capture so processing order carries no structure.
+    rng.shuffle(w_->ditl_raw);
+  }
+
+  const WorldSpec spec_;
+  cd::Rng rng_;
+  std::unique_ptr<World> w_;
+  std::uint32_t v4_block_ = 0;
+  Prefix v4_sub_parent_;
+  int v4_sub_count_ = 0;
+  std::uint32_t v6_block_ = 1;
+  std::unordered_map<Asn, IpAddr> as_infra_;
+};
+
+}  // namespace
+
+std::vector<CountryWeight> WorldSpec::default_countries() {
+  // AS shares follow Table 1's totals; DSAV deployment rates are shaped so
+  // that "reachable AS" percentages land near the paper's column (roughly
+  // reachable ~ (1 - dsav) * 0.9). Algeria and Morocco are small and dense
+  // with low filtering, reproducing Table 2's top rows.
+  return {
+      {"United States", 0.310, 0.69, 1.0},
+      {"Brazil", 0.120, 0.35, 1.0},
+      {"Russia", 0.092, 0.35, 1.2},
+      {"Germany", 0.046, 0.60, 1.0},
+      {"United Kingdom", 0.042, 0.63, 1.0},
+      {"Poland", 0.038, 0.42, 1.0},
+      {"Ukraine", 0.032, 0.30, 1.2},
+      {"India", 0.029, 0.54, 1.3},
+      {"Australia", 0.029, 0.64, 1.0},
+      {"Canada", 0.028, 0.60, 1.0},
+      {"Algeria", 0.0008, 0.55, 6.0},
+      {"Morocco", 0.0012, 0.52, 5.0},
+      {"Eswatini", 0.0004, 0.20, 1.5},
+      {"Belize", 0.0015, 0.58, 1.2},
+      {"Other", 0.230, 0.48, 1.0},
+  };
+}
+
+WorldSpec small_world_spec() {
+  WorldSpec spec;
+  spec.n_asns = 30;
+  spec.resolvers_per_as_mean = 3.0;
+  spec.stale_per_live = 1.0;
+  spec.special_per_live = 0.2;
+  spec.unrouted_per_live = 0.1;
+  spec.qmin_fraction = 0.02;  // enough instances to exercise the code path
+  spec.ids_fraction = 0.1;
+  return spec;
+}
+
+WorldSpec bench_world_spec() {
+  WorldSpec spec;
+  spec.n_asns = 600;
+  spec.resolvers_per_as_mean = 5.0;
+  // Scaled up from the paper's 0.16% so the small fleet still contains a
+  // measurable QNAME-minimizing population (documented deviation).
+  spec.qmin_fraction = 0.005;
+  // Oversample the rare port-behaviour bands so the zero and 1-200 rows of
+  // Table 4 are statistically visible at this scale (documented deviation;
+  // the paper's proportions are restored in the printed comparison).
+  spec.band_mix.zero = 0.030;
+  spec.band_mix.low = 0.012;
+  return spec;
+}
+
+std::unique_ptr<World> generate_world(const WorldSpec& spec) {
+  return WorldBuilder(spec).build();
+}
+
+}  // namespace cd::ditl

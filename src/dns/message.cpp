@@ -1,0 +1,336 @@
+#include "dns/message.h"
+
+#include "util/error.h"
+
+namespace cd::dns {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t& off) {
+  if (off + 2 > d.size()) throw ParseError("DnsMessage: truncated u16");
+  const std::uint16_t v = static_cast<std::uint16_t>((d[off] << 8) | d[off + 1]);
+  off += 2;
+  return v;
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t& off) {
+  const std::uint32_t hi = get_u16(d, off);
+  const std::uint32_t lo = get_u16(d, off);
+  return (hi << 16) | lo;
+}
+
+void encode_rdata(const DnsRr& rr, std::vector<std::uint8_t>& out,
+                  NameCompressor* comp) {
+  // Reserve the RDLENGTH slot, then backfill after encoding.
+  const std::size_t len_pos = out.size();
+  put_u16(out, 0);
+  const std::size_t start = out.size();
+
+  std::visit(
+      [&](const auto& rd) {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          CD_ENSURE(rd.addr.is_v4(), "A rdata must be IPv4");
+          const auto b = rd.addr.to_bytes();
+          out.insert(out.end(), b.begin(), b.end());
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          CD_ENSURE(rd.addr.is_v6(), "AAAA rdata must be IPv6");
+          const auto b = rd.addr.to_bytes();
+          out.insert(out.end(), b.begin(), b.end());
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          encode_name(rd.nsdname, out, comp);
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          encode_name(rd.target, out, comp);
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          encode_name(rd.target, out, comp);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          // Character-strings of <= 255 bytes each.
+          std::size_t pos = 0;
+          while (pos < rd.text.size() || pos == 0) {
+            const std::size_t chunk = std::min<std::size_t>(
+                255, rd.text.size() - pos);
+            out.push_back(static_cast<std::uint8_t>(chunk));
+            out.insert(out.end(), rd.text.begin() + static_cast<std::ptrdiff_t>(pos),
+                       rd.text.begin() + static_cast<std::ptrdiff_t>(pos + chunk));
+            pos += chunk;
+            if (pos >= rd.text.size()) break;
+          }
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          encode_name(rd.mname, out, comp);
+          encode_name(rd.rname, out, comp);
+          put_u32(out, rd.serial);
+          put_u32(out, rd.refresh);
+          put_u32(out, rd.retry);
+          put_u32(out, rd.expire);
+          put_u32(out, rd.minimum);
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          out.insert(out.end(), rd.bytes.begin(), rd.bytes.end());
+        }
+      },
+      rr.rdata);
+
+  const std::size_t rdlen = out.size() - start;
+  CD_ENSURE(rdlen <= 0xFFFF, "rdata too long");
+  out[len_pos] = static_cast<std::uint8_t>(rdlen >> 8);
+  out[len_pos + 1] = static_cast<std::uint8_t>(rdlen);
+}
+
+Rdata decode_rdata(RrType type, std::span<const std::uint8_t> msg,
+                   std::size_t off, std::size_t rdlen) {
+  const std::span<const std::uint8_t> rd = msg.subspan(off, rdlen);
+  switch (type) {
+    case RrType::kA: {
+      if (rdlen != 4) throw ParseError("bad A rdlength");
+      return ARdata{cd::net::IpAddr::v4(
+          (static_cast<std::uint32_t>(rd[0]) << 24) |
+          (static_cast<std::uint32_t>(rd[1]) << 16) |
+          (static_cast<std::uint32_t>(rd[2]) << 8) | rd[3])};
+    }
+    case RrType::kAaaa: {
+      if (rdlen != 16) throw ParseError("bad AAAA rdlength");
+      std::uint64_t hi = 0, lo = 0;
+      for (int i = 0; i < 8; ++i) hi = (hi << 8) | rd[static_cast<std::size_t>(i)];
+      for (int i = 8; i < 16; ++i) lo = (lo << 8) | rd[static_cast<std::size_t>(i)];
+      return AaaaRdata{cd::net::IpAddr::v6(hi, lo)};
+    }
+    case RrType::kNs: {
+      std::size_t pos = off;
+      return NsRdata{decode_name(msg, pos)};
+    }
+    case RrType::kCname: {
+      std::size_t pos = off;
+      return CnameRdata{decode_name(msg, pos)};
+    }
+    case RrType::kPtr: {
+      std::size_t pos = off;
+      return PtrRdata{decode_name(msg, pos)};
+    }
+    case RrType::kTxt: {
+      std::string text;
+      std::size_t pos = 0;
+      while (pos < rdlen) {
+        const std::size_t chunk = rd[pos];
+        if (pos + 1 + chunk > rdlen) throw ParseError("bad TXT rdata");
+        text.append(reinterpret_cast<const char*>(&rd[pos + 1]), chunk);
+        pos += 1 + chunk;
+      }
+      return TxtRdata{std::move(text)};
+    }
+    case RrType::kSoa: {
+      std::size_t pos = off;
+      SoaRdata soa;
+      soa.mname = decode_name(msg, pos);
+      soa.rname = decode_name(msg, pos);
+      soa.serial = get_u32(msg, pos);
+      soa.refresh = get_u32(msg, pos);
+      soa.retry = get_u32(msg, pos);
+      soa.expire = get_u32(msg, pos);
+      soa.minimum = get_u32(msg, pos);
+      if (pos > off + rdlen) throw ParseError("bad SOA rdata");
+      return soa;
+    }
+    default:
+      return RawRdata{{rd.begin(), rd.end()}};
+  }
+}
+
+void encode_rr(const DnsRr& rr, std::vector<std::uint8_t>& out,
+               NameCompressor* comp) {
+  encode_name(rr.name, out, comp);
+  put_u16(out, static_cast<std::uint16_t>(rr.type));
+  put_u16(out, 1);  // class IN
+  put_u32(out, rr.ttl);
+  encode_rdata(rr, out, comp);
+}
+
+DnsRr decode_rr(std::span<const std::uint8_t> msg, std::size_t& off) {
+  DnsRr rr;
+  rr.name = decode_name(msg, off);
+  rr.type = static_cast<RrType>(get_u16(msg, off));
+  const std::uint16_t klass = get_u16(msg, off);
+  (void)klass;  // only IN supported; EDNS OPT reuses this field for UDP size
+  rr.ttl = get_u32(msg, off);
+  const std::uint16_t rdlen = get_u16(msg, off);
+  if (off + rdlen > msg.size()) throw ParseError("DnsMessage: truncated rdata");
+  rr.rdata = decode_rdata(rr.type, msg, off, rdlen);
+  off += rdlen;
+  return rr;
+}
+
+}  // namespace
+
+std::string rr_type_name(RrType type) {
+  switch (type) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kPtr: return "PTR";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kOpt: return "OPT";
+    case RrType::kAny: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<int>(type));
+}
+
+std::string rcode_name(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(rcode));
+}
+
+std::string DnsRr::to_string() const {
+  std::string out = name.to_string() + " " + std::to_string(ttl) + " IN " +
+                    rr_type_name(type) + " ";
+  std::visit(
+      [&](const auto& rd) {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          out += rd.addr.to_string();
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          out += rd.addr.to_string();
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          out += rd.nsdname.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          out += rd.target.to_string();
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          out += rd.target.to_string();
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          out += '"' + rd.text + '"';
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          out += rd.mname.to_string() + " " + rd.rname.to_string() + " " +
+                 std::to_string(rd.serial);
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          out += "\\# " + std::to_string(rd.bytes.size());
+        }
+      },
+      rdata);
+  return out;
+}
+
+DnsRr make_a(const DnsName& name, const cd::net::IpAddr& addr,
+             std::uint32_t ttl) {
+  return DnsRr{name, RrType::kA, ttl, ARdata{addr}};
+}
+DnsRr make_aaaa(const DnsName& name, const cd::net::IpAddr& addr,
+                std::uint32_t ttl) {
+  return DnsRr{name, RrType::kAaaa, ttl, AaaaRdata{addr}};
+}
+DnsRr make_ns(const DnsName& name, const DnsName& nsdname, std::uint32_t ttl) {
+  return DnsRr{name, RrType::kNs, ttl, NsRdata{nsdname}};
+}
+DnsRr make_soa(const DnsName& name, const SoaRdata& soa, std::uint32_t ttl) {
+  return DnsRr{name, RrType::kSoa, ttl, soa};
+}
+DnsRr make_ptr(const DnsName& name, const DnsName& target, std::uint32_t ttl) {
+  return DnsRr{name, RrType::kPtr, ttl, PtrRdata{target}};
+}
+DnsRr make_txt(const DnsName& name, std::string text, std::uint32_t ttl) {
+  return DnsRr{name, RrType::kTxt, ttl, TxtRdata{std::move(text)}};
+}
+DnsRr make_cname(const DnsName& name, const DnsName& target,
+                 std::uint32_t ttl) {
+  return DnsRr{name, RrType::kCname, ttl, CnameRdata{target}};
+}
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  std::vector<std::uint8_t> out;
+  NameCompressor comp;
+
+  put_u16(out, header.id);
+  std::uint16_t flags = 0;
+  if (header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(header.opcode) << 11;
+  if (header.aa) flags |= 0x0400;
+  if (header.tc) flags |= 0x0200;
+  if (header.rd) flags |= 0x0100;
+  if (header.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(header.rcode);
+  put_u16(out, flags);
+  put_u16(out, static_cast<std::uint16_t>(questions.size()));
+  put_u16(out, static_cast<std::uint16_t>(answers.size()));
+  put_u16(out, static_cast<std::uint16_t>(authorities.size()));
+  put_u16(out, static_cast<std::uint16_t>(additionals.size()));
+
+  for (const DnsQuestion& q : questions) {
+    encode_name(q.qname, out, &comp);
+    put_u16(out, static_cast<std::uint16_t>(q.qtype));
+    put_u16(out, 1);  // class IN
+  }
+  for (const DnsRr& rr : answers) encode_rr(rr, out, &comp);
+  for (const DnsRr& rr : authorities) encode_rr(rr, out, &comp);
+  for (const DnsRr& rr : additionals) encode_rr(rr, out, &comp);
+  return out;
+}
+
+DnsMessage DnsMessage::decode(std::span<const std::uint8_t> wire) {
+  DnsMessage m;
+  std::size_t off = 0;
+  m.header.id = get_u16(wire, off);
+  const std::uint16_t flags = get_u16(wire, off);
+  m.header.qr = flags & 0x8000;
+  m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xF);
+  m.header.aa = flags & 0x0400;
+  m.header.tc = flags & 0x0200;
+  m.header.rd = flags & 0x0100;
+  m.header.ra = flags & 0x0080;
+  m.header.rcode = static_cast<Rcode>(flags & 0xF);
+  const std::uint16_t qd = get_u16(wire, off);
+  const std::uint16_t an = get_u16(wire, off);
+  const std::uint16_t ns = get_u16(wire, off);
+  const std::uint16_t ar = get_u16(wire, off);
+
+  for (int i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    q.qname = decode_name(wire, off);
+    q.qtype = static_cast<RrType>(get_u16(wire, off));
+    get_u16(wire, off);  // class
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an; ++i) m.answers.push_back(decode_rr(wire, off));
+  for (int i = 0; i < ns; ++i) m.authorities.push_back(decode_rr(wire, off));
+  for (int i = 0; i < ar; ++i) m.additionals.push_back(decode_rr(wire, off));
+  return m;
+}
+
+const DnsName& DnsMessage::qname() const {
+  static const DnsName kRoot;
+  return questions.empty() ? kRoot : questions.front().qname;
+}
+
+DnsMessage make_query(std::uint16_t id, const DnsName& qname, RrType qtype,
+                      bool rd) {
+  DnsMessage m;
+  m.header.id = id;
+  m.header.rd = rd;
+  m.questions.push_back(DnsQuestion{qname, qtype});
+  return m;
+}
+
+DnsMessage make_response(const DnsMessage& query, Rcode rcode) {
+  DnsMessage m;
+  m.header.id = query.header.id;
+  m.header.qr = true;
+  m.header.rd = query.header.rd;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+}  // namespace cd::dns

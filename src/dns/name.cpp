@@ -1,0 +1,196 @@
+#include "dns/name.h"
+
+#include <cctype>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace cd::dns {
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 255;
+
+std::string lower(std::string_view s) {
+  return cd::to_lower(s);
+}
+
+}  // namespace
+
+DnsName::DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {
+  for (const auto& l : labels_) {
+    CD_ENSURE(!l.empty() && l.size() <= kMaxLabel, "bad DNS label");
+  }
+  CD_ENSURE(wire_length() <= kMaxName, "DNS name too long");
+}
+
+std::optional<DnsName> DnsName::parse(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  if (s == ".") return DnsName();
+  if (s.back() == '.') s.remove_suffix(1);
+  std::vector<std::string> labels = cd::split(s, '.');
+  std::size_t wire = 1;
+  for (const auto& l : labels) {
+    if (l.empty() || l.size() > kMaxLabel) return std::nullopt;
+    wire += 1 + l.size();
+  }
+  if (wire > kMaxName) return std::nullopt;
+  return DnsName(std::move(labels));
+}
+
+DnsName DnsName::must_parse(std::string_view s) {
+  const auto n = parse(s);
+  if (!n) throw ParseError("bad DNS name: " + std::string(s));
+  return *n;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& l : labels_) {
+    out += l;
+    out += '.';
+  }
+  return out;
+}
+
+DnsName DnsName::parent() const {
+  if (labels_.empty()) return DnsName();
+  return DnsName(std::vector<std::string>(labels_.begin() + 1, labels_.end()));
+}
+
+DnsName DnsName::prepend(std::string label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.push_back(std::move(label));
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return DnsName(std::move(labels));
+}
+
+bool DnsName::is_subdomain_of(const DnsName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t skip = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (!cd::iequals(labels_[skip + i], ancestor.labels_[i])) return false;
+  }
+  return true;
+}
+
+DnsName DnsName::suffix(std::size_t n) const {
+  if (n >= labels_.size()) return *this;
+  return DnsName(
+      std::vector<std::string>(labels_.end() - static_cast<std::ptrdiff_t>(n),
+                               labels_.end()));
+}
+
+std::size_t DnsName::wire_length() const {
+  std::size_t len = 1;  // root byte
+  for (const auto& l : labels_) len += 1 + l.size();
+  return len;
+}
+
+bool DnsName::operator==(const DnsName& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!cd::iequals(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool DnsName::operator<(const DnsName& other) const {
+  // Canonical DNS ordering: compare labels right to left.
+  const std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::string a = lower(labels_[labels_.size() - i]);
+    const std::string b = lower(other.labels_[other.labels_.size() - i]);
+    if (a != b) return a < b;
+  }
+  return labels_.size() < other.labels_.size();
+}
+
+std::size_t DnsNameHash::operator()(const DnsName& n) const noexcept {
+  std::size_t h = 0xCBF29CE484222325ULL;
+  for (const auto& l : n.labels()) {
+    for (char c : l) {
+      h ^= static_cast<std::size_t>(
+          std::tolower(static_cast<unsigned char>(c)));
+      h *= 0x100000001B3ULL;
+    }
+    h ^= '.';
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void encode_name(const DnsName& name, std::vector<std::uint8_t>& out,
+                 NameCompressor* comp) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (comp) {
+      // Can we point at an already-encoded suffix starting here?
+      std::string key;
+      for (std::size_t j = i; j < labels.size(); ++j) {
+        key += lower(labels[j]);
+        key += '.';
+      }
+      const auto it = comp->offsets.find(key);
+      if (it != comp->offsets.end()) {
+        out.push_back(static_cast<std::uint8_t>(0xC0 | (it->second >> 8)));
+        out.push_back(static_cast<std::uint8_t>(it->second));
+        return;
+      }
+      // Remember this suffix's offset if it is pointer-representable.
+      if (out.size() <= 0x3FFF) {
+        comp->offsets.emplace(std::move(key),
+                              static_cast<std::uint16_t>(out.size()));
+      }
+    }
+    out.push_back(static_cast<std::uint8_t>(labels[i].size()));
+    out.insert(out.end(), labels[i].begin(), labels[i].end());
+  }
+  out.push_back(0);  // root
+}
+
+DnsName decode_name(std::span<const std::uint8_t> msg, std::size_t& offset) {
+  std::vector<std::string> labels;
+  std::size_t pos = offset;
+  bool jumped = false;
+  std::size_t after_first_pointer = 0;
+  int hops = 0;
+  std::size_t total = 0;
+
+  for (;;) {
+    if (pos >= msg.size()) throw ParseError("decode_name: out of bounds");
+    const std::uint8_t len = msg[pos];
+    if ((len & 0xC0) == 0xC0) {
+      if (pos + 1 >= msg.size()) throw ParseError("decode_name: bad pointer");
+      if (++hops > 32) throw ParseError("decode_name: pointer loop");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | msg[pos + 1];
+      if (!jumped) {
+        after_first_pointer = pos + 2;
+        jumped = true;
+      }
+      if (target >= pos) throw ParseError("decode_name: forward pointer");
+      pos = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) throw ParseError("decode_name: bad label type");
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if (pos + 1 + len > msg.size()) {
+      throw ParseError("decode_name: truncated label");
+    }
+    total += 1 + len;
+    if (total > 255) throw ParseError("decode_name: name too long");
+    labels.emplace_back(reinterpret_cast<const char*>(&msg[pos + 1]), len);
+    pos += 1 + len;
+  }
+
+  offset = jumped ? after_first_pointer : pos;
+  return DnsName(std::move(labels));
+}
+
+}  // namespace cd::dns

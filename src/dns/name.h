@@ -1,0 +1,84 @@
+// DNS domain names: label sequences with RFC 1035 wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cd::dns {
+
+/// A fully-qualified DNS name as an ordered list of labels (root = empty
+/// list). Comparison and hashing are case-insensitive per RFC 1035 §2.3.3;
+/// the original case is preserved for display.
+class DnsName {
+ public:
+  /// The root name ".".
+  DnsName() = default;
+
+  explicit DnsName(std::vector<std::string> labels);
+
+  /// Parses dotted presentation form ("a.b.example.org", optional trailing
+  /// dot; "." is the root). Returns nullopt for invalid names (empty labels,
+  /// label > 63 octets, total > 255 octets).
+  [[nodiscard]] static std::optional<DnsName> parse(std::string_view s);
+  [[nodiscard]] static DnsName must_parse(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+  [[nodiscard]] bool is_root() const { return labels_.empty(); }
+
+  /// Presentation form with trailing dot ("a.example.org.", root is ".").
+  [[nodiscard]] std::string to_string() const;
+
+  /// The name with the leftmost label removed; parent of root is root.
+  [[nodiscard]] DnsName parent() const;
+
+  /// New name with `label` prepended on the left.
+  [[nodiscard]] DnsName prepend(std::string label) const;
+
+  /// True if this name equals `ancestor` or is underneath it.
+  [[nodiscard]] bool is_subdomain_of(const DnsName& ancestor) const;
+
+  /// The `n` rightmost labels as a name (n clamped to label_count()).
+  [[nodiscard]] DnsName suffix(std::size_t n) const;
+
+  /// Total wire length in octets (labels + length bytes + root byte).
+  [[nodiscard]] std::size_t wire_length() const;
+
+  bool operator==(const DnsName& other) const;
+  bool operator!=(const DnsName& other) const { return !(*this == other); }
+  /// Canonical ordering (case-insensitive, right-to-left by label).
+  bool operator<(const DnsName& other) const;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+struct DnsNameHash {
+  std::size_t operator()(const DnsName& n) const noexcept;
+};
+
+/// Compression context threaded through message encoding: maps already
+/// emitted names to their offsets so later names can point at them.
+struct NameCompressor {
+  std::unordered_map<std::string, std::uint16_t> offsets;
+};
+
+/// Appends the wire encoding of `name` to `out`, compressing against (and
+/// updating) `comp` when provided.
+void encode_name(const DnsName& name, std::vector<std::uint8_t>& out,
+                 NameCompressor* comp);
+
+/// Decodes a (possibly compressed) name at `offset` within `msg`. Advances
+/// `offset` past the name's in-place bytes. Throws cd::ParseError on
+/// malformed input, including pointer loops.
+[[nodiscard]] DnsName decode_name(std::span<const std::uint8_t> msg,
+                                  std::size_t& offset);
+
+}  // namespace cd::dns

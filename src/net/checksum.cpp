@@ -1,0 +1,31 @@
+#include "net/checksum.h"
+
+namespace cd::net {
+
+void Checksum::add(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+}
+
+void Checksum::add_word(std::uint16_t word) {
+  sum_ += word;
+}
+
+std::uint16_t Checksum::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  Checksum c;
+  c.add(data);
+  return c.finish();
+}
+
+}  // namespace cd::net

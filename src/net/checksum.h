@@ -1,0 +1,29 @@
+// Internet checksum (RFC 1071) used by IPv4/UDP/TCP headers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cd::net {
+
+/// Incremental ones'-complement sum accumulator. Fold with finish().
+class Checksum {
+ public:
+  /// Adds bytes; an odd trailing byte is padded as the high octet of a word.
+  void add(std::span<const std::uint8_t> data);
+
+  /// Adds one 16-bit word in host order.
+  void add_word(std::uint16_t word);
+
+  /// Final folded ones'-complement checksum.
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// One-shot checksum over a buffer.
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data);
+
+}  // namespace cd::net

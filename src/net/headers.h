@@ -1,0 +1,116 @@
+// Wire-format IP/UDP/TCP headers with serialization and parsing.
+//
+// These carry the fields p0f-style OS fingerprinting depends on (TTL,
+// window size, MSS, option ordering), and are exercised end-to-end by the
+// packet layer and the fingerprinting analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace cd::net {
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+/// IPv4 header (no options support; IHL always 5).
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  IpAddr src;
+  IpAddr dst;
+
+  static constexpr std::size_t kSize = 20;
+
+  /// Serializes with a correct header checksum.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses and verifies the checksum; throws cd::ParseError on bad input.
+  [[nodiscard]] static Ipv4Header parse(std::span<const std::uint8_t> data);
+};
+
+/// IPv6 fixed header (no extension headers).
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;
+  IpProto next_header = IpProto::kUdp;
+  std::uint8_t hop_limit = 64;
+  IpAddr src;
+  IpAddr dst;
+
+  static constexpr std::size_t kSize = 40;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Ipv6Header parse(std::span<const std::uint8_t> data);
+};
+
+/// UDP header; checksum computed over the pseudo-header + payload.
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static constexpr std::size_t kSize = 8;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      const IpAddr& src, const IpAddr& dst,
+      std::span<const std::uint8_t> payload) const;
+  [[nodiscard]] static UdpHeader parse(std::span<const std::uint8_t> data);
+};
+
+/// TCP option kinds relevant to OS fingerprinting.
+enum class TcpOptionKind : std::uint8_t {
+  kEol = 0,
+  kNop = 1,
+  kMss = 2,
+  kWindowScale = 3,
+  kSackPermitted = 4,
+  kTimestamp = 8,
+};
+
+struct TcpOption {
+  TcpOptionKind kind = TcpOptionKind::kNop;
+  // Meaning depends on kind: MSS value, window-scale shift, or TS value.
+  std::uint32_t value = 0;
+
+  friend bool operator==(const TcpOption&, const TcpOption&) = default;
+};
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+/// TCP header with the option list serialized in declaration order (option
+/// ordering is a fingerprinting signal, so round-tripping preserves it).
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+  std::vector<TcpOption> options;
+
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      const IpAddr& src, const IpAddr& dst,
+      std::span<const std::uint8_t> payload) const;
+  [[nodiscard]] static TcpHeader parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace cd::net

@@ -1,0 +1,262 @@
+#include "net/ip.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace cd::net {
+namespace {
+
+std::optional<std::uint32_t> parse_v4_bits(std::string_view s) {
+  const auto parts = cd::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 3) return std::nullopt;
+    const auto v = cd::parse_u64(p);
+    if (!v || *v > 255) return std::nullopt;
+    // Reject leading zeros ("01") which are ambiguous (octal in some stacks).
+    if (p.size() > 1 && p[0] == '0') return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(*v);
+  }
+  return bits;
+}
+
+std::optional<U128> parse_v6_bits(std::string_view s) {
+  // Split on "::" first (at most one occurrence allowed).
+  const std::size_t dc = s.find("::");
+  std::string_view head = s, tail;
+  bool compressed = false;
+  if (dc != std::string_view::npos) {
+    if (s.find("::", dc + 1) != std::string_view::npos) return std::nullopt;
+    compressed = true;
+    head = s.substr(0, dc);
+    tail = s.substr(dc + 2);
+  }
+
+  auto parse_groups =
+      [](std::string_view part) -> std::optional<std::vector<std::uint16_t>> {
+    std::vector<std::uint16_t> groups;
+    if (part.empty()) return groups;
+    const auto pieces = cd::split(part, ':');
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const std::string& g = pieces[i];
+      if (g.empty()) return std::nullopt;
+      if (g.find('.') != std::string::npos) {
+        // Embedded dotted-quad: only legal as the final piece.
+        if (i + 1 != pieces.size()) return std::nullopt;
+        const auto v4 = parse_v4_bits(g);
+        if (!v4) return std::nullopt;
+        groups.push_back(static_cast<std::uint16_t>(*v4 >> 16));
+        groups.push_back(static_cast<std::uint16_t>(*v4 & 0xFFFF));
+        continue;
+      }
+      if (g.size() > 4) return std::nullopt;
+      const auto v = cd::parse_hex_u64(g);
+      if (!v) return std::nullopt;
+      groups.push_back(static_cast<std::uint16_t>(*v));
+    }
+    return groups;
+  };
+
+  const auto head_groups = parse_groups(head);
+  if (!head_groups) return std::nullopt;
+  std::vector<std::uint16_t> groups = *head_groups;
+  if (compressed) {
+    const auto tail_groups = parse_groups(tail);
+    if (!tail_groups) return std::nullopt;
+    const std::size_t fill = 8 - groups.size() - tail_groups->size();
+    if (groups.size() + tail_groups->size() >= 8) return std::nullopt;
+    groups.insert(groups.end(), fill, 0);
+    groups.insert(groups.end(), tail_groups->begin(), tail_groups->end());
+  }
+  if (groups.size() != 8) return std::nullopt;
+
+  U128 bits;
+  for (int i = 0; i < 4; ++i) {
+    bits.hi = (bits.hi << 16) | groups[static_cast<std::size_t>(i)];
+  }
+  for (int i = 4; i < 8; ++i) {
+    bits.lo = (bits.lo << 16) | groups[static_cast<std::size_t>(i)];
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::optional<IpAddr> IpAddr::parse(std::string_view s) {
+  if (s.find(':') != std::string_view::npos) {
+    const auto bits = parse_v6_bits(s);
+    if (!bits) return std::nullopt;
+    return IpAddr::v6(bits->hi, bits->lo);
+  }
+  const auto bits = parse_v4_bits(s);
+  if (!bits) return std::nullopt;
+  return IpAddr::v4(*bits);
+}
+
+IpAddr IpAddr::must_parse(std::string_view s) {
+  const auto a = parse(s);
+  if (!a) throw ParseError("bad IP address: " + std::string(s));
+  return *a;
+}
+
+std::string IpAddr::to_string() const {
+  if (is_v4()) {
+    const std::uint32_t b = v4_bits();
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (b >> 24) & 0xFF,
+                  (b >> 16) & 0xFF, (b >> 8) & 0xFF, b & 0xFF);
+    return buf;
+  }
+  std::uint16_t groups[8];
+  for (int i = 0; i < 4; ++i) {
+    groups[i] = static_cast<std::uint16_t>(bits_.hi >> (48 - 16 * i));
+    groups[4 + i] = static_cast<std::uint16_t>(bits_.lo >> (48 - 16 * i));
+  }
+  // RFC 5952: compress the longest run (>= 2) of zero groups; first on tie.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> IpAddr::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  if (is_v4()) {
+    const std::uint32_t b = v4_bits();
+    out = {static_cast<std::uint8_t>(b >> 24), static_cast<std::uint8_t>(b >> 16),
+           static_cast<std::uint8_t>(b >> 8), static_cast<std::uint8_t>(b)};
+  } else {
+    out.reserve(16);
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(bits_.hi >> (8 * i)));
+    }
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(bits_.lo >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+IpAddr IpAddr::offset_by(std::uint64_t offset) const {
+  if (is_v4()) {
+    return IpAddr::v4(v4_bits() + static_cast<std::uint32_t>(offset));
+  }
+  const U128 sum = bits_ + U128{offset};
+  return IpAddr::v6(sum.hi, sum.lo);
+}
+
+Prefix::Prefix(IpAddr base, int length) : length_(length) {
+  CD_ENSURE(length >= 0 && length <= base.width(), "bad prefix length");
+  const int shift = base.width() - length;
+  U128 masked = base.bits();
+  if (shift > 0) {
+    masked = (masked >> shift) << shift;
+  }
+  base_ = IpAddr::from_bits(base.family(), masked);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view s) {
+  const std::size_t slash = s.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IpAddr::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len = cd::parse_u64(s.substr(slash + 1));
+  if (!len || static_cast<int>(*len) > addr->width()) return std::nullopt;
+  return Prefix(*addr, static_cast<int>(*len));
+}
+
+Prefix Prefix::must_parse(std::string_view s) {
+  const auto p = parse(s);
+  if (!p) throw ParseError("bad prefix: " + std::string(s));
+  return *p;
+}
+
+bool Prefix::contains(const IpAddr& addr) const {
+  if (addr.family() != base_.family()) return false;
+  const int shift = base_.width() - length_;
+  if (shift >= base_.width()) return true;  // /0 contains everything
+  return (addr.bits() >> shift) == (base_.bits() >> shift);
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length() >= length_ && contains(other.base());
+}
+
+IpAddr Prefix::last() const {
+  const int shift = base_.width() - length_;
+  U128 host_mask{};
+  if (shift > 0) host_mask = ~((U128{~0ULL, ~0ULL} >> shift) << shift);
+  if (shift >= 128) host_mask = U128{~0ULL, ~0ULL};
+  U128 bits = base_.bits() | host_mask;
+  if (base_.is_v4()) bits.lo &= 0xFFFFFFFFULL;
+  return IpAddr::from_bits(base_.family(), bits);
+}
+
+IpAddr Prefix::nth(std::uint64_t index) const {
+  return base_.offset_by(index);
+}
+
+std::uint64_t Prefix::size_clamped() const {
+  const int host_bits = base_.width() - length_;
+  if (host_bits >= 64) return UINT64_MAX;
+  return 1ULL << host_bits;
+}
+
+std::vector<Prefix> Prefix::subdivide(int sublen, std::size_t max_out) const {
+  CD_ENSURE(sublen >= length_ && sublen <= base_.width(),
+            "subdivide: bad sublen");
+  std::vector<Prefix> out;
+  const int host_bits_per_sub = base_.width() - sublen;
+  const std::uint64_t count = count_subprefixes(sublen);
+  const std::uint64_t n = std::min<std::uint64_t>(count, max_out);
+  U128 step = U128{1} << host_bits_per_sub;
+  U128 cur = base_.bits();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.emplace_back(IpAddr::from_bits(base_.family(), cur), sublen);
+    cur = cur + step;
+  }
+  return out;
+}
+
+std::uint64_t Prefix::count_subprefixes(int sublen) const {
+  const int diff = sublen - length_;
+  if (diff < 0) return 0;
+  if (diff >= 64) return UINT64_MAX;
+  return 1ULL << diff;
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace cd::net

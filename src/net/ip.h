@@ -1,0 +1,146 @@
+// IP address and prefix types (IPv4 and IPv6 unified).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/u128.h"
+
+namespace cd::net {
+
+enum class IpFamily : std::uint8_t { kV4, kV6 };
+
+/// An IPv4 or IPv6 address. IPv4 addresses are stored in the low 32 bits of
+/// the 128-bit value, with the family tag kept separately (an IPv4 address is
+/// never equal to its v4-mapped IPv6 form).
+class IpAddr {
+ public:
+  /// Default-constructs IPv4 0.0.0.0.
+  constexpr IpAddr() = default;
+
+  [[nodiscard]] static constexpr IpAddr v4(std::uint32_t bits) {
+    return IpAddr(IpFamily::kV4, U128{0, bits});
+  }
+  [[nodiscard]] static constexpr IpAddr v4(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return v4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+  [[nodiscard]] static constexpr IpAddr v6(std::uint64_t hi, std::uint64_t lo) {
+    return IpAddr(IpFamily::kV6, U128{hi, lo});
+  }
+  [[nodiscard]] static constexpr IpAddr from_bits(IpFamily fam, U128 bits) {
+    return IpAddr(fam, bits);
+  }
+
+  /// Parses dotted-quad IPv4 or RFC 4291 IPv6 (including "::" compression and
+  /// trailing dotted-quad). Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<IpAddr> parse(std::string_view s);
+
+  /// Like parse() but throws cd::ParseError; for literals known to be valid.
+  [[nodiscard]] static IpAddr must_parse(std::string_view s);
+
+  [[nodiscard]] constexpr IpFamily family() const { return family_; }
+  [[nodiscard]] constexpr bool is_v4() const {
+    return family_ == IpFamily::kV4;
+  }
+  [[nodiscard]] constexpr bool is_v6() const {
+    return family_ == IpFamily::kV6;
+  }
+  [[nodiscard]] constexpr U128 bits() const { return bits_; }
+  [[nodiscard]] constexpr std::uint32_t v4_bits() const {
+    return static_cast<std::uint32_t>(bits_.lo);
+  }
+  /// Address width in bits: 32 or 128.
+  [[nodiscard]] constexpr int width() const { return is_v4() ? 32 : 128; }
+
+  /// Canonical text form. IPv6 uses lowercase hex with longest-run "::"
+  /// compression per RFC 5952.
+  [[nodiscard]] std::string to_string() const;
+
+  /// 16-byte (v6) or 4-byte (v4) network-order representation.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// Address at `offset` above this one (wraps within family width).
+  [[nodiscard]] IpAddr offset_by(std::uint64_t offset) const;
+
+  friend constexpr bool operator==(const IpAddr&, const IpAddr&) = default;
+  friend constexpr bool operator<(const IpAddr& a, const IpAddr& b) {
+    if (a.family_ != b.family_) return a.family_ < b.family_;
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  constexpr IpAddr(IpFamily fam, U128 bits) : family_(fam), bits_(bits) {}
+
+  IpFamily family_ = IpFamily::kV4;
+  U128 bits_{};
+};
+
+struct IpAddrHash {
+  std::size_t operator()(const IpAddr& a) const noexcept {
+    return U128Hash{}(a.bits()) ^ (a.is_v6() ? 0x9E3779B9u : 0u);
+  }
+};
+
+/// A CIDR prefix: base address (host bits zeroed) plus prefix length.
+class Prefix {
+ public:
+  Prefix() = default;
+
+  /// Constructs with host bits masked off. Throws on invalid length.
+  Prefix(IpAddr base, int length);
+
+  /// Parses "a.b.c.d/len" or "v6::/len". Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view s);
+  [[nodiscard]] static Prefix must_parse(std::string_view s);
+
+  [[nodiscard]] IpAddr base() const { return base_; }
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] IpFamily family() const { return base_.family(); }
+
+  [[nodiscard]] bool contains(const IpAddr& addr) const;
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  /// First and last addresses covered.
+  [[nodiscard]] IpAddr first() const { return base_; }
+  [[nodiscard]] IpAddr last() const;
+
+  /// The `index`-th address in the prefix (index 0 == base). Caller must keep
+  /// index within the prefix size.
+  [[nodiscard]] IpAddr nth(std::uint64_t index) const;
+
+  /// Number of addresses, saturating at UINT64_MAX for huge v6 prefixes.
+  [[nodiscard]] std::uint64_t size_clamped() const;
+
+  /// Splits into subprefixes of `sublen` (>= length()). Capped at `max_out`
+  /// results to keep huge prefixes tractable; returns them in address order.
+  [[nodiscard]] std::vector<Prefix> subdivide(int sublen,
+                                              std::size_t max_out) const;
+
+  /// Number of /sublen subprefixes, saturating at UINT64_MAX.
+  [[nodiscard]] std::uint64_t count_subprefixes(int sublen) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+  friend bool operator<(const Prefix& a, const Prefix& b) {
+    if (a.base_ != b.base_) return a.base_ < b.base_;
+    return a.length_ < b.length_;
+  }
+
+ private:
+  IpAddr base_{};
+  int length_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    return IpAddrHash{}(p.base()) * 31 + static_cast<std::size_t>(p.length());
+  }
+};
+
+}  // namespace cd::net

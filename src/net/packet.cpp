@@ -1,0 +1,133 @@
+#include "net/packet.h"
+
+#include "util/error.h"
+
+namespace cd::net {
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  CD_ENSURE(src.family() == dst.family(), "Packet: mixed address families");
+
+  std::vector<std::uint8_t> l4;
+  if (proto == IpProto::kUdp) {
+    UdpHeader udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    l4 = udp.serialize(src, dst, payload);
+  } else {
+    TcpHeader tcp;
+    tcp.src_port = src_port;
+    tcp.dst_port = dst_port;
+    tcp.seq = tcp_seq;
+    tcp.ack = tcp_ack;
+    tcp.flags = tcp_flags;
+    tcp.window = tcp_window;
+    tcp.options = tcp_options;
+    l4 = tcp.serialize(src, dst, payload);
+  }
+
+  std::vector<std::uint8_t> out;
+  if (is_v4()) {
+    Ipv4Header ip;
+    ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + l4.size());
+    ip.ttl = ttl;
+    ip.protocol = proto;
+    ip.src = src;
+    ip.dst = dst;
+    out = ip.serialize();
+  } else {
+    Ipv6Header ip;
+    ip.payload_length = static_cast<std::uint16_t>(l4.size());
+    ip.next_header = proto;
+    ip.hop_limit = ttl;
+    ip.src = src;
+    ip.dst = dst;
+    out = ip.serialize();
+  }
+  out.insert(out.end(), l4.begin(), l4.end());
+  return out;
+}
+
+Packet Packet::parse(std::span<const std::uint8_t> wire) {
+  if (wire.empty()) throw ParseError("Packet: empty buffer");
+  Packet p;
+  std::span<const std::uint8_t> l4;
+  const int version = wire[0] >> 4;
+  if (version == 4) {
+    const Ipv4Header ip = Ipv4Header::parse(wire);
+    if (ip.total_length > wire.size()) {
+      throw ParseError("Packet: truncated v4 datagram");
+    }
+    p.src = ip.src;
+    p.dst = ip.dst;
+    p.proto = ip.protocol;
+    p.ttl = ip.ttl;
+    l4 = wire.subspan(Ipv4Header::kSize, ip.total_length - Ipv4Header::kSize);
+  } else if (version == 6) {
+    const Ipv6Header ip = Ipv6Header::parse(wire);
+    if (Ipv6Header::kSize + ip.payload_length > wire.size()) {
+      throw ParseError("Packet: truncated v6 datagram");
+    }
+    p.src = ip.src;
+    p.dst = ip.dst;
+    p.proto = ip.next_header;
+    p.ttl = ip.hop_limit;
+    l4 = wire.subspan(Ipv6Header::kSize, ip.payload_length);
+  } else {
+    throw ParseError("Packet: unknown IP version");
+  }
+
+  if (p.proto == IpProto::kUdp) {
+    const UdpHeader udp = UdpHeader::parse(l4);
+    p.src_port = udp.src_port;
+    p.dst_port = udp.dst_port;
+    p.payload.assign(l4.begin() + UdpHeader::kSize,
+                     l4.begin() + udp.length);
+  } else if (p.proto == IpProto::kTcp) {
+    const TcpHeader tcp = TcpHeader::parse(l4);
+    p.src_port = tcp.src_port;
+    p.dst_port = tcp.dst_port;
+    p.tcp_seq = tcp.seq;
+    p.tcp_ack = tcp.ack;
+    p.tcp_flags = tcp.flags;
+    p.tcp_window = tcp.window;
+    p.tcp_options = tcp.options;
+    // Use the on-wire data offset, not tcp.size(): parsing drops unknown
+    // options, so the reconstructed size could disagree with the original.
+    const std::size_t hdr = static_cast<std::size_t>(l4[12] >> 4) * 4;
+    p.payload.assign(l4.begin() + static_cast<std::ptrdiff_t>(hdr), l4.end());
+  } else {
+    throw ParseError("Packet: unsupported protocol");
+  }
+  return p;
+}
+
+Packet make_udp(const IpAddr& src, std::uint16_t src_port, const IpAddr& dst,
+                std::uint16_t dst_port, std::vector<std::uint8_t> payload,
+                std::uint8_t ttl) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::kUdp;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.ttl = ttl;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet make_tcp(const IpAddr& src, std::uint16_t src_port, const IpAddr& dst,
+                std::uint16_t dst_port, TcpFlags flags,
+                std::vector<std::uint8_t> payload, std::uint8_t ttl) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::kTcp;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.tcp_flags = flags;
+  p.ttl = ttl;
+  p.payload = std::move(payload);
+  return p;
+}
+
+}  // namespace cd::net

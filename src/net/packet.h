@@ -1,0 +1,59 @@
+// Structured packets carried by the simulator, with real wire encoding.
+//
+// The simulator moves `Packet` values between hosts; `serialize()`/`parse()`
+// produce and consume genuine IPv4/IPv6+UDP/TCP wire bytes so that header
+// behaviour (checksums, TTL decrement, fingerprint fields) is real and not
+// just pretend metadata.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/ip.h"
+
+namespace cd::net {
+
+/// One IP datagram/segment. For TCP, `tcp` holds flags/seq/window/options;
+/// for UDP those fields are ignored.
+struct Packet {
+  IpAddr src;
+  IpAddr dst;
+  IpProto proto = IpProto::kUdp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;  // hop limit for v6
+
+  // TCP-only metadata (fingerprint-relevant fields included).
+  TcpFlags tcp_flags;
+  std::uint32_t tcp_seq = 0;
+  std::uint32_t tcp_ack = 0;
+  std::uint16_t tcp_window = 0;
+  std::vector<TcpOption> tcp_options;
+
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool is_v4() const { return src.is_v4(); }
+
+  /// Full wire bytes: IP header + (UDP|TCP) header + payload.
+  /// Requires src/dst in the same family.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Inverse of serialize(); throws cd::ParseError on malformed input.
+  [[nodiscard]] static Packet parse(std::span<const std::uint8_t> wire);
+};
+
+/// Convenience constructor for a UDP datagram.
+[[nodiscard]] Packet make_udp(const IpAddr& src, std::uint16_t src_port,
+                              const IpAddr& dst, std::uint16_t dst_port,
+                              std::vector<std::uint8_t> payload,
+                              std::uint8_t ttl = 64);
+
+/// Convenience constructor for a TCP segment.
+[[nodiscard]] Packet make_tcp(const IpAddr& src, std::uint16_t src_port,
+                              const IpAddr& dst, std::uint16_t dst_port,
+                              TcpFlags flags,
+                              std::vector<std::uint8_t> payload = {},
+                              std::uint8_t ttl = 64);
+
+}  // namespace cd::net

@@ -1,0 +1,87 @@
+// Minimal unsigned 128-bit integer for IPv6 address arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cd::net {
+
+/// Unsigned 128-bit value with just enough arithmetic for address math:
+/// add/sub, shifts, bitwise ops, and comparisons. Stored big-half/low-half.
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t hi_, std::uint64_t lo_) : hi(hi_), lo(lo_) {}
+  constexpr explicit U128(std::uint64_t v) : hi(0), lo(v) {}
+
+  friend constexpr bool operator==(const U128&, const U128&) = default;
+
+  friend constexpr bool operator<(const U128& a, const U128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  friend constexpr bool operator>(const U128& a, const U128& b) { return b < a; }
+  friend constexpr bool operator<=(const U128& a, const U128& b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(const U128& a, const U128& b) {
+    return !(a < b);
+  }
+
+  friend constexpr U128 operator+(const U128& a, const U128& b) {
+    U128 r;
+    r.lo = a.lo + b.lo;
+    r.hi = a.hi + b.hi + (r.lo < a.lo ? 1 : 0);
+    return r;
+  }
+  friend constexpr U128 operator-(const U128& a, const U128& b) {
+    U128 r;
+    r.lo = a.lo - b.lo;
+    r.hi = a.hi - b.hi - (a.lo < b.lo ? 1 : 0);
+    return r;
+  }
+  friend constexpr U128 operator&(const U128& a, const U128& b) {
+    return {a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr U128 operator|(const U128& a, const U128& b) {
+    return {a.hi | b.hi, a.lo | b.lo};
+  }
+  friend constexpr U128 operator^(const U128& a, const U128& b) {
+    return {a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  friend constexpr U128 operator~(const U128& a) { return {~a.hi, ~a.lo}; }
+
+  friend constexpr U128 operator<<(const U128& a, int n) {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {a.lo << (n - 64), 0};
+    return {(a.hi << n) | (a.lo >> (64 - n)), a.lo << n};
+  }
+  friend constexpr U128 operator>>(const U128& a, int n) {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {0, a.hi >> (n - 64)};
+    return {a.hi >> n, (a.lo >> n) | (a.hi << (64 - n))};
+  }
+};
+
+/// A /len network mask as a U128 (high `len` bits set).
+constexpr U128 mask128(int len) {
+  if (len <= 0) return {};
+  if (len >= 128) return {~0ULL, ~0ULL};
+  return ~(U128{~0ULL, ~0ULL} >> len);
+}
+
+struct U128Hash {
+  std::size_t operator()(const U128& v) const noexcept {
+    // 64-bit mix of the two halves.
+    std::uint64_t x = v.hi * 0x9E3779B97F4A7C15ULL ^ v.lo;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace cd::net

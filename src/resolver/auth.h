@@ -1,0 +1,91 @@
+// Authoritative DNS server bound to a simulated host.
+//
+// Serves one or more zones over UDP and TCP port 53, logs every query with
+// transport metadata (including the client's TCP SYN for fingerprinting),
+// and can force TC=1 on UDP responses for names under a configured suffix —
+// the mechanism the paper uses to elicit DNS-over-TCP follow-ups.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/zone.h"
+#include "sim/host.h"
+
+namespace cd::resolver {
+
+struct AuthLogEntry {
+  cd::sim::SimTime time = 0;
+  cd::net::IpAddr client;
+  std::uint16_t client_port = 0;
+  cd::net::IpAddr server;  // which of our addresses was queried
+  cd::dns::DnsName qname;
+  cd::dns::RrType qtype = cd::dns::RrType::kA;
+  bool tcp = false;
+  /// For TCP queries, the client's SYN packet (p0f raw material).
+  std::optional<cd::net::Packet> syn;
+};
+
+struct AuthConfig {
+  /// UDP queries for names under any of these suffixes are answered with
+  /// TC=1 and no data, forcing the client to retry over TCP.
+  std::vector<cd::dns::DnsName> truncate_suffixes;
+  /// Keep at most this many log entries in memory (0 = unbounded).
+  std::size_t max_log = 0;
+};
+
+class AuthServer {
+ public:
+  using Observer = std::function<void(const AuthLogEntry&)>;
+
+  /// Binds UDP and TCP port 53 on `host`. The server must outlive the host's
+  /// bound handlers (keep both alive for the whole simulation).
+  AuthServer(cd::sim::Host& host, AuthConfig config = {});
+
+  AuthServer(const AuthServer&) = delete;
+  AuthServer& operator=(const AuthServer&) = delete;
+
+  /// Adds a zone this server is authoritative for.
+  void add_zone(std::shared_ptr<cd::dns::Zone> zone);
+
+  /// Registers an observer invoked synchronously for each logged query.
+  void add_observer(Observer observer);
+
+  [[nodiscard]] const std::deque<AuthLogEntry>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t queries_served() const { return served_; }
+
+  /// Computes the response for `query` (exposed for direct testing).
+  [[nodiscard]] cd::dns::DnsMessage answer(const cd::dns::DnsMessage& query,
+                                           bool tcp) const;
+
+ private:
+  void on_udp(const cd::net::Packet& packet);
+  [[nodiscard]] std::vector<std::uint8_t> on_tcp(
+      const cd::sim::TcpConnInfo& info, std::span<const std::uint8_t> request);
+  void record(const cd::dns::DnsMessage& query, const cd::net::IpAddr& client,
+              std::uint16_t client_port, const cd::net::IpAddr& server,
+              bool tcp, const std::optional<cd::net::Packet>& syn);
+  [[nodiscard]] const cd::dns::Zone* zone_for(
+      const cd::dns::DnsName& qname) const;
+
+  cd::sim::Host& host_;
+  AuthConfig config_;
+  std::vector<std::shared_ptr<cd::dns::Zone>> zones_;
+  std::vector<Observer> observers_;
+  std::deque<AuthLogEntry> log_;
+  std::uint64_t served_ = 0;
+};
+
+/// Frames a DNS message for TCP transport (RFC 7766 2-byte length prefix).
+[[nodiscard]] std::vector<std::uint8_t> tcp_frame(
+    const std::vector<std::uint8_t>& message);
+
+/// Strips the TCP length prefix; throws cd::ParseError on bad framing.
+[[nodiscard]] std::vector<std::uint8_t> tcp_unframe(
+    std::span<const std::uint8_t> framed);
+
+}  // namespace cd::resolver

@@ -1,0 +1,90 @@
+#include "resolver/port_alloc.h"
+
+#include "util/error.h"
+
+namespace cd::resolver {
+
+FixedPortAllocator::FixedPortAllocator(std::uint16_t port) : port_(port) {}
+
+std::string FixedPortAllocator::describe() const {
+  return "fixed:" + std::to_string(port_);
+}
+
+SmallPoolAllocator::SmallPoolAllocator(std::vector<std::uint16_t> ports,
+                                       cd::Rng rng)
+    : ports_(std::move(ports)), rng_(rng) {
+  CD_ENSURE(!ports_.empty(), "SmallPoolAllocator: empty pool");
+}
+
+std::uint16_t SmallPoolAllocator::next() {
+  return ports_[static_cast<std::size_t>(rng_.uniform(ports_.size()))];
+}
+
+std::string SmallPoolAllocator::describe() const {
+  return "small-pool:" + std::to_string(ports_.size());
+}
+
+SequentialAllocator::SequentialAllocator(std::uint16_t lo, std::uint16_t hi,
+                                         std::uint16_t start)
+    : lo_(lo), hi_(hi), current_(start) {
+  CD_ENSURE(lo <= hi, "SequentialAllocator: lo > hi");
+  CD_ENSURE(start >= lo && start <= hi, "SequentialAllocator: start outside");
+}
+
+std::uint16_t SequentialAllocator::next() {
+  const std::uint16_t port = current_;
+  current_ = (current_ == hi_) ? lo_ : static_cast<std::uint16_t>(current_ + 1);
+  return port;
+}
+
+std::string SequentialAllocator::describe() const {
+  return "sequential:[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+}
+
+UniformRangeAllocator::UniformRangeAllocator(std::uint16_t lo, std::uint16_t hi,
+                                             cd::Rng rng)
+    : lo_(lo), hi_(hi), rng_(rng) {
+  CD_ENSURE(lo <= hi, "UniformRangeAllocator: lo > hi");
+}
+
+std::uint16_t UniformRangeAllocator::next() {
+  const std::uint32_t span = static_cast<std::uint32_t>(hi_ - lo_) + 1;
+  return static_cast<std::uint16_t>(lo_ + rng_.uniform(span));
+}
+
+std::string UniformRangeAllocator::describe() const {
+  return "uniform:[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+}
+
+WindowsPoolAllocator::WindowsPoolAllocator(cd::Rng rng)
+    : start_(0), rng_(rng) {
+  // Pool position is chosen at service startup, anywhere in the IANA range.
+  const std::uint32_t span =
+      static_cast<std::uint32_t>(kIanaMax - kIanaMin) + 1;
+  start_ = static_cast<std::uint16_t>(kIanaMin + rng_.uniform(span));
+}
+
+WindowsPoolAllocator::WindowsPoolAllocator(std::uint16_t start, cd::Rng rng)
+    : start_(start), rng_(rng) {
+  CD_ENSURE(start >= kIanaMin, "WindowsPoolAllocator: start below IANA range");
+}
+
+bool WindowsPoolAllocator::wraps() const {
+  return static_cast<std::uint32_t>(start_) + kPoolSize - 1 > kIanaMax;
+}
+
+std::uint16_t WindowsPoolAllocator::next() {
+  const std::uint32_t offset = static_cast<std::uint32_t>(rng_.uniform(kPoolSize));
+  std::uint32_t port = start_ + offset;
+  if (port > kIanaMax) {
+    port = kIanaMin + (port - kIanaMax - 1);
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+std::string WindowsPoolAllocator::describe() const {
+  return "windows-pool:start=" + std::to_string(start_) +
+         (wraps() ? " (wraps)" : "");
+}
+
+}  // namespace cd::resolver

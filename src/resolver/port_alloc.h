@@ -1,0 +1,108 @@
+// Source-port allocation strategies for outgoing DNS queries.
+//
+// These model the behaviours the paper catalogues in Table 5 and §5.2:
+// modern software draws uniformly from a large pool; old or misconfigured
+// software uses a single fixed port, a tiny pool, or a sequential counter —
+// the vulnerable patterns the measurement detects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cd::resolver {
+
+/// Strategy interface: yields the UDP source port for each outgoing query.
+class PortAllocator {
+ public:
+  virtual ~PortAllocator() = default;
+  [[nodiscard]] virtual std::uint16_t next() = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Always the same port (BIND 8 / `query-source port N` misconfiguration /
+/// Windows DNS pre-2008 R2, which picks one unprivileged port at startup).
+class FixedPortAllocator final : public PortAllocator {
+ public:
+  explicit FixedPortAllocator(std::uint16_t port);
+  [[nodiscard]] std::uint16_t next() override { return port_; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint16_t port_;
+};
+
+/// Uniform over an explicit small set of ports (BIND 9.5.0: 8 ports chosen
+/// at startup).
+class SmallPoolAllocator final : public PortAllocator {
+ public:
+  SmallPoolAllocator(std::vector<std::uint16_t> ports, cd::Rng rng);
+  [[nodiscard]] std::uint16_t next() override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] const std::vector<std::uint16_t>& pool() const {
+    return ports_;
+  }
+
+ private:
+  std::vector<std::uint16_t> ports_;
+  cd::Rng rng_;
+};
+
+/// Strictly increasing counter over [lo, hi], wrapping back to lo
+/// (the §5.2.3 "ineffective allocation" pattern).
+class SequentialAllocator final : public PortAllocator {
+ public:
+  SequentialAllocator(std::uint16_t lo, std::uint16_t hi, std::uint16_t start);
+  [[nodiscard]] std::uint16_t next() override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+  std::uint16_t current_;
+};
+
+/// Uniform over a contiguous inclusive range (OS default pools and the
+/// 1024-65535 "full port range").
+class UniformRangeAllocator final : public PortAllocator {
+ public:
+  UniformRangeAllocator(std::uint16_t lo, std::uint16_t hi, cd::Rng rng);
+  [[nodiscard]] std::uint16_t next() override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::uint16_t lo() const { return lo_; }
+  [[nodiscard]] std::uint16_t hi() const { return hi_; }
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+  cd::Rng rng_;
+};
+
+/// Windows DNS 2008 R2+: a 2,500-port contiguous pool inside the IANA range
+/// [49152, 65535], positioned at startup; pools starting in the top 2,499
+/// ports wrap around to the bottom of the IANA range (§5.3.2).
+class WindowsPoolAllocator final : public PortAllocator {
+ public:
+  static constexpr std::uint16_t kIanaMin = 49152;
+  static constexpr std::uint16_t kIanaMax = 65535;
+  static constexpr std::uint32_t kPoolSize = 2500;
+
+  explicit WindowsPoolAllocator(cd::Rng rng);
+  /// Test hook: force the pool start.
+  WindowsPoolAllocator(std::uint16_t start, cd::Rng rng);
+
+  [[nodiscard]] std::uint16_t next() override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::uint16_t pool_start() const { return start_; }
+  /// True if the pool wraps past kIanaMax into the bottom of the range.
+  [[nodiscard]] bool wraps() const;
+
+ private:
+  std::uint16_t start_;
+  cd::Rng rng_;
+};
+
+}  // namespace cd::resolver

@@ -1,0 +1,134 @@
+#include "resolver/software.h"
+
+#include "util/error.h"
+
+namespace cd::resolver {
+namespace {
+
+std::vector<SoftwareProfile> build_profiles() {
+  return {
+      {DnsSoftware::kBind950, "BIND 9.5.0", QminMode::kOff},
+      {DnsSoftware::kBind952To988, "BIND 9.5.2-9.8.8", QminMode::kOff},
+      {DnsSoftware::kBind9913To9160, "BIND 9.9.13-9.16.0", QminMode::kOff},
+      {DnsSoftware::kKnot321, "Knot Resolver 3.2.1", QminMode::kStrict},
+      {DnsSoftware::kUnbound190, "Unbound 1.9.0", QminMode::kOff},
+      {DnsSoftware::kPowerDns420, "PowerDNS Recursor 4.2.0", QminMode::kOff},
+      {DnsSoftware::kWindowsDns2003, "Windows DNS 2003/2003 R2/2008",
+       QminMode::kOff},
+      {DnsSoftware::kWindowsDns2008R2, "Windows DNS 2008 R2-2019",
+       QminMode::kOff},
+      {DnsSoftware::kBind8, "BIND 8 (port 53)", QminMode::kOff},
+      {DnsSoftware::kFixedMisconfig, "fixed-port misconfiguration",
+       QminMode::kOff},
+      {DnsSoftware::kLegacySequential, "legacy sequential allocator",
+       QminMode::kOff},
+      {DnsSoftware::kLegacySmallPool, "legacy small-pool allocator",
+       QminMode::kOff},
+  };
+}
+
+}  // namespace
+
+const std::vector<SoftwareProfile>& all_software_profiles() {
+  static const std::vector<SoftwareProfile> profiles = build_profiles();
+  return profiles;
+}
+
+const SoftwareProfile& software_profile(DnsSoftware id) {
+  for (const SoftwareProfile& p : all_software_profiles()) {
+    if (p.id == id) return p;
+  }
+  throw cd::InvariantError("unknown DnsSoftware");
+}
+
+std::unique_ptr<PortAllocator> make_default_allocator(
+    DnsSoftware id, const cd::sim::OsProfile& os, cd::Rng rng) {
+  switch (id) {
+    case DnsSoftware::kBind950: {
+      // 8 unprivileged ports chosen at startup.
+      std::vector<std::uint16_t> pool;
+      for (int i = 0; i < 8; ++i) {
+        pool.push_back(static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+      }
+      return std::make_unique<SmallPoolAllocator>(std::move(pool),
+                                                  rng.split("draw"));
+    }
+    case DnsSoftware::kBind952To988:
+    case DnsSoftware::kUnbound190:
+    case DnsSoftware::kPowerDns420:
+      return std::make_unique<UniformRangeAllocator>(1024, 65535, rng);
+    case DnsSoftware::kBind9913To9160:
+    case DnsSoftware::kKnot321:
+      return std::make_unique<UniformRangeAllocator>(os.ephemeral_lo,
+                                                     os.ephemeral_hi, rng);
+    case DnsSoftware::kWindowsDns2003:
+      return std::make_unique<FixedPortAllocator>(
+          static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+    case DnsSoftware::kWindowsDns2008R2:
+      return std::make_unique<WindowsPoolAllocator>(rng);
+    case DnsSoftware::kBind8:
+      return std::make_unique<FixedPortAllocator>(53);
+    case DnsSoftware::kFixedMisconfig: {
+      // Deliberately pinned: historically port 53 or a low 32768+n value.
+      static constexpr std::uint16_t kCommon[] = {53, 32768, 32769};
+      if (rng.chance(0.5)) {
+        return std::make_unique<FixedPortAllocator>(
+            kCommon[rng.uniform(3)]);
+      }
+      return std::make_unique<FixedPortAllocator>(
+          static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+    }
+    case DnsSoftware::kLegacySequential: {
+      // Walk a span of up to ~200 ports in order, wrapping at the top.
+      const std::uint16_t lo =
+          static_cast<std::uint16_t>(1024 + rng.uniform(60000));
+      const std::uint16_t hi =
+          static_cast<std::uint16_t>(lo + 20 + rng.uniform(180));
+      const std::uint16_t start =
+          static_cast<std::uint16_t>(lo + rng.uniform(hi - lo + 1ULL));
+      return std::make_unique<SequentialAllocator>(lo, hi, start);
+    }
+    case DnsSoftware::kLegacySmallPool: {
+      // A handful of ports inside a narrow span.
+      const std::uint16_t base =
+          static_cast<std::uint16_t>(1024 + rng.uniform(60000));
+      const std::size_t n = 3 + rng.uniform(5);
+      std::vector<std::uint16_t> pool;
+      for (std::size_t i = 0; i < n; ++i) {
+        pool.push_back(static_cast<std::uint16_t>(base + rng.uniform(190)));
+      }
+      return std::make_unique<SmallPoolAllocator>(std::move(pool),
+                                                  rng.split("draw"));
+    }
+  }
+  throw cd::InvariantError("make_default_allocator: unknown DnsSoftware");
+}
+
+std::string default_pool_description(DnsSoftware id) {
+  switch (id) {
+    case DnsSoftware::kBind950:
+      return "8 ports, selected at startup";
+    case DnsSoftware::kBind952To988:
+    case DnsSoftware::kUnbound190:
+    case DnsSoftware::kPowerDns420:
+      return "1024-65535";
+    case DnsSoftware::kBind9913To9160:
+    case DnsSoftware::kKnot321:
+      return "OS defaults";
+    case DnsSoftware::kWindowsDns2003:
+      return "1 port, > 1023, selected at startup";
+    case DnsSoftware::kWindowsDns2008R2:
+      return "2,500 contiguous ports (with wrapping), selected at startup";
+    case DnsSoftware::kBind8:
+      return "port 53 only";
+    case DnsSoftware::kFixedMisconfig:
+      return "1 port (query-source misconfiguration)";
+    case DnsSoftware::kLegacySequential:
+      return "sequential walk over <=200 ports";
+    case DnsSoftware::kLegacySmallPool:
+      return "3-7 ports within a <=200-port span";
+  }
+  return "?";
+}
+
+}  // namespace cd::resolver

@@ -1,0 +1,57 @@
+// DNS software profiles: default port-pool behaviour (paper Table 5) and
+// QNAME-minimization mode, per implementation and version group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resolver/port_alloc.h"
+#include "sim/os_model.h"
+#include "util/rng.h"
+
+namespace cd::resolver {
+
+enum class DnsSoftware : std::uint8_t {
+  kBind950,           // 8 ports, selected at startup
+  kBind952To988,      // 1024-65535
+  kBind9913To9160,    // OS defaults
+  kKnot321,           // OS defaults, QNAME minimization on by default
+  kUnbound190,        // 1024-65535
+  kPowerDns420,       // 1024-65535
+  kWindowsDns2003,    // 1 port > 1023, selected at startup (also 2003 R2, 2008)
+  kWindowsDns2008R2,  // 2,500 contiguous ports w/ wrapping (2008 R2 - 2019)
+  kBind8,             // fixed port 53 (pre-8.1 default; also the classic
+                      // `query-source port 53` misconfiguration)
+  kFixedMisconfig,    // modern software pinned to one unprivileged port
+  kLegacySequential,  // embedded stacks walking a small range in order
+  kLegacySmallPool,   // embedded stacks drawing from a tiny random pool
+};
+
+/// How the implementation minimizes query names (RFC 7816).
+enum class QminMode : std::uint8_t {
+  kOff,
+  kStrict,   // NXDOMAIN while minimizing halts resolution (RFC 8020)
+  kRelaxed,  // NXDOMAIN triggers a retry with the full query name
+};
+
+struct SoftwareProfile {
+  DnsSoftware id = DnsSoftware::kBind9913To9160;
+  std::string name;
+  QminMode qmin = QminMode::kOff;
+};
+
+[[nodiscard]] const SoftwareProfile& software_profile(DnsSoftware id);
+[[nodiscard]] const std::vector<SoftwareProfile>& all_software_profiles();
+
+/// Builds the implementation's default source-port allocator as installed on
+/// `os`. `rng` seeds startup-time randomness (fixed-port choice, pool
+/// placement) and per-query draws.
+[[nodiscard]] std::unique_ptr<PortAllocator> make_default_allocator(
+    DnsSoftware id, const cd::sim::OsProfile& os, cd::Rng rng);
+
+/// Human-readable description of the default pool (Table 5 rows).
+[[nodiscard]] std::string default_pool_description(DnsSoftware id);
+
+}  // namespace cd::resolver

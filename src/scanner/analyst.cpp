@@ -1,0 +1,71 @@
+#include "scanner/analyst.h"
+
+#include "net/packet.h"
+#include "util/error.h"
+
+namespace cd::scanner {
+
+using cd::net::IpAddr;
+using cd::net::Packet;
+
+AnalystSimulator::AnalystSimulator(cd::sim::Network& network,
+                                   std::set<cd::sim::Asn> ids_asns,
+                                   IpAddr public_resolver,
+                                   AnalystConfig config, cd::Rng rng)
+    : network_(network),
+      ids_asns_(std::move(ids_asns)),
+      public_resolver_(public_resolver),
+      config_(config),
+      rng_(rng) {
+  network_.add_tap([this](const Packet& pkt, cd::sim::DropReason,
+                          cd::sim::SimTime) { maybe_replay(pkt); });
+}
+
+void AnalystSimulator::maybe_replay(const Packet& packet) {
+  if (replays_ >= config_.max_replays) return;
+  if (packet.proto != cd::net::IpProto::kUdp || packet.dst_port != 53) return;
+
+  // The IDS sits at the border: it sees the probe whether or not the border
+  // later drops it, as long as it is destined into a monitored AS.
+  const auto dst_asn = network_.topology().asn_of(packet.dst);
+  if (!dst_asn || !ids_asns_.count(*dst_asn)) return;
+  if (!rng_.chance(config_.replay_probability)) return;
+
+  cd::dns::DnsMessage query;
+  try {
+    query = cd::dns::DnsMessage::decode(packet.payload);
+  } catch (const cd::ParseError&) {
+    return;
+  }
+  if (query.header.qr || query.questions.empty()) return;
+
+  ++replays_;
+  const cd::sim::SimTime delay =
+      config_.min_delay +
+      static_cast<cd::sim::SimTime>(
+          rng_.uniform(static_cast<std::uint64_t>(
+              config_.max_delay - config_.min_delay)));
+
+  // The analyst's workstation: some address inside the logging AS, same
+  // family as the public resolver it queries.
+  const auto* as_info = network_.topology().find(*dst_asn);
+  if (!as_info) return;
+  const auto& prefixes = public_resolver_.is_v4() ? as_info->prefixes_v4
+                                                  : as_info->prefixes_v6;
+  if (prefixes.empty()) return;
+  const IpAddr workstation = prefixes.front().nth(200);
+
+  const cd::dns::DnsName qname = query.qname();
+  const cd::sim::Asn asn = *dst_asn;
+  network_.loop().schedule_in(delay, [this, qname, workstation, asn] {
+    const cd::dns::DnsMessage q = cd::dns::make_query(
+        static_cast<std::uint16_t>(rng_.u64()), qname, cd::dns::RrType::kA,
+        /*rd=*/true);
+    Packet pkt = cd::net::make_udp(
+        workstation, static_cast<std::uint16_t>(1024 + rng_.uniform(64512)),
+        public_resolver_, 53, q.encode());
+    network_.send(std::move(pkt), asn);
+  });
+}
+
+}  // namespace cd::scanner

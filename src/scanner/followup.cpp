@@ -1,0 +1,41 @@
+#include "scanner/followup.h"
+
+namespace cd::scanner {
+
+FollowupEngine::FollowupEngine(Prober& prober, Collector& collector,
+                               FollowupConfig config)
+    : prober_(prober), config_(config) {
+  collector.set_first_hit_handler(
+      [this](const TargetRecord& record, const cd::net::IpAddr& source) {
+        on_first_hit(record, source);
+      });
+}
+
+void FollowupEngine::on_first_hit(const TargetRecord& record,
+                                  const cd::net::IpAddr& source) {
+  if (!dispatched_.insert(record.target).second) return;
+  ++batteries_;
+
+  auto& loop = prober_.vantage().network().loop();
+  const TargetInfo target{record.target, record.asn};
+  const cd::net::IpAddr spoofed = source;
+
+  cd::sim::SimTime at = config_.spacing;
+  for (int i = 0; i < config_.port_samples; ++i, at += config_.spacing) {
+    loop.schedule_in(at, [this, target, spoofed] {
+      prober_.send_spoofed(target, spoofed, QueryMode::kV4Only);
+    });
+  }
+  for (int i = 0; i < config_.port_samples; ++i, at += config_.spacing) {
+    loop.schedule_in(at, [this, target, spoofed] {
+      prober_.send_spoofed(target, spoofed, QueryMode::kV6Only);
+    });
+  }
+  loop.schedule_in(at, [this, target] { prober_.send_open(target); });
+  at += config_.spacing;
+  loop.schedule_in(at, [this, target, spoofed] {
+    prober_.send_spoofed(target, spoofed, QueryMode::kTcp);
+  });
+}
+
+}  // namespace cd::scanner

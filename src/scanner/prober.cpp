@@ -1,0 +1,95 @@
+#include "scanner/prober.h"
+
+#include "dns/message.h"
+#include "net/packet.h"
+
+namespace cd::scanner {
+
+using cd::net::IpAddr;
+using cd::net::Packet;
+
+Prober::Prober(cd::sim::Host& vantage, QnameCodec codec,
+               SourceSelector& selector, ProbeConfig config, cd::Rng rng)
+    : vantage_(vantage),
+      codec_(std::move(codec)),
+      selector_(selector),
+      config_(config),
+      rng_(rng) {}
+
+void Prober::send_query(const IpAddr& src, std::uint16_t sport,
+                        const TargetInfo& target, QueryMode mode) {
+  QnameInfo info;
+  info.ts = vantage_.network().loop().now();
+  info.src = src;
+  info.dst = target.addr;
+  info.asn = target.asn;
+  info.mode = mode;
+
+  const cd::dns::DnsMessage query =
+      cd::dns::make_query(static_cast<std::uint16_t>(rng_.u64()),
+                          codec_.encode(info), cd::dns::RrType::kA,
+                          /*rd=*/true);
+
+  Packet pkt = cd::net::make_udp(src, sport, target.addr, 53, query.encode());
+  // Injected at the vantage's AS: a spoofed packet still physically leaves
+  // our network, so our border's (absent) OSAV is what matters.
+  vantage_.network().send(std::move(pkt), vantage_.asn());
+  ++sent_;
+}
+
+void Prober::send_spoofed(const TargetInfo& target, const IpAddr& spoofed,
+                          QueryMode mode) {
+  const std::uint16_t sport =
+      static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+  send_query(spoofed, sport, target, mode);
+}
+
+void Prober::send_open(const TargetInfo& target) {
+  const auto src = vantage_.address(target.addr.family());
+  if (!src) return;
+  const std::uint16_t sport =
+      static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+  send_query(*src, sport, target, QueryMode::kOpen);
+}
+
+void Prober::schedule_campaign(std::vector<TargetInfo> targets) {
+  targets_ = std::move(targets);
+  if (targets_.empty()) return;
+
+  auto& loop = vantage_.network().loop();
+  const std::size_t n = targets_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stagger target start times uniformly across the window, with jitter so
+    // equal-index targets in reruns do not collide artificially.
+    const cd::sim::SimTime start =
+        config_.start_delay +
+        static_cast<cd::sim::SimTime>(
+            static_cast<double>(config_.duration) * static_cast<double>(i) /
+            static_cast<double>(n)) +
+        static_cast<cd::sim::SimTime>(rng_.uniform(cd::sim::kSecond));
+    loop.schedule_at(start, [this, i] { probe_step(i, 0, nullptr); });
+  }
+}
+
+void Prober::probe_step(std::size_t target_idx, std::size_t source_idx,
+                        SourceListPtr sources) {
+  const TargetInfo& target = targets_[target_idx];
+  if (!sources) {
+    // Computed once per target at its first step; carried through the chain
+    // so only in-flight targets hold their lists in memory.
+    sources = std::make_shared<const std::vector<SpoofedSource>>(
+        selector_.sources_for(target.addr, target.asn));
+  }
+  if (source_idx >= sources->size()) return;
+
+  send_spoofed(target, (*sources)[source_idx].addr, QueryMode::kInitial);
+
+  if (source_idx + 1 < sources->size()) {
+    vantage_.network().loop().schedule_in(
+        config_.per_query_spacing, [this, target_idx, source_idx, sources] {
+          probe_step(target_idx, source_idx + 1, sources);
+        });
+  }
+}
+
+}  // namespace cd::scanner

@@ -1,0 +1,76 @@
+// The measurement client: sends spoofed-source DNS queries from a vantage
+// host in a network without OSAV (the paper's §3.4 requirement).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scanner/qname.h"
+#include "scanner/source_select.h"
+#include "sim/host.h"
+
+namespace cd::scanner {
+
+struct TargetInfo {
+  cd::net::IpAddr addr;
+  cd::sim::Asn asn = 0;
+
+  friend bool operator==(const TargetInfo&, const TargetInfo&) = default;
+};
+
+struct ProbeConfig {
+  /// Campaign window over which target start times are staggered.
+  cd::sim::SimTime duration = 2 * cd::sim::kHour;
+  /// Spacing between consecutive queries to the same target. The paper used
+  /// multi-hour spacing to stay polite; in simulation politeness is free, so
+  /// the default keeps per-target probes ordered without stretching the run.
+  cd::sim::SimTime per_query_spacing = 10 * cd::sim::kSecond;
+  cd::sim::SimTime start_delay = cd::sim::kSecond;
+};
+
+/// Issues the probe campaign and one-off queries. Spoofed packets are
+/// injected directly into the network (the vantage host cannot "own" the
+/// forged sources); non-spoofed queries go through the host normally.
+class Prober {
+ public:
+  Prober(cd::sim::Host& vantage, QnameCodec codec, SourceSelector& selector,
+         ProbeConfig config, cd::Rng rng);
+
+  Prober(const Prober&) = delete;
+  Prober& operator=(const Prober&) = delete;
+
+  /// Schedules spoofed reachability queries for every target, staggered over
+  /// the campaign window. Call once; then run the event loop.
+  void schedule_campaign(std::vector<TargetInfo> targets);
+
+  /// Sends one spoofed-source query to `target` immediately.
+  void send_spoofed(const TargetInfo& target, const cd::net::IpAddr& spoofed,
+                    QueryMode mode);
+
+  /// Sends one query with the vantage's real source address (the paper's
+  /// open-resolver check). No-op if the vantage lacks an address in the
+  /// target's family.
+  void send_open(const TargetInfo& target);
+
+  [[nodiscard]] std::uint64_t queries_sent() const { return sent_; }
+  [[nodiscard]] cd::sim::Host& vantage() { return vantage_; }
+  [[nodiscard]] const QnameCodec& codec() const { return codec_; }
+
+ private:
+  using SourceListPtr = std::shared_ptr<const std::vector<SpoofedSource>>;
+  void probe_step(std::size_t target_idx, std::size_t source_idx,
+                  SourceListPtr sources);
+  void send_query(const cd::net::IpAddr& src, std::uint16_t sport,
+                  const TargetInfo& target, QueryMode mode);
+
+  cd::sim::Host& vantage_;
+  QnameCodec codec_;
+  SourceSelector& selector_;
+  ProbeConfig config_;
+  cd::Rng rng_;
+  std::vector<TargetInfo> targets_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace cd::scanner

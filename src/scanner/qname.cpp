@@ -1,0 +1,168 @@
+#include "scanner/qname.h"
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace cd::scanner {
+
+using cd::dns::DnsName;
+using cd::net::IpAddr;
+
+std::string query_mode_name(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kInitial: return "initial";
+    case QueryMode::kV4Only: return "v4-only";
+    case QueryMode::kV6Only: return "v6-only";
+    case QueryMode::kTcp: return "tcp";
+    case QueryMode::kOpen: return "open";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<std::string> subzone_tag(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kV4Only: return "v4";
+    case QueryMode::kV6Only: return "v6";
+    case QueryMode::kTcp: return "tcp";
+    case QueryMode::kInitial:
+    case QueryMode::kOpen: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<QueryMode> parse_mode_label(const std::string& label) {
+  if (label.size() != 2 || label[0] != 'm') return std::nullopt;
+  switch (label[1]) {
+    case '0': return QueryMode::kInitial;
+    case '1': return QueryMode::kV4Only;
+    case '2': return QueryMode::kV6Only;
+    case '3': return QueryMode::kTcp;
+    case '4': return QueryMode::kOpen;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+QnameCodec::QnameCodec(DnsName base, std::string kw)
+    : base_(std::move(base)), kw_(cd::to_lower(kw)) {
+  CD_ENSURE(!kw_.empty(), "QnameCodec: empty keyword");
+  CD_ENSURE(kw_ != "v4" && kw_ != "v6" && kw_ != "tcp",
+            "QnameCodec: keyword collides with subzone tag");
+}
+
+DnsName QnameCodec::zone_apex(QueryMode mode) const {
+  const auto tag = subzone_tag(mode);
+  return tag ? base_.prepend(*tag) : base_;
+}
+
+std::string QnameCodec::encode_addr(const IpAddr& addr) {
+  if (addr.is_v4()) return cd::to_hex(addr.v4_bits(), 8);
+  return cd::to_hex(addr.bits().hi, 16) + cd::to_hex(addr.bits().lo, 16);
+}
+
+std::optional<IpAddr> QnameCodec::decode_addr(const std::string& label) {
+  if (label.size() == 8) {
+    const auto bits = cd::parse_hex_u64(label);
+    if (!bits) return std::nullopt;
+    return IpAddr::v4(static_cast<std::uint32_t>(*bits));
+  }
+  if (label.size() == 32) {
+    const auto hi = cd::parse_hex_u64(label.substr(0, 16));
+    const auto lo = cd::parse_hex_u64(label.substr(16));
+    if (!hi || !lo) return std::nullopt;
+    return IpAddr::v6(*hi, *lo);
+  }
+  return std::nullopt;
+}
+
+DnsName QnameCodec::encode(const QnameInfo& info) const {
+  DnsName name = zone_apex(info.mode)
+                     .prepend(kw_)
+                     .prepend("m" + std::to_string(static_cast<int>(info.mode)))
+                     .prepend(std::to_string(info.asn))
+                     .prepend(encode_addr(info.dst))
+                     .prepend(encode_addr(info.src))
+                     .prepend(std::to_string(info.ts));
+  return name;
+}
+
+QnameCodec::Decoded QnameCodec::decode(const DnsName& qname) const {
+  Decoded out;
+  if (!qname.is_subdomain_of(base_)) return out;
+
+  // Peel labels right-to-left above the base.
+  const auto& labels = qname.labels();
+  std::size_t remaining = labels.size() - base_.label_count();
+  auto peek = [&](std::size_t from_right) -> const std::string* {
+    if (from_right >= remaining) return nullptr;
+    return &labels[remaining - 1 - from_right];
+  };
+
+  std::size_t idx = 0;
+
+  // Optional subzone tag.
+  std::optional<QueryMode> zone_mode;
+  if (const std::string* l = peek(idx)) {
+    if (cd::iequals(*l, "v4")) zone_mode = QueryMode::kV4Only;
+    if (cd::iequals(*l, "v6")) zone_mode = QueryMode::kV6Only;
+    if (cd::iequals(*l, "tcp")) zone_mode = QueryMode::kTcp;
+    if (zone_mode) ++idx;
+  }
+
+  // Keyword.
+  const std::string* kw = peek(idx);
+  if (!kw || !cd::iequals(*kw, kw_)) return out;
+  out.in_experiment = true;
+  out.mode = zone_mode;
+  ++idx;
+
+  // Mode label.
+  if (const std::string* l = peek(idx)) {
+    const auto mode = parse_mode_label(*l);
+    if (!mode) return out;
+    if (zone_mode && *zone_mode != *mode) return out;  // inconsistent name
+    out.mode = mode;
+    ++idx;
+  } else {
+    return out;
+  }
+
+  // ASN.
+  if (const std::string* l = peek(idx)) {
+    const auto asn = cd::parse_u64(*l);
+    if (!asn || *asn > UINT32_MAX) return out;
+    out.asn = static_cast<cd::sim::Asn>(*asn);
+    ++idx;
+  } else {
+    return out;
+  }
+
+  // dst, then src.
+  if (const std::string* l = peek(idx)) {
+    out.dst = decode_addr(*l);
+    if (!out.dst) return out;
+    ++idx;
+  } else {
+    return out;
+  }
+  if (const std::string* l = peek(idx)) {
+    out.src = decode_addr(*l);
+    if (!out.src) return out;
+    ++idx;
+  } else {
+    return out;
+  }
+
+  // Timestamp.
+  if (const std::string* l = peek(idx)) {
+    const auto ts = cd::parse_u64(*l);
+    if (!ts) return out;
+    out.ts = static_cast<cd::sim::SimTime>(*ts);
+  }
+  return out;
+}
+
+}  // namespace cd::scanner

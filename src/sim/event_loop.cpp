@@ -1,0 +1,60 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cd::sim {
+
+EventId EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
+  return id;
+}
+
+EventId EventLoop::schedule_in(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<SimTime>(0, delay), std::move(fn));
+}
+
+void EventLoop::cancel(EventId id) {
+  cancelled_.insert(id);
+}
+
+bool EventLoop::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    const auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (pop_one()) {
+    CD_ENSURE(++n <= max_events, "EventLoop::run exceeded max_events");
+  }
+}
+
+void EventLoop::run_until(SimTime until, std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!pop_one()) break;
+    CD_ENSURE(++n <= max_events, "EventLoop::run_until exceeded max_events");
+  }
+  now_ = std::max(now_, until);
+}
+
+std::size_t EventLoop::pending() const {
+  return queue_.size() - std::min(queue_.size(), cancelled_.size());
+}
+
+}  // namespace cd::sim

@@ -1,0 +1,66 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cd::sim {
+
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete event loop. Events scheduled for the same time
+/// run in scheduling order (stable). Cancellation is O(1) amortized via a
+/// tombstone set.
+class EventLoop {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Prevent a pending event from running. Safe on already-run ids.
+  void cancel(EventId id);
+
+  /// Runs events until the queue drains. `max_events` guards against
+  /// runaway self-scheduling loops (throws InvariantError when exceeded).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= `until`; leaves later events queued and
+  /// advances now() to `until`.
+  void run_until(SimTime until, std::uint64_t max_events = UINT64_MAX);
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  bool pop_one();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace cd::sim

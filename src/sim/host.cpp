@@ -1,0 +1,216 @@
+#include "sim/host.h"
+
+#include "net/special.h"
+#include "util/error.h"
+
+namespace cd::sim {
+
+using cd::net::IpAddr;
+using cd::net::IpFamily;
+using cd::net::IpProto;
+using cd::net::Packet;
+using cd::net::TcpFlags;
+
+Host::Host(Network& network, Asn asn, const OsProfile& os,
+           std::vector<IpAddr> addresses, cd::Rng rng, std::string label)
+    : network_(network),
+      asn_(asn),
+      os_(os),
+      addresses_(std::move(addresses)),
+      rng_(rng),
+      label_(std::move(label)) {
+  CD_ENSURE(!addresses_.empty(), "Host: no addresses");
+  network_.attach(this);
+}
+
+Host::~Host() {
+  network_.detach(this);
+}
+
+bool Host::has_address(const IpAddr& addr) const {
+  for (const IpAddr& a : addresses_) {
+    if (a == addr) return true;
+  }
+  return false;
+}
+
+std::optional<IpAddr> Host::address(IpFamily family) const {
+  for (const IpAddr& a : addresses_) {
+    if (a.family() == family) return a;
+  }
+  return std::nullopt;
+}
+
+void Host::bind_udp(std::uint16_t port, UdpHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+void Host::unbind_udp(std::uint16_t port) {
+  udp_handlers_.erase(port);
+}
+
+void Host::send_udp(const IpAddr& src, std::uint16_t src_port,
+                    const IpAddr& dst, std::uint16_t dst_port,
+                    std::vector<std::uint8_t> payload) {
+  CD_ENSURE(has_address(src), "send_udp: src is not ours");
+  Packet pkt = cd::net::make_udp(src, src_port, dst, dst_port,
+                                 std::move(payload), os_.fp.initial_ttl);
+  network_.send(std::move(pkt), asn_);
+}
+
+void Host::tcp_listen(std::uint16_t port, TcpServerHandler handler) {
+  tcp_listeners_[port] = std::move(handler);
+}
+
+std::uint16_t Host::ephemeral_port() {
+  const std::uint32_t pool = os_.ephemeral_pool_size();
+  return static_cast<std::uint16_t>(os_.ephemeral_lo +
+                                    rng_.uniform(pool));
+}
+
+Packet Host::make_segment(const IpAddr& src, std::uint16_t sport,
+                          const IpAddr& dst, std::uint16_t dport,
+                          TcpFlags flags,
+                          std::vector<std::uint8_t> payload) const {
+  Packet pkt = cd::net::make_tcp(src, sport, dst, dport, flags,
+                                 std::move(payload), os_.fp.initial_ttl);
+  pkt.tcp_window = os_.fp.window;
+  if (flags.syn) {
+    pkt.tcp_options = os_.fp.syn_options;
+  }
+  return pkt;
+}
+
+void Host::tcp_connect(const IpAddr& src, const IpAddr& dst,
+                       std::uint16_t dst_port,
+                       std::vector<std::uint8_t> request,
+                       TcpResponseHandler on_response, SimTime timeout) {
+  CD_ENSURE(has_address(src), "tcp_connect: src is not ours");
+
+  std::uint16_t sport = ephemeral_port();
+  ConnKey key{dst, dst_port, sport};
+  for (int attempts = 0; connections_.count(key) && attempts < 16; ++attempts) {
+    sport = ephemeral_port();
+    key.local_port = sport;
+  }
+
+  Connection conn;
+  conn.state = ConnState::kSynSent;
+  conn.local = src;
+  conn.request = std::move(request);
+  conn.on_response = std::move(on_response);
+  conn.timeout_event = network_.loop().schedule_in(timeout, [this, key] {
+    const auto it = connections_.find(key);
+    if (it == connections_.end()) return;
+    TcpResponseHandler handler = std::move(it->second.on_response);
+    connections_.erase(it);
+    if (handler) handler(std::nullopt);
+  });
+  connections_.emplace(key, std::move(conn));
+
+  Packet syn = make_segment(src, sport, dst, dst_port, TcpFlags{.syn = true}, {});
+  syn.tcp_seq = static_cast<std::uint32_t>(rng_.u64());
+  network_.send(std::move(syn), asn_);
+}
+
+bool Host::stack_accepts(const Packet& packet) const {
+  if (!has_address(packet.dst)) return false;
+
+  const bool v4 = packet.src.is_v4();
+  if (packet.src == packet.dst) {
+    return v4 ? os_.accepts_dst_as_src_v4 : os_.accepts_dst_as_src_v6;
+  }
+  if (cd::net::is_loopback(packet.src)) {
+    return v4 ? os_.accepts_loopback_v4 : os_.accepts_loopback_v6;
+  }
+  return true;
+}
+
+void Host::deliver(const Packet& packet) {
+  if (packet.proto == IpProto::kUdp) {
+    const auto it = udp_handlers_.find(packet.dst_port);
+    if (it != udp_handlers_.end() && it->second) it->second(packet);
+    return;
+  }
+  deliver_tcp(packet);
+}
+
+void Host::deliver_tcp(const Packet& packet) {
+  const TcpFlags& f = packet.tcp_flags;
+
+  if (f.syn && !f.ack) {
+    // Inbound connection attempt.
+    const auto lit = tcp_listeners_.find(packet.dst_port);
+    if (lit == tcp_listeners_.end()) return;  // no RST modeling; just drop
+    const ConnKey key{packet.src, packet.src_port, packet.dst_port};
+    Connection conn;
+    conn.state = ConnState::kServerEstablished;
+    conn.local = packet.dst;
+    conn.info = TcpConnInfo{packet.src, packet.src_port, packet.dst,
+                            packet.dst_port, packet};
+    // Reap abandoned half-open connections after a while.
+    conn.timeout_event =
+        network_.loop().schedule_in(30 * kSecond, [this, key] {
+          connections_.erase(key);
+        });
+    connections_[key] = std::move(conn);
+
+    Packet synack = make_segment(packet.dst, packet.dst_port, packet.src,
+                                 packet.src_port, TcpFlags{.syn = true, .ack = true}, {});
+    synack.tcp_seq = static_cast<std::uint32_t>(rng_.u64());
+    synack.tcp_ack = packet.tcp_seq + 1;
+    network_.send(std::move(synack), asn_);
+    return;
+  }
+
+  if (f.syn && f.ack) {
+    // Our SYN was answered: ship the request.
+    const ConnKey key{packet.src, packet.src_port, packet.dst_port};
+    const auto it = connections_.find(key);
+    if (it == connections_.end() || it->second.state != ConnState::kSynSent) {
+      return;
+    }
+    it->second.state = ConnState::kAwaitResponse;
+    Packet data =
+        make_segment(packet.dst, packet.dst_port, packet.src, packet.src_port,
+                     TcpFlags{.ack = true, .psh = true},
+                     std::move(it->second.request));
+    data.tcp_ack = packet.tcp_seq + 1;
+    network_.send(std::move(data), asn_);
+    return;
+  }
+
+  if (f.psh && !packet.payload.empty()) {
+    const ConnKey key{packet.src, packet.src_port, packet.dst_port};
+    const auto it = connections_.find(key);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+
+    if (conn.state == ConnState::kServerEstablished) {
+      // Request arrived: serve it and send the response back.
+      const auto lit = tcp_listeners_.find(packet.dst_port);
+      if (lit == tcp_listeners_.end()) return;
+      std::vector<std::uint8_t> response =
+          lit->second(conn.info, packet.payload);
+      network_.loop().cancel(conn.timeout_event);
+      const TcpConnInfo info = conn.info;
+      connections_.erase(it);
+      Packet reply = make_segment(info.local, info.local_port, info.peer,
+                                  info.peer_port,
+                                  TcpFlags{.ack = true, .psh = true},
+                                  std::move(response));
+      network_.send(std::move(reply), asn_);
+      return;
+    }
+
+    if (conn.state == ConnState::kAwaitResponse) {
+      network_.loop().cancel(conn.timeout_event);
+      TcpResponseHandler handler = std::move(conn.on_response);
+      connections_.erase(it);
+      if (handler) handler(packet.payload);
+      return;
+    }
+  }
+}
+
+}  // namespace cd::sim

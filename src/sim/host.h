@@ -1,0 +1,131 @@
+// A simulated end host: addresses, an OS stack model, UDP services, and a
+// minimal TCP implementation (handshake + one request/response exchange) that
+// carries real fingerprintable SYN metadata.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/network.h"
+#include "sim/os_model.h"
+#include "util/rng.h"
+
+namespace cd::sim {
+
+/// Connection metadata handed to TCP server handlers; `syn` is the client's
+/// original SYN packet, preserving the fields p0f-style fingerprinting needs.
+struct TcpConnInfo {
+  cd::net::IpAddr peer;
+  std::uint16_t peer_port = 0;
+  cd::net::IpAddr local;
+  std::uint16_t local_port = 0;
+  cd::net::Packet syn;
+};
+
+class Host {
+ public:
+  using UdpHandler = std::function<void(const cd::net::Packet&)>;
+  /// Serves one request; the returned bytes are written back to the client.
+  using TcpServerHandler = std::function<std::vector<std::uint8_t>(
+      const TcpConnInfo&, std::span<const std::uint8_t>)>;
+  /// Receives the response bytes, or nullopt on connection timeout.
+  using TcpResponseHandler =
+      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+
+  /// The host registers itself with `network` and must outlive any packets
+  /// in flight toward it (in practice: the whole simulation).
+  Host(Network& network, Asn asn, const OsProfile& os,
+       std::vector<cd::net::IpAddr> addresses, cd::Rng rng,
+       std::string label = {});
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] Asn asn() const { return asn_; }
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] const OsProfile& os() const { return os_; }
+  [[nodiscard]] const std::vector<cd::net::IpAddr>& addresses() const {
+    return addresses_;
+  }
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] bool has_address(const cd::net::IpAddr& addr) const;
+  /// First configured address of `family`, if any.
+  [[nodiscard]] std::optional<cd::net::IpAddr> address(
+      cd::net::IpFamily family) const;
+
+  // --- UDP ---
+  void bind_udp(std::uint16_t port, UdpHandler handler);
+  void unbind_udp(std::uint16_t port);
+  /// `src` must be one of this host's addresses (this host does not spoof).
+  void send_udp(const cd::net::IpAddr& src, std::uint16_t src_port,
+                const cd::net::IpAddr& dst, std::uint16_t dst_port,
+                std::vector<std::uint8_t> payload);
+
+  // --- TCP (one request/response per connection) ---
+  void tcp_listen(std::uint16_t port, TcpServerHandler handler);
+  /// Opens a connection from `src` (one of this host's addresses), sends
+  /// `request` once established, and invokes `on_response` with the reply or
+  /// with nullopt after `timeout`.
+  void tcp_connect(const cd::net::IpAddr& src, const cd::net::IpAddr& dst,
+                   std::uint16_t dst_port, std::vector<std::uint8_t> request,
+                   TcpResponseHandler on_response,
+                   SimTime timeout = 5 * kSecond);
+
+  /// Kernel-level acceptance of an arriving packet, implementing the paper's
+  /// Table 6 rules for destination-as-source and loopback-source packets.
+  [[nodiscard]] bool stack_accepts(const cd::net::Packet& packet) const;
+
+  /// Entry point used by Network once a packet clears all filters.
+  void deliver(const cd::net::Packet& packet);
+
+  /// Draws an ephemeral port from the OS-designated range (used for TCP
+  /// client connections; UDP query ports are the resolver's business).
+  [[nodiscard]] std::uint16_t ephemeral_port();
+
+ private:
+  struct ConnKey {
+    cd::net::IpAddr peer;
+    std::uint16_t peer_port;
+    std::uint16_t local_port;
+    bool operator<(const ConnKey& o) const {
+      if (!(peer == o.peer)) return peer < o.peer;
+      if (peer_port != o.peer_port) return peer_port < o.peer_port;
+      return local_port < o.local_port;
+    }
+  };
+  enum class ConnState { kSynSent, kAwaitResponse, kServerEstablished };
+  struct Connection {
+    ConnState state = ConnState::kSynSent;
+    cd::net::IpAddr local;
+    std::vector<std::uint8_t> request;   // client: payload to send on SYN-ACK
+    TcpResponseHandler on_response;      // client side
+    TcpConnInfo info;                    // server side (includes SYN)
+    EventId timeout_event = 0;
+  };
+
+  void deliver_tcp(const cd::net::Packet& packet);
+  [[nodiscard]] cd::net::Packet make_segment(
+      const cd::net::IpAddr& src, std::uint16_t sport,
+      const cd::net::IpAddr& dst, std::uint16_t dport, cd::net::TcpFlags flags,
+      std::vector<std::uint8_t> payload) const;
+
+  Network& network_;
+  Asn asn_;
+  const OsProfile& os_;
+  std::vector<cd::net::IpAddr> addresses_;
+  cd::Rng rng_;
+  std::string label_;
+
+  std::map<std::uint16_t, UdpHandler> udp_handlers_;
+  std::map<std::uint16_t, TcpServerHandler> tcp_listeners_;
+  std::map<ConnKey, Connection> connections_;
+};
+
+}  // namespace cd::sim

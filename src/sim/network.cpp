@@ -1,0 +1,139 @@
+#include "sim/network.h"
+
+#include "net/special.h"
+#include "sim/host.h"
+#include "util/error.h"
+
+namespace cd::sim {
+
+using cd::net::IpAddr;
+using cd::net::Packet;
+
+std::string drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone: return "delivered";
+    case DropReason::kOsav: return "osav";
+    case DropReason::kDsav: return "dsav";
+    case DropReason::kMartian: return "martian";
+    case DropReason::kUrpfSubnet: return "urpf-subnet";
+    case DropReason::kUnrouted: return "unrouted";
+    case DropReason::kNoHost: return "no-host";
+    case DropReason::kStackRejected: return "stack-rejected";
+  }
+  return "?";
+}
+
+Network::Network(Topology& topology, EventLoop& loop, cd::Rng rng)
+    : topology_(topology), loop_(loop), rng_(rng) {}
+
+void Network::attach(Host* host) {
+  CD_ENSURE(host != nullptr, "attach: null host");
+  for (const IpAddr& addr : host->addresses()) {
+    hosts_[addr] = host;
+  }
+}
+
+void Network::detach(Host* host) {
+  for (const IpAddr& addr : host->addresses()) {
+    const auto it = hosts_.find(addr);
+    if (it != hosts_.end() && it->second == host) hosts_.erase(it);
+  }
+}
+
+Host* Network::host_at(const IpAddr& addr) const {
+  const auto it = hosts_.find(addr);
+  return it == hosts_.end() ? nullptr : it->second;
+}
+
+DropReason Network::classify(const Packet& packet, Asn origin_asn,
+                             Host** out_host) {
+  *out_host = nullptr;
+  const auto dst_asn = topology_.asn_of(packet.dst);
+  const bool crosses_border = !dst_asn || *dst_asn != origin_asn;
+
+  if (crosses_border) {
+    // Origin border, egress: BCP 38 / OSAV.
+    if (const AsInfo* origin = topology_.find(origin_asn)) {
+      if (origin->policy.osav &&
+          !topology_.is_internal(origin_asn, packet.src)) {
+        return DropReason::kOsav;
+      }
+    }
+  }
+
+  if (!dst_asn) return DropReason::kUnrouted;
+
+  if (crosses_border) {
+    // Destination border, ingress.
+    const AsInfo* dest = topology_.find(*dst_asn);
+    if (dest) {
+      if (dest->policy.dsav && topology_.is_internal(*dst_asn, packet.src)) {
+        return DropReason::kDsav;
+      }
+      if (dest->policy.drop_inbound_martians &&
+          cd::net::is_special_purpose(packet.src)) {
+        return DropReason::kMartian;
+      }
+      if (dest->policy.drop_inbound_same_subnet &&
+          packet.src.family() == packet.dst.family()) {
+        // Strict uRPF at the last hop: a subnet-local source (including the
+        // destination itself) cannot legitimately arrive from outside.
+        const int len = packet.dst.is_v4() ? 24 : 64;
+        if (cd::net::Prefix(packet.dst, len).contains(packet.src)) {
+          return DropReason::kUrpfSubnet;
+        }
+      }
+    }
+  }
+
+  Host* host = host_at(packet.dst);
+  if (!host) return DropReason::kNoHost;
+  if (!host->stack_accepts(packet)) return DropReason::kStackRejected;
+  *out_host = host;
+  return DropReason::kNone;
+}
+
+SimTime Network::latency(Asn from, Asn to) {
+  if (from == to) return kMillisecond + static_cast<SimTime>(rng_.uniform(2 * kMillisecond));
+  // Deterministic symmetric base latency per AS pair.
+  const std::uint64_t a = std::min(from, to);
+  const std::uint64_t b = std::max(from, to);
+  std::uint64_t h = (a * 0x9E3779B97F4A7C15ULL) ^ (b + 0x517CC1B727220A95ULL);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  const SimTime base = 5 * kMillisecond + static_cast<SimTime>(h % (45 * kMillisecond));
+  const SimTime jitter = static_cast<SimTime>(rng_.uniform(500));
+  return base + jitter;
+}
+
+void Network::send(Packet packet, Asn origin_asn) {
+  ++stats_.sent;
+  Host* host = nullptr;
+  const DropReason reason = classify(packet, origin_asn, &host);
+
+  for (const Tap& tap : taps_) tap(packet, reason, loop_.now());
+
+  switch (reason) {
+    case DropReason::kOsav: ++stats_.dropped_osav; return;
+    case DropReason::kDsav: ++stats_.dropped_dsav; return;
+    case DropReason::kMartian: ++stats_.dropped_martian; return;
+    case DropReason::kUrpfSubnet: ++stats_.dropped_urpf; return;
+    case DropReason::kUnrouted: ++stats_.dropped_unrouted; return;
+    case DropReason::kNoHost: ++stats_.dropped_no_host; return;
+    case DropReason::kStackRejected: ++stats_.dropped_stack; return;
+    case DropReason::kNone: break;
+  }
+
+  ++stats_.delivered;
+  const SimTime delay = latency(origin_asn, host->asn());
+  loop_.schedule_in(delay, [host, pkt = std::move(packet)] {
+    host->deliver(pkt);
+  });
+}
+
+void Network::add_tap(Tap tap) {
+  taps_.push_back(std::move(tap));
+}
+
+}  // namespace cd::sim

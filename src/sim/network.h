@@ -1,0 +1,92 @@
+// The simulated Internet: moves packets between hosts, applying border
+// filtering (OSAV at the origin AS, DSAV and martian filtering at the
+// destination AS) and host-stack acceptance rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+
+namespace cd::sim {
+
+class Host;
+
+/// Where (if anywhere) a packet was dropped.
+enum class DropReason : std::uint8_t {
+  kNone,           // delivered
+  kOsav,           // origin border: egress source validation
+  kDsav,           // destination border: spoofed-internal source
+  kMartian,        // destination border: special-purpose source
+  kUrpfSubnet,     // destination border: source inside the target's subnet
+  kUnrouted,       // no announcement covers the destination
+  kNoHost,         // routed, but nothing lives at the address
+  kStackRejected,  // host kernel refused the spoofed source
+};
+
+[[nodiscard]] std::string drop_reason_name(DropReason reason);
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_osav = 0;
+  std::uint64_t dropped_dsav = 0;
+  std::uint64_t dropped_martian = 0;
+  std::uint64_t dropped_urpf = 0;
+  std::uint64_t dropped_unrouted = 0;
+  std::uint64_t dropped_no_host = 0;
+  std::uint64_t dropped_stack = 0;
+};
+
+/// Packet transport over a Topology. Latency between AS pairs is a
+/// deterministic function of the pair plus small per-packet jitter, so runs
+/// are reproducible but not artificially synchronous.
+class Network {
+ public:
+  using Tap = std::function<void(const cd::net::Packet&, DropReason, SimTime)>;
+
+  Network(Topology& topology, EventLoop& loop, cd::Rng rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a host at all of its addresses. The host must outlive the
+  /// network (or be detached first).
+  void attach(Host* host);
+  void detach(Host* host);
+
+  /// Sends `packet` as if it physically originated inside `origin_asn`
+  /// (spoofed sources are free to disagree with reality — that is the point).
+  /// Filtering outcome is reported to taps; delivery is scheduled on the
+  /// event loop.
+  void send(cd::net::Packet packet, Asn origin_asn);
+
+  [[nodiscard]] Host* host_at(const cd::net::IpAddr& addr) const;
+
+  [[nodiscard]] Topology& topology() { return topology_; }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Taps observe every send attempt with its filtering outcome.
+  void add_tap(Tap tap);
+
+ private:
+  [[nodiscard]] DropReason classify(const cd::net::Packet& packet,
+                                    Asn origin_asn, Host** out_host);
+  [[nodiscard]] SimTime latency(Asn from, Asn to);
+
+  Topology& topology_;
+  EventLoop& loop_;
+  cd::Rng rng_;
+  std::unordered_map<cd::net::IpAddr, Host*, cd::net::IpAddrHash> hosts_;
+  std::vector<Tap> taps_;
+  NetworkStats stats_;
+};
+
+}  // namespace cd::sim

@@ -1,0 +1,188 @@
+#include "sim/os_model.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace cd::sim {
+namespace {
+
+using cd::net::TcpOption;
+using cd::net::TcpOptionKind;
+
+// Option layouts per stack. Ordering is part of the signature.
+std::vector<TcpOption> linux_opts(std::uint16_t mss) {
+  return {{TcpOptionKind::kMss, mss},
+          {TcpOptionKind::kSackPermitted, 0},
+          {TcpOptionKind::kTimestamp, 1},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kWindowScale, 7}};
+}
+
+std::vector<TcpOption> freebsd_opts(std::uint16_t mss) {
+  return {{TcpOptionKind::kMss, mss},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kWindowScale, 6},
+          {TcpOptionKind::kSackPermitted, 0},
+          {TcpOptionKind::kTimestamp, 1}};
+}
+
+std::vector<TcpOption> windows_opts(std::uint16_t mss) {
+  return {{TcpOptionKind::kMss, mss},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kWindowScale, 8},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kSackPermitted, 0}};
+}
+
+std::vector<TcpOption> baidu_opts(std::uint16_t mss) {
+  return {{TcpOptionKind::kMss, mss},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kNop, 0},
+          {TcpOptionKind::kSackPermitted, 0}};
+}
+
+std::vector<TcpOption> generic_opts(std::uint16_t mss) {
+  return {{TcpOptionKind::kMss, mss}};
+}
+
+OsProfile make_linux(OsId id, const char* name, const char* kernel,
+                     bool old_kernel) {
+  OsProfile p;
+  p.id = id;
+  p.family = OsFamily::kLinux;
+  p.name = name;
+  p.kernel = kernel;
+  // Table 6: Linux drops v4 destination-as-source, passes the v6 variant to
+  // user space; kernels <= 4.x additionally accept v6 loopback sources.
+  p.accepts_dst_as_src_v4 = false;
+  p.accepts_dst_as_src_v6 = true;
+  p.accepts_loopback_v4 = false;
+  p.accepts_loopback_v6 = old_kernel;
+  // net.ipv4.ip_local_port_range default 32768..61000 (pool 28,233; the
+  // paper reports the max observable *range*, 28,232).
+  p.ephemeral_lo = 32768;
+  p.ephemeral_hi = 61000;
+  p.fp = {64, 29200, 1460, linux_opts(1460)};
+  return p;
+}
+
+OsProfile make_freebsd(OsId id, const char* name) {
+  OsProfile p;
+  p.id = id;
+  p.family = OsFamily::kFreeBsd;
+  p.name = name;
+  p.accepts_dst_as_src_v4 = true;
+  p.accepts_dst_as_src_v6 = true;
+  // IANA ephemeral range 49152..65535 (max range 16,383).
+  p.ephemeral_lo = 49152;
+  p.ephemeral_hi = 65535;
+  p.fp = {64, 65535, 1460, freebsd_opts(1460)};
+  return p;
+}
+
+OsProfile make_windows(OsId id, const char* name, bool is_2003) {
+  OsProfile p;
+  p.id = id;
+  p.family = OsFamily::kWindows;
+  p.name = name;
+  p.accepts_dst_as_src_v4 = true;
+  p.accepts_dst_as_src_v6 = true;
+  p.accepts_loopback_v4 = is_2003;  // Table 6: only 2003/2003 R2
+  p.ephemeral_lo = 49152;
+  p.ephemeral_hi = 65535;
+  p.fp = {128, 8192, 1460, windows_opts(1460)};
+  return p;
+}
+
+std::vector<OsProfile> build_registry() {
+  std::vector<OsProfile> out;
+  out.push_back(make_linux(OsId::kUbuntu1004, "Ubuntu 10.04", "2.6", true));
+  out.push_back(make_linux(OsId::kUbuntu1204, "Ubuntu 12.04", "3.13", true));
+  out.push_back(make_linux(OsId::kUbuntu1404, "Ubuntu 14.04", "4.4", true));
+  out.push_back(make_linux(OsId::kUbuntu1604, "Ubuntu 16.04", "4.15", false));
+  out.push_back(make_linux(OsId::kUbuntu1804, "Ubuntu 18.04", "5.0", false));
+  out.push_back(make_linux(OsId::kUbuntu1904, "Ubuntu 19.04", "5.3", false));
+  out.push_back(make_freebsd(OsId::kFreeBsd113, "FreeBSD 11.3"));
+  out.push_back(make_freebsd(OsId::kFreeBsd120, "FreeBSD 12.0"));
+  out.push_back(make_freebsd(OsId::kFreeBsd121, "FreeBSD 12.1"));
+  out.push_back(make_windows(OsId::kWin2003, "Windows Server 2003", true));
+  out.push_back(make_windows(OsId::kWin2003R2, "Windows Server 2003 R2", true));
+  out.push_back(make_windows(OsId::kWin2008, "Windows Server 2008", false));
+  out.push_back(make_windows(OsId::kWin2008R2, "Windows Server 2008 R2", false));
+  out.push_back(make_windows(OsId::kWin2012, "Windows Server 2012", false));
+  out.push_back(make_windows(OsId::kWin2012R2, "Windows Server 2012 R2", false));
+  out.push_back(make_windows(OsId::kWin2016, "Windows Server 2016", false));
+  out.push_back(make_windows(OsId::kWin2019, "Windows Server 2019", false));
+
+  {
+    // Crawler-farm stack with a signature p0f recognizes as "BaiduSpider"
+    // (§5.3.1 found 20% of zero-range resolvers matching it).
+    OsProfile p;
+    p.id = OsId::kBaiduLike;
+    p.family = OsFamily::kOther;
+    p.name = "BaiduSpider-like";
+    p.accepts_dst_as_src_v4 = true;
+    p.accepts_dst_as_src_v6 = true;
+    p.ephemeral_lo = 32768;
+    p.ephemeral_hi = 61000;
+    p.fp = {64, 8190, 1440, baidu_opts(1440)};
+    out.push_back(p);
+  }
+  {
+    // Embedded CPE: Linux-derived behaviour, fingerprint absent from p0f's
+    // database (contributes to the ~90% unclassified share).
+    OsProfile p;
+    p.id = OsId::kEmbeddedCpe;
+    p.family = OsFamily::kOther;
+    p.name = "Embedded CPE";
+    // Linux-derived: the kernel drops v4 destination-as-source (Table 6).
+    p.accepts_dst_as_src_v4 = false;
+    p.accepts_dst_as_src_v6 = true;
+    p.ephemeral_lo = 1024;
+    p.ephemeral_hi = 65535;
+    p.fp = {64, 5840, 1400, generic_opts(1400)};
+    out.push_back(p);
+  }
+  {
+    // Host behind a normalizing middlebox: rewritten TTL/window defeat p0f.
+    OsProfile p;
+    p.id = OsId::kMiddleboxFronted;
+    p.family = OsFamily::kOther;
+    p.name = "Middlebox-fronted";
+    p.accepts_dst_as_src_v4 = true;
+    p.accepts_dst_as_src_v6 = true;
+    p.ephemeral_lo = 1024;
+    p.ephemeral_hi = 65535;
+    p.fp = {255, 16384, 1380, generic_opts(1380)};
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<OsProfile>& all_os_profiles() {
+  static const std::vector<OsProfile> registry = build_registry();
+  return registry;
+}
+
+const OsProfile& os_profile(OsId id) {
+  for (const OsProfile& p : all_os_profiles()) {
+    if (p.id == id) return p;
+  }
+  throw cd::InvariantError("unknown OsId");
+}
+
+std::string os_family_name(OsFamily family) {
+  switch (family) {
+    case OsFamily::kLinux: return "Linux";
+    case OsFamily::kFreeBsd: return "FreeBSD";
+    case OsFamily::kWindows: return "Windows";
+    case OsFamily::kOther: return "Other";
+  }
+  return "?";
+}
+
+}  // namespace cd::sim

@@ -1,0 +1,90 @@
+// Operating-system network-stack models.
+//
+// Encodes the paper's lab findings as ground truth for the simulated fleet:
+//   * Table 6 — which spoofed sources (destination-as-source, loopback) each
+//     OS delivers to user space, per IP family;
+//   * §5.3.2 — the ephemeral source-port range each OS hands to sockets;
+//   * §5.3.1 — TCP SYN characteristics p0f keys on (TTL, window, MSS,
+//     option layout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace cd::sim {
+
+enum class OsFamily : std::uint8_t {
+  kLinux,
+  kFreeBsd,
+  kWindows,
+  kOther,  // embedded / middlebox-normalized stacks p0f cannot classify
+};
+
+/// Identifiers for the concrete OS versions studied in the paper, plus a few
+/// synthetic stand-ins for the unclassifiable majority.
+enum class OsId : std::uint8_t {
+  kUbuntu1004,  // Linux 2.6
+  kUbuntu1204,  // Linux 3.13
+  kUbuntu1404,  // Linux 4.4
+  kUbuntu1604,  // Linux 4.15
+  kUbuntu1804,  // Linux 5.0 (paper's table lists 4.15/5.3/5.0 collectively)
+  kUbuntu1904,  // Linux 5.3
+  kFreeBsd113,
+  kFreeBsd120,
+  kFreeBsd121,
+  kWin2003,
+  kWin2003R2,
+  kWin2008,
+  kWin2008R2,
+  kWin2012,
+  kWin2012R2,
+  kWin2016,
+  kWin2019,
+  kBaiduLike,         // crawler-farm stack whose signature p0f knows
+  kEmbeddedCpe,       // CPE gear; generic fingerprint, unknown to p0f
+  kMiddleboxFronted,  // traffic normalized by a middlebox; unknown to p0f
+};
+
+/// TCP SYN characteristics a host stack stamps on outgoing connections.
+struct TcpFingerprintSpec {
+  std::uint8_t initial_ttl = 64;
+  std::uint16_t window = 65535;
+  std::uint16_t mss = 1460;
+  std::vector<cd::net::TcpOption> syn_options;
+};
+
+struct OsProfile {
+  OsId id = OsId::kEmbeddedCpe;
+  OsFamily family = OsFamily::kOther;
+  std::string name;
+  std::string kernel;  // empty when not applicable
+
+  // Table 6 acceptance matrix.
+  bool accepts_dst_as_src_v4 = false;
+  bool accepts_dst_as_src_v6 = false;
+  bool accepts_loopback_v4 = false;
+  bool accepts_loopback_v6 = false;
+
+  // OS-designated ephemeral port range (inclusive).
+  std::uint16_t ephemeral_lo = 49152;
+  std::uint16_t ephemeral_hi = 65535;
+
+  TcpFingerprintSpec fp;
+
+  [[nodiscard]] std::uint32_t ephemeral_pool_size() const {
+    return static_cast<std::uint32_t>(ephemeral_hi - ephemeral_lo) + 1;
+  }
+};
+
+/// Immutable registry entry for `id`.
+[[nodiscard]] const OsProfile& os_profile(OsId id);
+
+/// All registry entries (for Table 6 reproduction and sweeps).
+[[nodiscard]] const std::vector<OsProfile>& all_os_profiles();
+
+[[nodiscard]] std::string os_family_name(OsFamily family);
+
+}  // namespace cd::sim

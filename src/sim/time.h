@@ -1,0 +1,25 @@
+// Simulated time: a signed microsecond count from experiment start.
+#pragma once
+
+#include <cstdint>
+
+namespace cd::sim {
+
+using SimTime = std::int64_t;  // microseconds
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1'000;
+constexpr SimTime kSecond = 1'000'000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+constexpr SimTime sim_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace cd::sim

@@ -1,0 +1,97 @@
+#include "sim/topology.h"
+
+#include "util/error.h"
+
+namespace cd::sim {
+
+using cd::net::IpAddr;
+using cd::net::IpFamily;
+using cd::net::Prefix;
+using cd::net::U128;
+
+void RoutingTable::add(const Prefix& prefix, Asn asn) {
+  LengthMap& table = prefix.family() == IpFamily::kV4 ? v4_ : v6_;
+  auto [it, inserted] =
+      table[prefix.length()].emplace(prefix.base().bits(), Match{prefix, asn});
+  if (inserted) {
+    ++count_;
+  } else {
+    it->second = Match{prefix, asn};  // later announcement wins
+  }
+}
+
+const RoutingTable::Match* RoutingTable::find(const IpAddr& addr) const {
+  const LengthMap& table = addr.is_v4() ? v4_ : v6_;
+  const int width = addr.width();
+  for (const auto& [length, entries] : table) {
+    const int shift = width - length;
+    U128 key = addr.bits();
+    if (shift > 0) key = (key >> shift) << shift;
+    const auto it = entries.find(key);
+    if (it != entries.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::optional<Asn> RoutingTable::lookup(const IpAddr& addr) const {
+  const Match* m = find(addr);
+  if (!m) return std::nullopt;
+  return m->asn;
+}
+
+std::optional<Prefix> RoutingTable::lookup_prefix(const IpAddr& addr) const {
+  const Match* m = find(addr);
+  if (!m) return std::nullopt;
+  return m->prefix;
+}
+
+AsInfo& Topology::add_as(Asn asn, FilterPolicy policy) {
+  auto [it, inserted] = ases_.try_emplace(asn);
+  if (inserted) {
+    it->second.asn = asn;
+    it->second.policy = policy;
+  }
+  return it->second;
+}
+
+void Topology::announce(Asn asn, const Prefix& prefix) {
+  AsInfo* info = find(asn);
+  CD_ENSURE(info != nullptr, "announce: unknown ASN");
+  if (prefix.family() == IpFamily::kV4) {
+    info->prefixes_v4.push_back(prefix);
+  } else {
+    info->prefixes_v6.push_back(prefix);
+  }
+  routes_.add(prefix, asn);
+}
+
+const AsInfo* Topology::find(Asn asn) const {
+  const auto it = ases_.find(asn);
+  return it == ases_.end() ? nullptr : &it->second;
+}
+
+AsInfo* Topology::find(Asn asn) {
+  const auto it = ases_.find(asn);
+  return it == ases_.end() ? nullptr : &it->second;
+}
+
+std::optional<Asn> Topology::asn_of(const IpAddr& addr) const {
+  return routes_.lookup(addr);
+}
+
+bool Topology::is_internal(Asn asn, const IpAddr& addr) const {
+  // Routing-table view: the covering announcement originates from `asn`.
+  // This matches what a border router can actually check.
+  const auto origin = routes_.lookup(addr);
+  return origin && *origin == asn;
+}
+
+const std::vector<Prefix>& Topology::prefixes_of(Asn asn,
+                                                 IpFamily family) const {
+  static const std::vector<Prefix> kEmpty;
+  const AsInfo* info = find(asn);
+  if (!info) return kEmpty;
+  return family == IpFamily::kV4 ? info->prefixes_v4 : info->prefixes_v6;
+}
+
+}  // namespace cd::sim

@@ -1,0 +1,106 @@
+// AS-level Internet topology: prefix announcements, routing, border policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace cd::sim {
+
+using Asn = std::uint32_t;
+
+/// Border filtering configuration of one AS.
+struct FilterPolicy {
+  /// BCP 38 / origin-side SAV: drop egress packets whose source is not one
+  /// of this AS's own prefixes.
+  bool osav = false;
+  /// Destination-side SAV: drop ingress packets whose source claims to be
+  /// inside this AS. This is the property the paper measures.
+  bool dsav = false;
+  /// Drop ingress packets with private/loopback/other special sources
+  /// (martian filtering), independent of DSAV.
+  bool drop_inbound_martians = false;
+  /// Last-hop uRPF-style filtering: drop ingress packets whose source lies
+  /// in the destination's own /24 (v4) or /64 (v6) — a subnet-local address
+  /// cannot legitimately arrive from outside the border.
+  bool drop_inbound_same_subnet = false;
+};
+
+struct AsInfo {
+  Asn asn = 0;
+  FilterPolicy policy;
+  std::vector<cd::net::Prefix> prefixes_v4;
+  std::vector<cd::net::Prefix> prefixes_v6;
+};
+
+/// Longest-prefix-match routing table mapping prefixes to origin ASes.
+/// Implemented as per-length hash maps probed from the longest announced
+/// length downward.
+class RoutingTable {
+ public:
+  void add(const cd::net::Prefix& prefix, Asn asn);
+
+  /// Origin AS of the most specific covering announcement, if any.
+  [[nodiscard]] std::optional<Asn> lookup(const cd::net::IpAddr& addr) const;
+
+  /// The matched announcement itself.
+  [[nodiscard]] std::optional<cd::net::Prefix> lookup_prefix(
+      const cd::net::IpAddr& addr) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  struct Match {
+    cd::net::Prefix prefix;
+    Asn asn;
+  };
+  [[nodiscard]] const Match* find(const cd::net::IpAddr& addr) const;
+
+  // length -> (masked bits -> match), kept sorted by length so we can probe
+  // from most- to least-specific. Separate tables per family.
+  using LengthMap =
+      std::map<int, std::unordered_map<cd::net::U128, Match, cd::net::U128Hash>,
+               std::greater<int>>;
+  LengthMap v4_;
+  LengthMap v6_;
+  std::size_t count_ = 0;
+};
+
+/// The set of ASes, their announced prefixes, and the global routing view.
+class Topology {
+ public:
+  /// Registers an AS; re-adding an existing ASN returns the existing record.
+  AsInfo& add_as(Asn asn, FilterPolicy policy = {});
+
+  /// Announces `prefix` as originated by `asn` (which must exist).
+  void announce(Asn asn, const cd::net::Prefix& prefix);
+
+  [[nodiscard]] const AsInfo* find(Asn asn) const;
+  [[nodiscard]] AsInfo* find(Asn asn);
+
+  /// Origin AS of `addr` per longest-prefix match.
+  [[nodiscard]] std::optional<Asn> asn_of(const cd::net::IpAddr& addr) const;
+
+  /// True if `addr` falls within any prefix originated by `asn`.
+  [[nodiscard]] bool is_internal(Asn asn, const cd::net::IpAddr& addr) const;
+
+  [[nodiscard]] const std::vector<cd::net::Prefix>& prefixes_of(
+      Asn asn, cd::net::IpFamily family) const;
+
+  [[nodiscard]] const std::unordered_map<Asn, AsInfo>& ases() const {
+    return ases_;
+  }
+  [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
+  [[nodiscard]] const RoutingTable& routes() const { return routes_; }
+
+ private:
+  std::unordered_map<Asn, AsInfo> ases_;
+  RoutingTable routes_;
+};
+
+}  // namespace cd::sim

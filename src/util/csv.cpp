@@ -1,0 +1,32 @@
+#include "util/csv.h"
+
+#include "util/error.h"
+
+namespace cd {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw Error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace cd

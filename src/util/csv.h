@@ -1,0 +1,26 @@
+// Minimal CSV writing for bench data dumps.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cd {
+
+/// Writes RFC 4180-style CSV: fields containing commas, quotes, or newlines
+/// are quoted, embedded quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws cd::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Returns the escaped form of one field (exposed for testing).
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace cd

@@ -1,0 +1,36 @@
+// Error handling primitives shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cd {
+
+/// Base class for all errors raised by the closeddoors library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when wire-format parsing fails (truncated/malformed input).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a caller violates an API precondition.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace cd
+
+/// Throws cd::InvariantError with location info when `cond` is false.
+#define CD_ENSURE(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::cd::InvariantError(std::string(__FILE__) + ":" +            \
+                                 std::to_string(__LINE__) + ": " + (msg)); \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,74 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace cd {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  if (col < aligns_.size()) aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_rule() {
+  rows_.push_back(Row{{}, true});
+}
+
+std::string TextTable::to_string() const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> widths(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) widths[c] = headers_[c].size();
+  for (const Row& r : rows_) {
+    if (r.rule) continue;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - s.size();
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  auto rule_line = [&] {
+    std::string out;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) out += "-+-";
+      out.append(widths[c], '-');
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (c) out += " | ";
+    out += pad(headers_[c], c);
+  }
+  out += '\n';
+  out += rule_line();
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      out += rule_line();
+      continue;
+    }
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) out += " | ";
+      out += pad(r.cells[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cd

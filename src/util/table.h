@@ -1,0 +1,42 @@
+// Plain-text table rendering for bench/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cd {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders an aligned monospace table with a
+/// header rule, suitable for terminal output that mirrors the paper's tables.
+class TextTable {
+ public:
+  /// `headers` fixes the column count; extra cells in rows are dropped,
+  /// missing cells render empty.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Set per-column alignment (defaults to left).
+  void set_align(std::size_t col, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// A horizontal separator row.
+  void add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cd

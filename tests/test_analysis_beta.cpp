@@ -1,0 +1,135 @@
+// Unit + property tests: Beta distribution model and derived cutoffs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/beta.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd::analysis;
+
+TEST(Beta, CdfBoundaries) {
+  EXPECT_DOUBLE_EQ(beta_cdf(0.0, 9, 2), 0.0);
+  EXPECT_DOUBLE_EQ(beta_cdf(1.0, 9, 2), 1.0);
+  EXPECT_DOUBLE_EQ(beta_cdf(-1.0, 9, 2), 0.0);
+  EXPECT_DOUBLE_EQ(beta_cdf(2.0, 9, 2), 1.0);
+}
+
+TEST(Beta, CdfMonotonic) {
+  double prev = 0;
+  for (double x = 0; x <= 1.0001; x += 0.01) {
+    const double c = beta_cdf(x, 9, 2);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(Beta, UniformSpecialCase) {
+  // Beta(1,1) is uniform: CDF(x) = x.
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    EXPECT_NEAR(beta_cdf(x, 1, 1), x, 1e-9);
+  }
+}
+
+TEST(Beta, PdfIntegratesToOne) {
+  double integral = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) / n;
+    integral += beta_pdf(x, 9, 2) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Beta, PdfConsistentWithCdf) {
+  // Numerical derivative of the CDF matches the PDF.
+  for (double x = 0.2; x < 0.95; x += 0.15) {
+    const double h = 1e-6;
+    const double deriv = (beta_cdf(x + h, 9, 2) - beta_cdf(x - h, 9, 2)) / (2 * h);
+    EXPECT_NEAR(deriv, beta_pdf(x, 9, 2), 1e-3 * beta_pdf(x, 9, 2) + 1e-6);
+  }
+}
+
+TEST(Beta, QuantileInvertsCdf) {
+  for (double p = 0.05; p < 1.0; p += 0.1) {
+    const double x = beta_quantile(p, 9, 2);
+    EXPECT_NEAR(beta_cdf(x, 9, 2), p, 1e-9);
+  }
+}
+
+TEST(Beta, KnownMoments) {
+  // Mean of Beta(9,2) = 9/11; mode = 8/9.
+  // CDF at the mean should be close to 0.47 (left-skewed distribution).
+  const double mean = 9.0 / 11.0;
+  EXPECT_GT(beta_cdf(mean, 9, 2), 0.3);
+  EXPECT_LT(beta_cdf(mean, 9, 2), 0.6);
+  // Mode: pdf is maximal near 8/9.
+  const double mode = 8.0 / 9.0;
+  EXPECT_GT(beta_pdf(mode, 9, 2), beta_pdf(mode - 0.05, 9, 2));
+  EXPECT_GT(beta_pdf(mode, 9, 2), beta_pdf(mode + 0.05, 9, 2));
+}
+
+TEST(RangeModel, ScalesWithPool) {
+  // Same normalized range -> same CDF regardless of pool size.
+  EXPECT_NEAR(range_cdf(0.5 * 2499, 2500), range_cdf(0.5 * 64511, 64512),
+              1e-9);
+  // A 2,400 range is entirely plausible for the Windows pool, implausible
+  // for the full range.
+  EXPECT_GT(range_cdf(2400, 2500), 0.9);
+  EXPECT_LT(range_cdf(2400, 64512), 1e-8);
+}
+
+TEST(RangeModel, QuantileMatchesPaperWindowsEdge) {
+  // The paper's 941-2,488 Windows band corresponds to ~0.1%/99.9% quantiles
+  // of the 2,500-port pool.
+  EXPECT_NEAR(range_quantile(0.999, 2500), 2488, 3);
+  EXPECT_NEAR(range_quantile(0.001, 2500), 941, 3);
+}
+
+TEST(OptimalCutoff, ReproducesPaperBoundaries) {
+  // FreeBSD (16,384) vs Linux (28,233): the paper derived 16,331 with 0.05%
+  // and 3.5% misclassification.
+  const auto c1 = optimal_cutoff(16384, 28233);
+  EXPECT_NEAR(c1.cutoff, 16331, 5);
+  EXPECT_NEAR(c1.small_pool_error, 0.0005, 0.0005);
+  EXPECT_NEAR(c1.large_pool_error, 0.035, 0.005);
+
+  // Linux vs full range: 28,222 with 0.35% combined error.
+  const auto c2 = optimal_cutoff(28233, 64512);
+  EXPECT_NEAR(c2.cutoff, 28222, 5);
+  EXPECT_NEAR(c2.small_pool_error + c2.large_pool_error, 0.007, 0.004);
+}
+
+TEST(OptimalCutoff, OrderEnforced) {
+  EXPECT_THROW((void)optimal_cutoff(100, 100), cd::InvariantError);
+  EXPECT_THROW((void)optimal_cutoff(200, 100), cd::InvariantError);
+}
+
+TEST(SmallPoolProbability, AnalyticSmallCases) {
+  // n=2 draws: P(<=1 unique) = P(second equals first) = 1/N.
+  EXPECT_NEAR(small_pool_probability(10, 2, 1), 0.1, 1e-12);
+  EXPECT_NEAR(small_pool_probability(4, 2, 1), 0.25, 1e-12);
+  // Everything is <= n unique.
+  EXPECT_NEAR(small_pool_probability(100, 5, 5), 1.0, 1e-12);
+  // Can't see more unique values than pool size... P(<=N unique) = 1.
+  EXPECT_NEAR(small_pool_probability(3, 10, 3), 1.0, 1e-12);
+}
+
+TEST(SmallPoolProbability, PaperValue) {
+  // §5.2.3: "<=7 unique of 10 from a 200-port pool ... 0.066% of the time".
+  EXPECT_NEAR(small_pool_probability(200, 10, 7), 0.00066, 0.00003);
+}
+
+TEST(SmallPoolProbability, MonotoneInMaxUnique) {
+  double prev = 0;
+  for (int k = 1; k <= 10; ++k) {
+    const double p = small_pool_probability(50, 10, k);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+}  // namespace

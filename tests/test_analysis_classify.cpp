@@ -1,0 +1,319 @@
+// Unit tests: analysis aggregations over hand-built target records, plus the
+// GeoDb and histograms.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/histogram.h"
+
+namespace {
+
+using namespace cd;
+using analysis::GeoDb;
+using analysis::Records;
+using net::IpAddr;
+using scanner::SourceCategory;
+using scanner::TargetInfo;
+using scanner::TargetRecord;
+
+TargetRecord reached(const char* addr, sim::Asn asn,
+                     std::initializer_list<SourceCategory> cats) {
+  TargetRecord rec;
+  rec.target = IpAddr::must_parse(addr);
+  rec.asn = asn;
+  rec.first_hit_time = 1000;
+  rec.categories_hit = cats;
+  rec.sources_hit.insert(rec.target);  // placeholder
+  return rec;
+}
+
+TEST(Dsav, SummaryCounts) {
+  Records records;
+  records.emplace(IpAddr::must_parse("20.0.0.1"),
+                  reached("20.0.0.1", 1, {SourceCategory::kOtherPrefix}));
+  records.emplace(IpAddr::must_parse("2400:1::1"),
+                  reached("2400:1::1", 1, {SourceCategory::kSamePrefix}));
+
+  const std::vector<TargetInfo> targets = {
+      {IpAddr::must_parse("20.0.0.1"), 1},
+      {IpAddr::must_parse("20.0.0.2"), 1},   // unreached
+      {IpAddr::must_parse("21.0.0.1"), 2},   // unreached, other AS
+      {IpAddr::must_parse("2400:1::1"), 1},
+  };
+  const auto s = analysis::summarize_dsav(records, targets);
+  EXPECT_EQ(s.v4.targets_total, 3u);
+  EXPECT_EQ(s.v4.targets_reachable, 1u);
+  EXPECT_EQ(s.v4.asns_total, 2u);
+  EXPECT_EQ(s.v4.asns_reachable, 1u);
+  EXPECT_EQ(s.v6.targets_total, 1u);
+  EXPECT_EQ(s.v6.targets_reachable, 1u);
+  EXPECT_EQ(s.v6.asns_total, 1u);
+}
+
+TEST(CategoryTable, InclusiveAndExclusive) {
+  Records records;
+  // Target A: hit by other-prefix only -> exclusive to other-prefix.
+  records.emplace(IpAddr::must_parse("20.0.0.1"),
+                  reached("20.0.0.1", 1, {SourceCategory::kOtherPrefix}));
+  // Target B: hit by both same-prefix and dst-as-src -> exclusive to none.
+  records.emplace(IpAddr::must_parse("20.0.0.2"),
+                  reached("20.0.0.2", 1,
+                          {SourceCategory::kSamePrefix,
+                           SourceCategory::kDstAsSrc}));
+  // Target C in AS 2: loopback only.
+  records.emplace(IpAddr::must_parse("21.0.0.1"),
+                  reached("21.0.0.1", 2, {SourceCategory::kLoopback}));
+
+  const std::vector<TargetInfo> targets = {
+      {IpAddr::must_parse("20.0.0.1"), 1},
+      {IpAddr::must_parse("20.0.0.2"), 1},
+      {IpAddr::must_parse("21.0.0.1"), 2},
+      {IpAddr::must_parse("21.0.0.9"), 2},  // unreached
+  };
+  const auto t = analysis::build_category_table(records, targets);
+
+  const auto other = static_cast<std::size_t>(SourceCategory::kOtherPrefix);
+  const auto same = static_cast<std::size_t>(SourceCategory::kSamePrefix);
+  const auto ds = static_cast<std::size_t>(SourceCategory::kDstAsSrc);
+  const auto lb = static_cast<std::size_t>(SourceCategory::kLoopback);
+
+  EXPECT_EQ(t.queried[0].addrs, 4u);
+  EXPECT_EQ(t.reachable[0].addrs, 3u);
+  EXPECT_EQ(t.inclusive[other][0].addrs, 1u);
+  EXPECT_EQ(t.inclusive[same][0].addrs, 1u);
+  EXPECT_EQ(t.inclusive[ds][0].addrs, 1u);
+  EXPECT_EQ(t.inclusive[lb][0].addrs, 1u);
+  EXPECT_EQ(t.inclusive[other][0].asns, 1u);
+  EXPECT_EQ(t.inclusive[lb][0].asns, 1u);
+
+  // Address exclusivity: A (other) and C (loopback); B is not exclusive.
+  EXPECT_EQ(t.exclusive[other][0].addrs, 1u);
+  EXPECT_EQ(t.exclusive[same][0].addrs, 0u);
+  EXPECT_EQ(t.exclusive[ds][0].addrs, 0u);
+  EXPECT_EQ(t.exclusive[lb][0].addrs, 1u);
+
+  // AS exclusivity: AS 1 has target B reachable via two categories, so
+  // removing other-prefix still leaves it discovered -> not exclusive.
+  EXPECT_EQ(t.exclusive[other][0].asns, 0u);
+  // AS 2 is only discoverable via loopback.
+  EXPECT_EQ(t.exclusive[lb][0].asns, 1u);
+}
+
+TEST(OpenClosed, Stats) {
+  Records records;
+  auto a = reached("20.0.0.1", 1, {SourceCategory::kOtherPrefix});
+  a.open_hit = true;
+  records.emplace(a.target, a);
+  auto b = reached("20.0.0.2", 1, {SourceCategory::kOtherPrefix});
+  records.emplace(b.target, b);
+  auto c = reached("21.0.0.1", 2, {SourceCategory::kOtherPrefix});
+  c.open_hit = true;
+  records.emplace(c.target, c);
+
+  const auto s = analysis::open_closed_stats(records);
+  EXPECT_EQ(s.open, 2u);
+  EXPECT_EQ(s.closed, 1u);
+  EXPECT_EQ(s.reachable_asns, 2u);
+  EXPECT_EQ(s.asns_with_closed, 1u);  // only AS 1 has a closed one
+}
+
+TEST(Forwarding, Stats) {
+  Records records;
+  auto a = reached("20.0.0.1", 1, {SourceCategory::kOtherPrefix});
+  a.direct_seen = true;
+  records.emplace(a.target, a);
+  auto b = reached("20.0.0.2", 1, {SourceCategory::kOtherPrefix});
+  b.forwarded_seen = true;
+  records.emplace(b.target, b);
+  auto c = reached("2400:1::1", 1, {SourceCategory::kOtherPrefix});
+  c.direct_seen = true;
+  c.forwarded_seen = true;
+  records.emplace(c.target, c);
+  // No evidence at all: excluded from "resolved".
+  auto d = reached("20.0.0.3", 1, {SourceCategory::kOtherPrefix});
+  records.emplace(d.target, d);
+
+  const auto s = analysis::forwarding_stats(records);
+  EXPECT_EQ(s.v4.resolved, 2u);
+  EXPECT_EQ(s.v4.direct, 1u);
+  EXPECT_EQ(s.v4.forwarded, 1u);
+  EXPECT_EQ(s.v4.both, 0u);
+  EXPECT_EQ(s.v6.resolved, 1u);
+  EXPECT_EQ(s.v6.both, 1u);
+}
+
+TEST(Table4, ClassifiesByAdjustedRange) {
+  Records records;
+  // Zero-range resolver (closed).
+  auto zero = reached("20.0.0.1", 1, {SourceCategory::kOtherPrefix});
+  zero.ports_v4 = std::vector<std::uint16_t>(10, 53);
+  records.emplace(zero.target, zero);
+  // Linux-range resolver (open).
+  auto linux = reached("20.0.0.2", 1, {SourceCategory::kOtherPrefix});
+  linux.open_hit = true;
+  linux.ports_v4 = {32768, 40000, 45000, 50000, 52000, 55000, 58000, 60000,
+                    60500, 60001};
+  records.emplace(linux.target, linux);
+  // Too few samples: unclassified.
+  auto thin = reached("20.0.0.3", 1, {SourceCategory::kOtherPrefix});
+  thin.ports_v4 = {1, 2, 3};
+  records.emplace(thin.target, thin);
+
+  const auto result =
+      analysis::build_table4(records, analysis::P0fDatabase::standard());
+  EXPECT_EQ(result.classified_targets, 2u);
+  EXPECT_EQ(result.rows[0].total, 1u);  // zero band
+  EXPECT_EQ(result.rows[0].closed, 1u);
+  EXPECT_EQ(result.rows[6].total, 1u);  // Linux band (range 27,733)
+  EXPECT_EQ(result.rows[6].open, 1u);
+}
+
+TEST(Table4, WindowsWrapAdjustedWhenP0fSaysWindows) {
+  // Wrapped Windows pool: raw range ~16k (FreeBSD band), adjusted ~2.2k
+  // (Windows band). The record carries a Windows SYN.
+  auto rec = reached("20.0.0.9", 3, {SourceCategory::kOtherPrefix});
+  rec.ports_v4 = {65300, 65400, 65500, 65535, 49152, 49300,
+                  49500, 50000, 50500, 51000};
+  const auto& win = sim::os_profile(sim::OsId::kWin2012);
+  net::Packet syn = net::make_tcp(rec.target, 40000,
+                                  IpAddr::must_parse("199.7.2.1"), 53,
+                                  net::TcpFlags{.syn = true});
+  syn.ttl = static_cast<std::uint8_t>(win.fp.initial_ttl - 5);
+  syn.tcp_window = win.fp.window;
+  syn.tcp_options = win.fp.syn_options;
+  rec.tcp_syn = syn;
+
+  Records records;
+  records.emplace(rec.target, rec);
+  const auto result =
+      analysis::build_table4(records, analysis::P0fDatabase::standard());
+  EXPECT_EQ(result.rows[3].total, 1u);  // Windows band
+  EXPECT_EQ(result.rows[3].p0f_windows, 1u);
+  EXPECT_EQ(result.rows[5].total, 0u);  // not misfiled as FreeBSD
+
+  // Without the SYN the raw range is 16,383, which misfiles the resolver
+  // into the Linux band: the ablation the paper's adjustment exists to fix.
+  rec.tcp_syn.reset();
+  Records no_fp;
+  no_fp.emplace(rec.target, rec);
+  const auto raw =
+      analysis::build_table4(no_fp, analysis::P0fDatabase::standard());
+  EXPECT_EQ(raw.rows[6].total, 1u);
+  EXPECT_EQ(raw.rows[3].total, 0u);
+}
+
+TEST(ZeroRange, PortBreakdown) {
+  Records records;
+  for (int i = 0; i < 3; ++i) {
+    auto rec = reached(("20.0.1." + std::to_string(i + 1)).c_str(), 1,
+                       {SourceCategory::kOtherPrefix});
+    rec.ports_v4 = std::vector<std::uint16_t>(10, i < 2 ? 53 : 32768);
+    rec.open_hit = i == 0;
+    records.emplace(rec.target, rec);
+  }
+  const auto s = analysis::zero_range_stats(records);
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.open, 1u);
+  EXPECT_EQ(s.closed, 2u);
+  EXPECT_EQ(s.port_counts.at(53), 2u);
+  EXPECT_EQ(s.port_counts.at(32768), 1u);
+  EXPECT_EQ(s.asns, 1u);
+  EXPECT_EQ(s.asns_with_closed, 1u);
+}
+
+TEST(LowRange, PatternDetection) {
+  Records records;
+  // Sequential walker.
+  auto seq = reached("20.0.2.1", 1, {SourceCategory::kOtherPrefix});
+  seq.ports_v4 = {1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008, 1009};
+  records.emplace(seq.target, seq);
+  // Sequential with wrap.
+  auto wrap = reached("20.0.2.2", 1, {SourceCategory::kOtherPrefix});
+  wrap.ports_v4 = {1095, 1097, 1099, 1000, 1004, 1010, 1020, 1030, 1040, 1050};
+  records.emplace(wrap.target, wrap);
+  // Small random pool (few unique).
+  auto pool = reached("20.0.2.3", 2, {SourceCategory::kOtherPrefix});
+  pool.ports_v4 = {1000, 1003, 1000, 1003, 1007, 1000, 1003, 1007, 1000, 1003};
+  records.emplace(pool.target, pool);
+
+  const auto s = analysis::low_range_stats(records);
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.asns, 2u);
+  EXPECT_EQ(s.strictly_increasing, 2u);
+  EXPECT_EQ(s.wrapped, 1u);
+  EXPECT_EQ(s.few_unique, 1u);
+}
+
+TEST(Geo, LongestPrefixCountry) {
+  GeoDb geo;
+  geo.add(net::Prefix::must_parse("20.0.0.0/8"), "Brazil");
+  geo.add(net::Prefix::must_parse("20.5.0.0/16"), "Chile");
+  geo.add(net::Prefix::must_parse("2400:1::/32"), "Japan");
+  EXPECT_EQ(geo.country_of(IpAddr::must_parse("20.1.2.3")), "Brazil");
+  EXPECT_EQ(geo.country_of(IpAddr::must_parse("20.5.9.9")), "Chile");
+  EXPECT_EQ(geo.country_of(IpAddr::must_parse("2400:1::77")), "Japan");
+  EXPECT_FALSE(geo.country_of(IpAddr::must_parse("21.0.0.1")));
+  EXPECT_EQ(geo.size(), 3u);
+}
+
+TEST(CountryRows, AsCountedPerCountry) {
+  GeoDb geo;
+  geo.add(net::Prefix::must_parse("20.0.0.0/16"), "Brazil");
+  geo.add(net::Prefix::must_parse("20.1.0.0/16"), "Chile");
+
+  Records records;
+  records.emplace(IpAddr::must_parse("20.0.0.1"),
+                  reached("20.0.0.1", 1, {SourceCategory::kOtherPrefix}));
+
+  // AS 1 has targets in two countries: counted in both (paper's method).
+  const std::vector<TargetInfo> targets = {
+      {IpAddr::must_parse("20.0.0.1"), 1},
+      {IpAddr::must_parse("20.1.0.1"), 1},
+  };
+  const auto rows = analysis::dsav_by_country(records, targets, geo);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.ases_total, 1u);
+    if (row.country == "Brazil") {
+      EXPECT_EQ(row.targets_reachable, 1u);
+      EXPECT_EQ(row.ases_reachable, 1u);
+    } else {
+      EXPECT_EQ(row.targets_reachable, 0u);
+      EXPECT_EQ(row.ases_reachable, 0u);
+    }
+  }
+}
+
+TEST(Histogram, BinningAndClamping) {
+  analysis::StackedHistogram hist(0, 100, 10, {"a", "b"});
+  EXPECT_EQ(hist.bin_count(), 11u);
+  hist.add(0, 0);
+  hist.add(9, 0);
+  hist.add(10, 1);
+  hist.add(-5, 0);   // clamps to first bin
+  hist.add(999, 1);  // clamps to last bin
+  EXPECT_EQ(hist.count(0, 0), 3u);
+  EXPECT_EQ(hist.count(1, 1), 1u);
+  EXPECT_EQ(hist.count(10, 1), 1u);
+  EXPECT_EQ(hist.total(0), 3u);
+  EXPECT_EQ(hist.total(1), 2u);
+  EXPECT_EQ(hist.bin_total(0), 3u);
+  EXPECT_EQ(hist.bin_lo(1), 10);
+  EXPECT_EQ(hist.bin_hi(1), 19);
+}
+
+TEST(Histogram, CsvAndAscii) {
+  analysis::StackedHistogram hist(0, 10, 5, {"x"});
+  hist.add(1);
+  hist.add(7);
+  hist.set_overlay({1.5, 2.5, 0.0});
+  const auto rows = hist.csv_rows();
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 bins
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"bin_lo", "bin_hi", "x",
+                                               "model"}));
+  EXPECT_EQ(rows[1][2], "1");
+  const std::string ascii = hist.render_ascii();
+  EXPECT_NE(ascii.find("legend"), std::string::npos);
+  EXPECT_NE(ascii.find("model"), std::string::npos);
+}
+
+}  // namespace

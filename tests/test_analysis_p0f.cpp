@@ -1,0 +1,113 @@
+// Unit tests: p0f-style fingerprint classification.
+#include <gtest/gtest.h>
+
+#include "analysis/p0f.h"
+#include "sim/os_model.h"
+
+namespace {
+
+using namespace cd;
+using analysis::P0fClass;
+using analysis::P0fDatabase;
+using net::IpAddr;
+using net::Packet;
+
+Packet syn_for(const sim::OsProfile& os, std::uint8_t hops = 10) {
+  Packet syn = net::make_tcp(IpAddr::must_parse("20.0.0.1"), 40000,
+                             IpAddr::must_parse("199.7.2.1"), 53,
+                             net::TcpFlags{.syn = true});
+  syn.ttl = static_cast<std::uint8_t>(os.fp.initial_ttl - hops);
+  syn.tcp_window = os.fp.window;
+  syn.tcp_options = os.fp.syn_options;
+  return syn;
+}
+
+struct FpCase {
+  sim::OsId os;
+  P0fClass expected;
+};
+
+class FingerprintSweep : public ::testing::TestWithParam<FpCase> {};
+
+TEST_P(FingerprintSweep, OsRegistryClassifies) {
+  const auto& db = P0fDatabase::standard();
+  const auto& os = sim::os_profile(GetParam().os);
+  EXPECT_EQ(db.classify(syn_for(os)), GetParam().expected) << os.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, FingerprintSweep,
+    ::testing::Values(
+        FpCase{sim::OsId::kUbuntu1604, P0fClass::kLinux},
+        FpCase{sim::OsId::kUbuntu1904, P0fClass::kLinux},
+        FpCase{sim::OsId::kUbuntu1004, P0fClass::kLinux},
+        FpCase{sim::OsId::kFreeBsd113, P0fClass::kFreeBsd},
+        FpCase{sim::OsId::kFreeBsd121, P0fClass::kFreeBsd},
+        FpCase{sim::OsId::kWin2003, P0fClass::kWindows},
+        FpCase{sim::OsId::kWin2012, P0fClass::kWindows},
+        FpCase{sim::OsId::kWin2019, P0fClass::kWindows},
+        FpCase{sim::OsId::kBaiduLike, P0fClass::kBaiduSpider},
+        // The stand-ins for the ~90% p0f cannot identify.
+        FpCase{sim::OsId::kEmbeddedCpe, P0fClass::kUnknown},
+        FpCase{sim::OsId::kMiddleboxFronted, P0fClass::kUnknown}));
+
+TEST(P0f, TtlDistanceTolerance) {
+  const auto& db = P0fDatabase::standard();
+  const auto& linux = sim::os_profile(sim::OsId::kUbuntu1904);
+  // 31 hops away: still matched.
+  EXPECT_EQ(db.classify(syn_for(linux, 31)), P0fClass::kLinux);
+  // 32+ hops: implausible, unmatched.
+  EXPECT_EQ(db.classify(syn_for(linux, 32)), P0fClass::kUnknown);
+}
+
+TEST(P0f, TtlAboveInitialRejected) {
+  const auto& db = P0fDatabase::standard();
+  Packet syn = syn_for(sim::os_profile(sim::OsId::kUbuntu1904));
+  syn.ttl = 65;  // above Linux's initial 64
+  EXPECT_EQ(db.classify(syn), P0fClass::kUnknown);
+}
+
+TEST(P0f, WindowMismatchRejected) {
+  const auto& db = P0fDatabase::standard();
+  Packet syn = syn_for(sim::os_profile(sim::OsId::kUbuntu1904));
+  syn.tcp_window = 64000;
+  EXPECT_EQ(db.classify(syn), P0fClass::kUnknown);
+}
+
+TEST(P0f, OptionOrderMatters) {
+  const auto& db = P0fDatabase::standard();
+  Packet syn = syn_for(sim::os_profile(sim::OsId::kUbuntu1904));
+  std::swap(syn.tcp_options[1], syn.tcp_options[2]);
+  EXPECT_EQ(db.classify(syn), P0fClass::kUnknown);
+}
+
+TEST(P0f, NonSynRejected) {
+  const auto& db = P0fDatabase::standard();
+  Packet pkt = syn_for(sim::os_profile(sim::OsId::kUbuntu1904));
+  pkt.tcp_flags.syn = false;
+  pkt.tcp_flags.ack = true;
+  EXPECT_EQ(db.classify(pkt), P0fClass::kUnknown);
+  const Packet udp = net::make_udp(IpAddr::must_parse("20.0.0.1"), 1,
+                                   IpAddr::must_parse("20.0.0.2"), 2, {});
+  EXPECT_EQ(db.classify(udp), P0fClass::kUnknown);
+}
+
+TEST(P0f, CustomDatabase) {
+  P0fDatabase db;
+  EXPECT_EQ(db.classify(syn_for(sim::os_profile(sim::OsId::kUbuntu1904))),
+            P0fClass::kUnknown);
+  db.add({P0fClass::kLinux, "custom", 64, 29200, 1460,
+          {net::TcpOptionKind::kMss, net::TcpOptionKind::kSackPermitted,
+           net::TcpOptionKind::kTimestamp, net::TcpOptionKind::kNop,
+           net::TcpOptionKind::kWindowScale}});
+  EXPECT_EQ(db.classify(syn_for(sim::os_profile(sim::OsId::kUbuntu1904))),
+            P0fClass::kLinux);
+  EXPECT_EQ(db.signatures().size(), 1u);
+}
+
+TEST(P0f, ClassNames) {
+  EXPECT_EQ(analysis::p0f_class_name(P0fClass::kUnknown), "unknown");
+  EXPECT_EQ(analysis::p0f_class_name(P0fClass::kBaiduSpider), "BaiduSpider");
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Unit + parameterized tests: port statistics, the §5.3.2 Windows wrap
+// adjustment, and Table 4 band classification.
+#include <gtest/gtest.h>
+
+#include "analysis/port_range.h"
+
+namespace {
+
+using namespace cd::analysis;
+
+TEST(PortStats, Basic) {
+  const std::vector<std::uint16_t> ports = {100, 105, 103, 101, 108};
+  const PortStats s = compute_port_stats(ports);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_EQ(s.min, 100);
+  EXPECT_EQ(s.max, 108);
+  EXPECT_EQ(s.range, 8);
+  EXPECT_EQ(s.unique_count, 5u);
+  EXPECT_FALSE(s.strictly_increasing);
+}
+
+TEST(PortStats, Empty) {
+  const PortStats s = compute_port_stats({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.range, 0);
+}
+
+TEST(PortStats, ZeroRange) {
+  const std::vector<std::uint16_t> ports(10, 53);
+  const PortStats s = compute_port_stats(ports);
+  EXPECT_EQ(s.range, 0);
+  EXPECT_EQ(s.unique_count, 1u);
+  EXPECT_FALSE(s.strictly_increasing);  // repeats are not "increasing"
+}
+
+TEST(PortStats, StrictlyIncreasing) {
+  const std::vector<std::uint16_t> ports = {10, 11, 12, 15, 20};
+  const PortStats s = compute_port_stats(ports);
+  EXPECT_TRUE(s.strictly_increasing);
+  EXPECT_FALSE(s.wrapped);
+}
+
+TEST(PortStats, IncreasingWithOneWrap) {
+  const std::vector<std::uint16_t> ports = {190, 195, 199, 101, 105, 110};
+  const PortStats s = compute_port_stats(ports);
+  EXPECT_TRUE(s.strictly_increasing);
+  EXPECT_TRUE(s.wrapped);
+}
+
+TEST(PortStats, TwoDecreasesNotIncreasing) {
+  const std::vector<std::uint16_t> ports = {190, 100, 195, 100, 105};
+  EXPECT_FALSE(compute_port_stats(ports).strictly_increasing);
+}
+
+// --- §5.3.2 wrap adjustment -----------------------------------------------------
+
+struct WrapCase {
+  std::vector<std::uint16_t> ports;
+  bool applies;
+};
+
+class WindowsWrap : public ::testing::TestWithParam<WrapCase> {};
+
+TEST_P(WindowsWrap, ConditionEvaluated) {
+  EXPECT_EQ(windows_wrap_applies(GetParam().ports), GetParam().applies);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, WindowsWrap,
+    ::testing::Values(
+        // All in R_low only: no adjustment (condition 3 fails).
+        WrapCase{{49152, 49200, 50000, 51000}, false},
+        // All in R_high only: no adjustment (condition 2 fails).
+        WrapCase{{65000, 65100, 65535, 63100}, false},
+        // Split across both regions: adjust.
+        WrapCase{{49152, 49500, 65300, 65535}, true},
+        // One port outside both regions: condition 1 fails.
+        WrapCase{{49152, 65535, 55000}, false},
+        // Below the IANA range entirely: never.
+        WrapCase{{1024, 2048}, false},
+        // Empty: no.
+        WrapCase{{}, false}));
+
+TEST(WindowsWrap, AdjustmentRestoresContiguity) {
+  // A wrapped Windows pool starting at 65300: ports 65300..65535 then
+  // 49152..51415. Raw range looks like ~16,3xx; adjusted it is < 2,500.
+  const std::vector<std::uint16_t> ports = {65300, 65400, 65535,
+                                            49152, 49500, 51000};
+  const PortStats raw = compute_port_stats(ports);
+  EXPECT_GT(raw.range, 14000);
+  const int adjusted = adjusted_range(ports);
+  EXPECT_LT(adjusted, 2500);
+  // Adjusted low ports moved up by i_max - i_min = 16,383.
+  const auto adj = adjust_windows_wrap(ports);
+  EXPECT_EQ(adj[3], 49152u + 16383u);
+  EXPECT_EQ(adj[0], 65300u);  // high region untouched
+}
+
+TEST(WindowsWrap, NoOpWhenNotApplicable) {
+  const std::vector<std::uint16_t> ports = {1024, 30000, 60000};
+  EXPECT_EQ(adjusted_range(ports), compute_port_stats(ports).range);
+}
+
+// --- Table 4 bands ------------------------------------------------------------------
+
+TEST(Table4Bands, StructureMatchesPaper) {
+  const auto& bands = table4_bands();
+  ASSERT_EQ(bands.size(), 8u);
+  EXPECT_EQ(bands[3].os, "Windows DNS");
+  EXPECT_EQ(bands[5].os, "FreeBSD");
+  EXPECT_EQ(bands[6].os, "Linux");
+  EXPECT_EQ(bands[7].os, "Full Port Range");
+  // Bands tile [0, 65536] without gaps or overlap.
+  EXPECT_EQ(bands.front().lo, 0);
+  EXPECT_EQ(bands.back().hi, 65536);
+  for (std::size_t i = 1; i < bands.size(); ++i) {
+    EXPECT_EQ(bands[i].lo, bands[i - 1].hi + 1);
+  }
+}
+
+struct BandCase {
+  int range;
+  std::size_t band;
+};
+
+class BandClassification : public ::testing::TestWithParam<BandCase> {};
+
+TEST_P(BandClassification, EdgesExact) {
+  EXPECT_EQ(classify_range(GetParam().range), GetParam().band);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Edges, BandClassification,
+    ::testing::Values(BandCase{0, 0}, BandCase{1, 1}, BandCase{200, 1},
+                      BandCase{201, 2}, BandCase{940, 2}, BandCase{941, 3},
+                      BandCase{2488, 3}, BandCase{2489, 4}, BandCase{6124, 4},
+                      BandCase{6125, 5}, BandCase{16331, 5},
+                      BandCase{16332, 6}, BandCase{28222, 6},
+                      BandCase{28223, 7}, BandCase{65535, 7},
+                      BandCase{65536, 7}));
+
+}  // namespace

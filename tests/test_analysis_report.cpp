@@ -1,0 +1,60 @@
+// Tests: the one-call report renderer over a real experiment run.
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "core/experiment.h"
+#include "ditl/world.h"
+
+namespace {
+
+using namespace cd;
+
+TEST(Report, RendersEverySectionFromRealRun) {
+  auto world = ditl::generate_world(ditl::small_world_spec());
+  core::Experiment experiment(*world, {});
+  const auto& results = experiment.run();
+
+  const std::string report = analysis::render_report(
+      results.records, world->targets, world->geo, world->passive_capture,
+      world->public_dns_addrs);
+
+  for (const char* section :
+       {"DSAV prevalence", "DSAV by country", "Spoofed-source categories",
+        "Open vs. closed", "Forwarding", "Middlebox check",
+        "Source-port ranges", "Zero source-port randomization",
+        "Ineffective allocation", "Passive cross-check"}) {
+    EXPECT_NE(report.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(report.find("IPv4"), std::string::npos);
+  EXPECT_GT(report.size(), 1500u);
+}
+
+TEST(Report, OptionsDisableSections) {
+  auto world = ditl::generate_world(ditl::small_world_spec());
+  core::Experiment experiment(*world, {});
+  const auto& results = experiment.run();
+
+  analysis::ReportOptions options;
+  options.countries = false;
+  options.passive = false;
+  const std::string report = analysis::render_report(
+      results.records, world->targets, world->geo, world->passive_capture,
+      world->public_dns_addrs, options);
+  EXPECT_EQ(report.find("DSAV by country"), std::string::npos);
+  EXPECT_EQ(report.find("Passive cross-check"), std::string::npos);
+  EXPECT_NE(report.find("DSAV prevalence"), std::string::npos);
+}
+
+TEST(Report, PureFunctionOfInputs) {
+  auto world = ditl::generate_world(ditl::small_world_spec());
+  core::Experiment experiment(*world, {});
+  const auto& results = experiment.run();
+  const auto render = [&] {
+    return analysis::render_report(results.records, world->targets,
+                                   world->geo, world->passive_capture,
+                                   world->public_dns_addrs);
+  };
+  EXPECT_EQ(render(), render());
+}
+
+}  // namespace

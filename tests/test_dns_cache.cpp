@@ -1,0 +1,164 @@
+// Unit tests: resolver cache — TTL expiry, decay, negatives, RFC 8020.
+#include <gtest/gtest.h>
+
+#include "dns/cache.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd;
+using dns::Cache;
+using dns::CacheHitKind;
+using dns::DnsName;
+using dns::RrType;
+using net::IpAddr;
+
+constexpr dns::CacheTime kSec = 1'000'000;
+
+TEST(Cache, MissOnEmpty) {
+  Cache cache;
+  EXPECT_EQ(cache.lookup(DnsName::must_parse("a.org"), RrType::kA, 0).kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(Cache, PositiveHitAndExpiry) {
+  Cache cache;
+  const auto name = DnsName::must_parse("a.org");
+  cache.insert_positive({dns::make_a(name, IpAddr::must_parse("192.0.2.1"), 60)},
+                        0);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 59 * kSec).kind,
+            CacheHitKind::kPositive);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 60 * kSec).kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(Cache, TtlDecaysOnHit) {
+  Cache cache;
+  const auto name = DnsName::must_parse("a.org");
+  cache.insert_positive({dns::make_a(name, IpAddr::must_parse("192.0.2.1"), 100)},
+                        0);
+  const auto hit = cache.lookup(name, RrType::kA, 40 * kSec);
+  ASSERT_EQ(hit.kind, CacheHitKind::kPositive);
+  EXPECT_EQ(hit.records[0].ttl, 60u);
+}
+
+TEST(Cache, RrsetTtlIsMinimum) {
+  Cache cache;
+  const auto name = DnsName::must_parse("a.org");
+  cache.insert_positive({dns::make_a(name, IpAddr::must_parse("192.0.2.1"), 100),
+                         dns::make_a(name, IpAddr::must_parse("192.0.2.2"), 10)},
+                        0);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 11 * kSec).kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(Cache, TypeSeparation) {
+  Cache cache;
+  const auto name = DnsName::must_parse("a.org");
+  cache.insert_positive({dns::make_a(name, IpAddr::must_parse("192.0.2.1"), 60)},
+                        0);
+  EXPECT_EQ(cache.lookup(name, RrType::kAaaa, 0).kind, CacheHitKind::kMiss);
+}
+
+TEST(Cache, MixedRrsetRejected) {
+  Cache cache;
+  EXPECT_THROW(
+      cache.insert_positive(
+          {dns::make_a(DnsName::must_parse("a.org"),
+                       IpAddr::must_parse("192.0.2.1")),
+           dns::make_a(DnsName::must_parse("b.org"),
+                       IpAddr::must_parse("192.0.2.2"))},
+          0),
+      InvariantError);
+}
+
+TEST(Cache, NegativeNameHit) {
+  Cache cache;
+  cache.insert_nxdomain(DnsName::must_parse("gone.org"), 300, 0);
+  EXPECT_EQ(cache.lookup(DnsName::must_parse("gone.org"), RrType::kA, 0).kind,
+            CacheHitKind::kNegativeName);
+  EXPECT_EQ(
+      cache.lookup(DnsName::must_parse("gone.org"), RrType::kA, 301 * kSec)
+          .kind,
+      CacheHitKind::kMiss);
+}
+
+TEST(Cache, Rfc8020AncestorCoversDescendants) {
+  Cache cache;  // rfc8020 on by default
+  cache.insert_nxdomain(DnsName::must_parse("x1.dns-lab.org"), 300, 0);
+  // This is the paper's §3.6.4 mechanism: the NXDOMAIN for the keyword label
+  // suppresses every later experiment query through this resolver.
+  EXPECT_EQ(cache
+                .lookup(DnsName::must_parse("999.aa.bb.1.m0.x1.dns-lab.org"),
+                        RrType::kA, 10 * kSec)
+                .kind,
+            CacheHitKind::kNegativeName);
+  // Parents and siblings are not covered.
+  EXPECT_EQ(cache.lookup(DnsName::must_parse("dns-lab.org"), RrType::kA, 0).kind,
+            CacheHitKind::kMiss);
+  EXPECT_EQ(
+      cache.lookup(DnsName::must_parse("x2.dns-lab.org"), RrType::kA, 0).kind,
+      CacheHitKind::kMiss);
+}
+
+TEST(Cache, Rfc8020CanBeDisabled) {
+  dns::CacheConfig config;
+  config.rfc8020 = false;
+  Cache cache(config);
+  cache.insert_nxdomain(DnsName::must_parse("x1.dns-lab.org"), 300, 0);
+  EXPECT_EQ(cache
+                .lookup(DnsName::must_parse("sub.x1.dns-lab.org"), RrType::kA,
+                        0)
+                .kind,
+            CacheHitKind::kMiss);
+  // The exact name still hits.
+  EXPECT_EQ(
+      cache.lookup(DnsName::must_parse("x1.dns-lab.org"), RrType::kA, 0).kind,
+      CacheHitKind::kNegativeName);
+}
+
+TEST(Cache, NegativeTypeHit) {
+  Cache cache;
+  const auto name = DnsName::must_parse("a.org");
+  cache.insert_nodata(name, RrType::kAaaa, 60, 0);
+  EXPECT_EQ(cache.lookup(name, RrType::kAaaa, 0).kind,
+            CacheHitKind::kNegativeType);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 0).kind, CacheHitKind::kMiss);
+  EXPECT_EQ(cache.lookup(name, RrType::kAaaa, 61 * kSec).kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(Cache, MaxTtlClamp) {
+  dns::CacheConfig config;
+  config.max_ttl = 10;
+  Cache cache(config);
+  const auto name = DnsName::must_parse("a.org");
+  cache.insert_positive(
+      {dns::make_a(name, IpAddr::must_parse("192.0.2.1"), 100000)}, 0);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 11 * kSec).kind,
+            CacheHitKind::kMiss);
+  cache.insert_nxdomain(DnsName::must_parse("n.org"), 100000, 0);
+  EXPECT_EQ(cache.lookup(DnsName::must_parse("n.org"), RrType::kA, 11 * kSec)
+                .kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(Cache, PurgeRemovesExpired) {
+  Cache cache;
+  cache.insert_positive({dns::make_a(DnsName::must_parse("a.org"),
+                                     IpAddr::must_parse("192.0.2.1"), 10)},
+                        0);
+  cache.insert_nxdomain(DnsName::must_parse("b.org"), 10, 0);
+  cache.insert_nodata(DnsName::must_parse("c.org"), RrType::kA, 1000, 0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.purge(11 * kSec), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, EmptyRrsetIgnored) {
+  Cache cache;
+  cache.insert_positive({}, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Unit tests: DNS message wire codec across all record types and flags.
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd;
+using dns::DnsMessage;
+using dns::DnsName;
+using dns::DnsRr;
+using dns::Rcode;
+using dns::RrType;
+using net::IpAddr;
+
+DnsMessage round_trip(const DnsMessage& m) {
+  return DnsMessage::decode(m.encode());
+}
+
+TEST(DnsMessage, HeaderFlagsRoundTrip) {
+  DnsMessage m;
+  m.header.id = 0xABCD;
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.tc = true;
+  m.header.rd = true;
+  m.header.ra = true;
+  m.header.rcode = Rcode::kNxDomain;
+  m.header.opcode = dns::Opcode::kUpdate;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(DnsMessage, QueryRoundTrip) {
+  const auto q = dns::make_query(42, DnsName::must_parse("x.example.org"),
+                                 RrType::kAaaa);
+  EXPECT_EQ(q.header.rd, true);
+  EXPECT_EQ(round_trip(q), q);
+}
+
+// Parameterized over every rdata type we interpret.
+class RdataRoundTrip : public ::testing::TestWithParam<DnsRr> {};
+
+TEST_P(RdataRoundTrip, EncodesAndDecodes) {
+  DnsMessage m;
+  m.header.qr = true;
+  m.answers.push_back(GetParam());
+  const DnsMessage out = round_trip(m);
+  ASSERT_EQ(out.answers.size(), 1u);
+  EXPECT_EQ(out.answers[0], GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, RdataRoundTrip,
+    ::testing::Values(
+        dns::make_a(DnsName::must_parse("a.example.org"),
+                    IpAddr::must_parse("192.0.2.1"), 60),
+        dns::make_aaaa(DnsName::must_parse("a.example.org"),
+                       IpAddr::must_parse("2001:db8::1"), 61),
+        dns::make_ns(DnsName::must_parse("example.org"),
+                     DnsName::must_parse("ns1.example.org"), 62),
+        dns::make_cname(DnsName::must_parse("www.example.org"),
+                        DnsName::must_parse("host.example.org"), 63),
+        dns::make_ptr(DnsName::must_parse("1.2.0.192.in-addr.arpa"),
+                      DnsName::must_parse("host.example.org"), 64),
+        dns::make_txt(DnsName::must_parse("example.org"), "hello world", 65),
+        dns::make_soa(DnsName::must_parse("example.org"),
+                      dns::SoaRdata{DnsName::must_parse("mname.example.org"),
+                                    DnsName::must_parse("rname.example.org"),
+                                    2019, 7200, 3600, 1209600, 300},
+                      66)));
+
+TEST(DnsMessage, LongTxtChunks) {
+  const std::string text(700, 'x');
+  DnsMessage m;
+  m.answers.push_back(dns::make_txt(DnsName::must_parse("t.org"), text));
+  const DnsMessage out = round_trip(m);
+  const auto* txt = std::get_if<dns::TxtRdata>(&out.answers[0].rdata);
+  ASSERT_NE(txt, nullptr);
+  EXPECT_EQ(txt->text, text);
+}
+
+TEST(DnsMessage, EmptyTxt) {
+  DnsMessage m;
+  m.answers.push_back(dns::make_txt(DnsName::must_parse("t.org"), ""));
+  const DnsMessage out = round_trip(m);
+  EXPECT_EQ(std::get<dns::TxtRdata>(out.answers[0].rdata).text, "");
+}
+
+TEST(DnsMessage, AllSectionsRoundTrip) {
+  DnsMessage m = dns::make_query(7, DnsName::must_parse("q.example.org"),
+                                 RrType::kA);
+  m.header.qr = true;
+  m.answers.push_back(dns::make_cname(DnsName::must_parse("q.example.org"),
+                                      DnsName::must_parse("r.example.org")));
+  m.answers.push_back(dns::make_a(DnsName::must_parse("r.example.org"),
+                                  IpAddr::must_parse("192.0.2.7")));
+  m.authorities.push_back(dns::make_ns(DnsName::must_parse("example.org"),
+                                       DnsName::must_parse("ns.example.org")));
+  m.additionals.push_back(dns::make_a(DnsName::must_parse("ns.example.org"),
+                                      IpAddr::must_parse("192.0.2.8")));
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(DnsMessage, CompressionMakesRepeatedNamesCheap) {
+  DnsMessage m = dns::make_query(1, DnsName::must_parse("host.example.org"),
+                                 RrType::kA);
+  DnsMessage big = m;
+  for (int i = 0; i < 10; ++i) {
+    big.answers.push_back(dns::make_a(DnsName::must_parse("host.example.org"),
+                                      IpAddr::v4(0x01020300u + static_cast<unsigned>(i))));
+  }
+  // Each additional A record should cost far less than a full name.
+  const std::size_t per_record =
+      (big.encode().size() - m.encode().size()) / 10;
+  EXPECT_LE(per_record, 16u);
+  EXPECT_EQ(round_trip(big), big);
+}
+
+TEST(DnsMessage, UnknownTypeCarriedRaw) {
+  DnsMessage m;
+  DnsRr rr;
+  rr.name = DnsName::must_parse("x.org");
+  rr.type = static_cast<RrType>(99);
+  rr.rdata = dns::RawRdata{{1, 2, 3, 4}};
+  m.answers.push_back(rr);
+  const DnsMessage out = round_trip(m);
+  EXPECT_EQ(std::get<dns::RawRdata>(out.answers[0].rdata).bytes,
+            (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(DnsMessage, DecodeTruncatedThrows) {
+  auto wire = dns::make_query(9, DnsName::must_parse("abc.example.org"),
+                              RrType::kA)
+                  .encode();
+  for (const std::size_t cut : {2ul, 11ul, wire.size() - 1}) {
+    std::vector<std::uint8_t> trunc(wire.begin(),
+                                    wire.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)DnsMessage::decode(trunc), ParseError) << cut;
+  }
+}
+
+TEST(DnsMessage, MakeResponseEchoesQuestion) {
+  const auto q = dns::make_query(55, DnsName::must_parse("q.org"), RrType::kA);
+  const auto r = dns::make_response(q, Rcode::kRefused);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.header.id, 55);
+  EXPECT_EQ(r.header.rcode, Rcode::kRefused);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.qname(), q.qname());
+}
+
+TEST(DnsMessage, QnameOfEmptyMessage) {
+  EXPECT_EQ(DnsMessage{}.qname(), DnsName());
+}
+
+TEST(DnsMessage, WrongFamilyRdataRejected) {
+  DnsMessage m;
+  DnsRr rr;
+  rr.name = DnsName::must_parse("x.org");
+  rr.type = RrType::kA;
+  rr.rdata = dns::ARdata{IpAddr::must_parse("2001:db8::1")};  // v6 in A
+  m.answers.push_back(rr);
+  EXPECT_THROW((void)m.encode(), InvariantError);
+}
+
+TEST(DnsMessage, NamesForTypesAndRcodes) {
+  EXPECT_EQ(dns::rr_type_name(RrType::kA), "A");
+  EXPECT_EQ(dns::rr_type_name(RrType::kAaaa), "AAAA");
+  EXPECT_EQ(dns::rr_type_name(static_cast<RrType>(99)), "TYPE99");
+  EXPECT_EQ(dns::rcode_name(Rcode::kNxDomain), "NXDOMAIN");
+  EXPECT_EQ(dns::rcode_name(Rcode::kRefused), "REFUSED");
+}
+
+TEST(DnsMessage, RrToStringContainsFields) {
+  const auto rr = dns::make_a(DnsName::must_parse("h.org"),
+                              IpAddr::must_parse("192.0.2.1"), 77);
+  const std::string s = rr.to_string();
+  EXPECT_NE(s.find("h.org."), std::string::npos);
+  EXPECT_NE(s.find("77"), std::string::npos);
+  EXPECT_NE(s.find("192.0.2.1"), std::string::npos);
+}
+
+}  // namespace

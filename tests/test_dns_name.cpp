@@ -1,0 +1,153 @@
+// Unit tests: DNS names and wire encoding (compression, pointers, limits).
+#include <gtest/gtest.h>
+
+#include "dns/name.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+using dns::DnsName;
+
+TEST(DnsName, ParseAndFormat) {
+  const auto n = DnsName::must_parse("a.b.Example.ORG");
+  EXPECT_EQ(n.label_count(), 4u);
+  EXPECT_EQ(n.to_string(), "a.b.Example.ORG.");
+  EXPECT_EQ(DnsName::must_parse("a.b.example.org.").to_string(),
+            "a.b.example.org.");
+}
+
+TEST(DnsName, Root) {
+  const DnsName root;
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(DnsName::must_parse(".").label_count(), 0u);
+  EXPECT_EQ(root.wire_length(), 1u);
+}
+
+TEST(DnsName, ParseInvalid) {
+  EXPECT_FALSE(DnsName::parse(""));
+  EXPECT_FALSE(DnsName::parse("a..b"));
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'x') + ".org"));  // label > 63
+  // Total name too long: 5 labels of 63 = 320 > 255.
+  std::string huge;
+  for (int i = 0; i < 5; ++i) huge += std::string(63, 'a') + ".";
+  EXPECT_FALSE(DnsName::parse(huge));
+}
+
+TEST(DnsName, CaseInsensitiveEquality) {
+  EXPECT_EQ(DnsName::must_parse("DNS-Lab.Org"),
+            DnsName::must_parse("dns-lab.org"));
+  dns::DnsNameHash hash;
+  EXPECT_EQ(hash(DnsName::must_parse("A.B.c")),
+            hash(DnsName::must_parse("a.b.C")));
+}
+
+TEST(DnsName, Subdomain) {
+  const auto apex = DnsName::must_parse("dns-lab.org");
+  EXPECT_TRUE(DnsName::must_parse("x.dns-lab.org").is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(DnsName()));  // everything under root
+  EXPECT_FALSE(DnsName::must_parse("dns-lab.com").is_subdomain_of(apex));
+  EXPECT_FALSE(DnsName::must_parse("xdns-lab.org").is_subdomain_of(apex));
+  EXPECT_FALSE(DnsName::must_parse("org").is_subdomain_of(apex));
+}
+
+TEST(DnsName, ParentPrependSuffix) {
+  const auto n = DnsName::must_parse("a.b.c");
+  EXPECT_EQ(n.parent(), DnsName::must_parse("b.c"));
+  EXPECT_EQ(DnsName().parent(), DnsName());
+  EXPECT_EQ(n.prepend("x"), DnsName::must_parse("x.a.b.c"));
+  EXPECT_EQ(n.suffix(1), DnsName::must_parse("c"));
+  EXPECT_EQ(n.suffix(3), n);
+  EXPECT_EQ(n.suffix(9), n);
+  EXPECT_EQ(n.suffix(0), DnsName());
+}
+
+TEST(DnsName, CanonicalOrdering) {
+  // Right-to-left label comparison.
+  EXPECT_LT(DnsName::must_parse("z.a.org"), DnsName::must_parse("a.b.org"));
+  EXPECT_LT(DnsName::must_parse("org"), DnsName::must_parse("a.org"));
+  EXPECT_LT(DnsName(), DnsName::must_parse("com"));
+}
+
+TEST(NameWire, EncodeDecodeNoCompression) {
+  std::vector<std::uint8_t> wire;
+  dns::encode_name(DnsName::must_parse("www.example.org"), wire, nullptr);
+  EXPECT_EQ(wire.size(), 1 + 3 + 1 + 7 + 1 + 3 + 1);
+  std::size_t off = 0;
+  EXPECT_EQ(dns::decode_name(wire, off), DnsName::must_parse("www.example.org"));
+  EXPECT_EQ(off, wire.size());
+}
+
+TEST(NameWire, CompressionShrinksRepeats) {
+  std::vector<std::uint8_t> plain, compressed;
+  dns::NameCompressor comp;
+  const auto n1 = DnsName::must_parse("a.example.org");
+  const auto n2 = DnsName::must_parse("b.example.org");
+  dns::encode_name(n1, plain, nullptr);
+  dns::encode_name(n2, plain, nullptr);
+  dns::encode_name(n1, compressed, &comp);
+  dns::encode_name(n2, compressed, &comp);
+  EXPECT_LT(compressed.size(), plain.size());
+
+  std::size_t off = 0;
+  EXPECT_EQ(dns::decode_name(compressed, off), n1);
+  EXPECT_EQ(dns::decode_name(compressed, off), n2);
+  EXPECT_EQ(off, compressed.size());
+}
+
+TEST(NameWire, FullPointerReuse) {
+  dns::NameCompressor comp;
+  std::vector<std::uint8_t> wire;
+  const auto n = DnsName::must_parse("repeat.example.org");
+  dns::encode_name(n, wire, &comp);
+  const std::size_t first = wire.size();
+  dns::encode_name(n, wire, &comp);
+  EXPECT_EQ(wire.size(), first + 2);  // exactly one pointer
+  std::size_t off = first;
+  EXPECT_EQ(dns::decode_name(wire, off), n);
+}
+
+TEST(NameWire, RejectsPointerLoop) {
+  // A pointer that points at itself.
+  const std::vector<std::uint8_t> wire = {0xC0, 0x00};
+  std::size_t off = 0;
+  EXPECT_THROW((void)dns::decode_name(wire, off), ParseError);
+}
+
+TEST(NameWire, RejectsForwardPointer) {
+  const std::vector<std::uint8_t> wire = {0xC0, 0x04, 0x00, 0x00, 0x00};
+  std::size_t off = 0;
+  EXPECT_THROW((void)dns::decode_name(wire, off), ParseError);
+}
+
+TEST(NameWire, RejectsTruncation) {
+  std::vector<std::uint8_t> wire;
+  dns::encode_name(DnsName::must_parse("abcdef.org"), wire, nullptr);
+  wire.resize(wire.size() - 3);
+  std::size_t off = 0;
+  EXPECT_THROW((void)dns::decode_name(wire, off), ParseError);
+}
+
+TEST(NameWire, RandomRoundTripProperty) {
+  Rng rng(6);
+  static const char* kLabels[] = {"a", "bb", "ccc", "example", "x1",
+                                  "0123456789abcdef", "v4", "org"};
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::string> labels;
+    const std::size_t n = 1 + rng.uniform(6);
+    for (std::size_t j = 0; j < n; ++j) {
+      labels.push_back(kLabels[rng.uniform(8)]);
+    }
+    const DnsName name(labels);
+    std::vector<std::uint8_t> wire;
+    dns::NameCompressor comp;
+    dns::encode_name(name, wire, &comp);
+    std::size_t off = 0;
+    ASSERT_EQ(dns::decode_name(wire, off), name);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Unit tests: zone lookup semantics (RFC 1034): answers, negatives,
+// delegations with glue, wildcards, empty non-terminals.
+#include <gtest/gtest.h>
+
+#include "dns/zone.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd;
+using dns::DnsName;
+using dns::LookupKind;
+using dns::RrType;
+using dns::Zone;
+using net::IpAddr;
+
+dns::SoaRdata test_soa() {
+  dns::SoaRdata soa;
+  soa.mname = DnsName::must_parse("ns1.example.org");
+  soa.rname = DnsName::must_parse("admin.example.org");
+  soa.minimum = 300;
+  return soa;
+}
+
+Zone make_zone() {
+  Zone zone(DnsName::must_parse("example.org"), test_soa());
+  zone.add(dns::make_a(DnsName::must_parse("www.example.org"),
+                       IpAddr::must_parse("192.0.2.1")));
+  zone.add(dns::make_a(DnsName::must_parse("www.example.org"),
+                       IpAddr::must_parse("192.0.2.2")));
+  zone.add(dns::make_aaaa(DnsName::must_parse("www.example.org"),
+                          IpAddr::must_parse("2001:db8::1")));
+  zone.add(dns::make_cname(DnsName::must_parse("alias.example.org"),
+                           DnsName::must_parse("www.example.org")));
+  // Delegation with in-zone glue.
+  zone.add(dns::make_ns(DnsName::must_parse("sub.example.org"),
+                        DnsName::must_parse("ns.sub-host.example.org")));
+  zone.add(dns::make_a(DnsName::must_parse("ns.sub-host.example.org"),
+                       IpAddr::must_parse("192.0.2.53")));
+  // A deep record creating empty non-terminals.
+  zone.add(dns::make_txt(DnsName::must_parse("deep.empty.nodes.example.org"),
+                         "here"));
+  // Wildcard under services.
+  zone.add(dns::make_a(DnsName::must_parse("*.services.example.org"),
+                       IpAddr::must_parse("192.0.2.99")));
+  return zone;
+}
+
+TEST(Zone, ExactAnswerReturnsFullRrset) {
+  const Zone zone = make_zone();
+  const auto result =
+      zone.lookup(DnsName::must_parse("www.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_FALSE(result.wildcard);
+}
+
+TEST(Zone, AnswerIsTypeSpecific) {
+  const Zone zone = make_zone();
+  const auto result =
+      zone.lookup(DnsName::must_parse("www.example.org"), RrType::kAaaa);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, RrType::kAaaa);
+}
+
+TEST(Zone, CnameReturnedForOtherTypes) {
+  const Zone zone = make_zone();
+  const auto result =
+      zone.lookup(DnsName::must_parse("alias.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, RrType::kCname);
+}
+
+TEST(Zone, NoDataForMissingType) {
+  const Zone zone = make_zone();
+  const auto result =
+      zone.lookup(DnsName::must_parse("www.example.org"), RrType::kTxt);
+  EXPECT_EQ(result.kind, LookupKind::kNoData);
+  ASSERT_TRUE(result.soa.has_value());
+  EXPECT_EQ(result.soa->type, RrType::kSoa);
+}
+
+TEST(Zone, NxDomainWithSoa) {
+  const Zone zone = make_zone();
+  const auto result =
+      zone.lookup(DnsName::must_parse("missing.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kNxDomain);
+  EXPECT_TRUE(result.soa.has_value());
+}
+
+TEST(Zone, EmptyNonTerminalIsNoDataNotNxDomain) {
+  const Zone zone = make_zone();
+  for (const char* name : {"empty.nodes.example.org", "nodes.example.org"}) {
+    const auto result = zone.lookup(DnsName::must_parse(name), RrType::kA);
+    EXPECT_EQ(result.kind, LookupKind::kNoData) << name;
+  }
+}
+
+TEST(Zone, DelegationWithGlue) {
+  const Zone zone = make_zone();
+  const auto result =
+      zone.lookup(DnsName::must_parse("host.sub.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kDelegation);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, RrType::kNs);
+  ASSERT_EQ(result.glue.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(result.glue[0].rdata).addr,
+            IpAddr::must_parse("192.0.2.53"));
+}
+
+TEST(Zone, DelegationAppliesAtAndBelowCut) {
+  const Zone zone = make_zone();
+  EXPECT_EQ(zone.lookup(DnsName::must_parse("sub.example.org"), RrType::kA)
+                .kind,
+            LookupKind::kDelegation);
+  EXPECT_EQ(zone.lookup(DnsName::must_parse("a.b.c.sub.example.org"),
+                        RrType::kTxt)
+                .kind,
+            LookupKind::kDelegation);
+}
+
+TEST(Zone, ApexNsIsAnswerNotDelegation) {
+  Zone zone(DnsName::must_parse("example.org"), test_soa());
+  zone.add(dns::make_ns(DnsName::must_parse("example.org"),
+                        DnsName::must_parse("ns1.example.org")));
+  const auto result =
+      zone.lookup(DnsName::must_parse("example.org"), RrType::kNs);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+}
+
+TEST(Zone, WildcardSynthesis) {
+  const Zone zone = make_zone();
+  const auto result = zone.lookup(
+      DnsName::must_parse("anything.services.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+  EXPECT_TRUE(result.wildcard);
+  ASSERT_EQ(result.records.size(), 1u);
+  // Owner rewritten to the query name.
+  EXPECT_EQ(result.records[0].name,
+            DnsName::must_parse("anything.services.example.org"));
+}
+
+TEST(Zone, WildcardMatchesMultipleLabelsDeep) {
+  const Zone zone = make_zone();
+  const auto result = zone.lookup(
+      DnsName::must_parse("a.b.c.services.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+  EXPECT_TRUE(result.wildcard);
+}
+
+TEST(Zone, WildcardNoDataForOtherTypes) {
+  const Zone zone = make_zone();
+  const auto result = zone.lookup(
+      DnsName::must_parse("x.services.example.org"), RrType::kTxt);
+  EXPECT_EQ(result.kind, LookupKind::kNoData);
+  EXPECT_TRUE(result.wildcard);
+}
+
+TEST(Zone, ExistingNameShadowsWildcard) {
+  Zone zone(DnsName::must_parse("example.org"), test_soa());
+  zone.add(dns::make_a(DnsName::must_parse("*.example.org"),
+                       IpAddr::must_parse("192.0.2.99")));
+  zone.add(dns::make_txt(DnsName::must_parse("real.example.org"), "t"));
+  // real.example.org exists (with TXT only) -> NoData, not wildcard A.
+  const auto result =
+      zone.lookup(DnsName::must_parse("real.example.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kNoData);
+  EXPECT_FALSE(result.wildcard);
+}
+
+TEST(Zone, NotInZone) {
+  const Zone zone = make_zone();
+  EXPECT_EQ(zone.lookup(DnsName::must_parse("example.com"), RrType::kA).kind,
+            LookupKind::kNotInZone);
+  EXPECT_EQ(zone.lookup(DnsName::must_parse("org"), RrType::kA).kind,
+            LookupKind::kNotInZone);
+}
+
+TEST(Zone, AddOutOfZoneThrows) {
+  Zone zone(DnsName::must_parse("example.org"), test_soa());
+  EXPECT_THROW(zone.add(dns::make_a(DnsName::must_parse("other.com"),
+                                    IpAddr::must_parse("192.0.2.1"))),
+               InvariantError);
+}
+
+TEST(Zone, RootZoneContainsEverything) {
+  Zone root(DnsName(), test_soa());
+  root.add(dns::make_ns(DnsName::must_parse("org"),
+                        DnsName::must_parse("ns.tld-host.net")));
+  root.add(dns::make_a(DnsName::must_parse("ns.tld-host.net"),
+                       IpAddr::must_parse("192.0.2.10")));
+  const auto result =
+      root.lookup(DnsName::must_parse("deep.name.under.org"), RrType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kDelegation);
+  EXPECT_EQ(result.glue.size(), 1u);
+}
+
+TEST(Zone, RecordCount) {
+  EXPECT_EQ(make_zone().record_count(), 8u);
+}
+
+TEST(Zone, SoaRr) {
+  const Zone zone = make_zone();
+  const auto rr = zone.soa_rr();
+  EXPECT_EQ(rr.type, RrType::kSoa);
+  EXPECT_EQ(rr.name, zone.origin());
+  EXPECT_EQ(rr.ttl, 300u);  // negative TTL = SOA minimum
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Unit + property tests: IP addresses, prefixes, U128 arithmetic.
+#include <gtest/gtest.h>
+
+#include "net/ip.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+using net::IpAddr;
+using net::IpFamily;
+using net::Prefix;
+using net::U128;
+
+// --- U128 ----------------------------------------------------------------------
+
+TEST(U128, AdditionCarries) {
+  const U128 a{0, UINT64_MAX};
+  const U128 b{0, 1};
+  EXPECT_EQ(a + b, (U128{1, 0}));
+}
+
+TEST(U128, SubtractionBorrows) {
+  const U128 a{1, 0};
+  const U128 b{0, 1};
+  EXPECT_EQ(a - b, (U128{0, UINT64_MAX}));
+}
+
+TEST(U128, ShiftsAcrossHalves) {
+  const U128 one{0, 1};
+  EXPECT_EQ(one << 64, (U128{1, 0}));
+  EXPECT_EQ((U128{1, 0}) >> 64, one);
+  EXPECT_EQ(one << 128, U128{});
+  EXPECT_EQ((one << 65) >> 65, one);
+}
+
+TEST(U128, Comparisons) {
+  EXPECT_LT((U128{0, 5}), (U128{1, 0}));
+  EXPECT_LT((U128{1, 1}), (U128{1, 2}));
+  EXPECT_GE((U128{2, 0}), (U128{1, UINT64_MAX}));
+}
+
+TEST(U128, Mask128) {
+  EXPECT_EQ(net::mask128(0), U128{});
+  EXPECT_EQ(net::mask128(128), (U128{~0ULL, ~0ULL}));
+  EXPECT_EQ(net::mask128(64), (U128{~0ULL, 0}));
+  EXPECT_EQ(net::mask128(1), (U128{1ULL << 63, 0}));
+}
+
+TEST(U128, AddSubRoundTripProperty) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const U128 a{rng.u64(), rng.u64()};
+    const U128 b{rng.u64(), rng.u64()};
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+// --- IpAddr parse/format ---------------------------------------------------------
+
+TEST(IpAddr, ParseV4) {
+  const auto a = IpAddr::parse("192.168.0.1");
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->v4_bits(), 0xC0A80001u);
+}
+
+TEST(IpAddr, ParseV4Invalid) {
+  EXPECT_FALSE(IpAddr::parse("192.168.0"));
+  EXPECT_FALSE(IpAddr::parse("192.168.0.256"));
+  EXPECT_FALSE(IpAddr::parse("192.168.0.1.5"));
+  EXPECT_FALSE(IpAddr::parse("192.168.00.1"));  // ambiguous leading zero
+  EXPECT_FALSE(IpAddr::parse("a.b.c.d"));
+  EXPECT_FALSE(IpAddr::parse(""));
+}
+
+struct V6Case {
+  const char* input;
+  const char* canonical;
+};
+
+class V6ParseFormat : public ::testing::TestWithParam<V6Case> {};
+
+TEST_P(V6ParseFormat, RoundTripsToCanonical) {
+  const auto a = IpAddr::parse(GetParam().input);
+  ASSERT_TRUE(a) << GetParam().input;
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->to_string(), GetParam().canonical);
+  // Canonical form re-parses to the same address.
+  EXPECT_EQ(IpAddr::parse(a->to_string()), *a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, V6ParseFormat,
+    ::testing::Values(
+        V6Case{"::", "::"}, V6Case{"::1", "::1"}, V6Case{"1::", "1::"},
+        V6Case{"2001:db8::1", "2001:db8::1"},
+        V6Case{"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+        V6Case{"fe80::1:2:3:4", "fe80::1:2:3:4"},
+        V6Case{"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+        V6Case{"::ffff:192.0.2.1", "::ffff:c000:201"},
+        V6Case{"a::B:0:0:c", "a::b:0:0:c"},
+        V6Case{"0:0:1:0:0:0:1:0", "0:0:1::1:0"},
+        V6Case{"1:0:0:2:0:0:0:3", "1:0:0:2::3"}));
+
+TEST(IpAddr, ParseV6Invalid) {
+  EXPECT_FALSE(IpAddr::parse(":::"));
+  EXPECT_FALSE(IpAddr::parse("1::2::3"));
+  EXPECT_FALSE(IpAddr::parse("1:2:3:4:5:6:7"));
+  EXPECT_FALSE(IpAddr::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(IpAddr::parse("12345::"));
+  EXPECT_FALSE(IpAddr::parse("1:2:3:4:5:6:7:8::"));
+  EXPECT_FALSE(IpAddr::parse("::1.2.3"));
+}
+
+TEST(IpAddr, MustParseThrows) {
+  EXPECT_THROW((void)IpAddr::must_parse("bogus"), ParseError);
+}
+
+TEST(IpAddr, V4NeverEqualsV6Mapped) {
+  const auto v4 = IpAddr::must_parse("192.0.2.1");
+  const auto mapped = IpAddr::must_parse("::ffff:192.0.2.1");
+  EXPECT_NE(v4, mapped);
+}
+
+TEST(IpAddr, RoundTripPropertyV4) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = IpAddr::v4(static_cast<std::uint32_t>(rng.u64()));
+    EXPECT_EQ(IpAddr::parse(a.to_string()), a);
+  }
+}
+
+TEST(IpAddr, RoundTripPropertyV6) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    // Mix in sparse values so "::" compression paths are exercised.
+    std::uint64_t hi = rng.u64(), lo = rng.u64();
+    if (rng.chance(0.5)) hi &= 0xFFFF00000000FFFFULL;
+    if (rng.chance(0.5)) lo &= 0x0000FFFF00000000ULL;
+    const auto a = IpAddr::v6(hi, lo);
+    ASSERT_EQ(IpAddr::parse(a.to_string()), a) << a.to_string();
+  }
+}
+
+TEST(IpAddr, ToBytesNetworkOrder) {
+  EXPECT_EQ(IpAddr::must_parse("1.2.3.4").to_bytes(),
+            (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  const auto b6 = IpAddr::must_parse("2001:db8::ff").to_bytes();
+  ASSERT_EQ(b6.size(), 16u);
+  EXPECT_EQ(b6[0], 0x20);
+  EXPECT_EQ(b6[1], 0x01);
+  EXPECT_EQ(b6[15], 0xFF);
+}
+
+TEST(IpAddr, OffsetBy) {
+  EXPECT_EQ(IpAddr::must_parse("10.0.0.255").offset_by(1),
+            IpAddr::must_parse("10.0.1.0"));
+  EXPECT_EQ(IpAddr::must_parse("2001:db8::ffff:ffff:ffff:ffff").offset_by(1),
+            IpAddr::must_parse("2001:db8:0:1::"));
+}
+
+// --- Prefix -----------------------------------------------------------------------
+
+TEST(Prefix, ParseAndMask) {
+  const auto p = Prefix::must_parse("10.1.2.3/8");
+  EXPECT_EQ(p.base(), IpAddr::must_parse("10.0.0.0"));
+  EXPECT_EQ(p.length(), 8);
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, ParseInvalid) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129"));
+  EXPECT_FALSE(Prefix::parse("bogus/8"));
+}
+
+TEST(Prefix, Contains) {
+  const auto p = Prefix::must_parse("192.168.0.0/16");
+  EXPECT_TRUE(p.contains(IpAddr::must_parse("192.168.255.255")));
+  EXPECT_FALSE(p.contains(IpAddr::must_parse("192.169.0.0")));
+  EXPECT_FALSE(p.contains(IpAddr::must_parse("2001:db8::1")));  // family
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const auto outer = Prefix::must_parse("10.0.0.0/8");
+  EXPECT_TRUE(outer.contains(Prefix::must_parse("10.5.0.0/16")));
+  EXPECT_FALSE(outer.contains(Prefix::must_parse("11.0.0.0/16")));
+  EXPECT_FALSE(Prefix::must_parse("10.5.0.0/16").contains(outer));
+}
+
+TEST(Prefix, FirstLastNth) {
+  const auto p = Prefix::must_parse("10.0.0.0/24");
+  EXPECT_EQ(p.first(), IpAddr::must_parse("10.0.0.0"));
+  EXPECT_EQ(p.last(), IpAddr::must_parse("10.0.0.255"));
+  EXPECT_EQ(p.nth(37), IpAddr::must_parse("10.0.0.37"));
+}
+
+TEST(Prefix, LastV6) {
+  EXPECT_EQ(Prefix::must_parse("2001:db8::/64").last(),
+            IpAddr::must_parse("2001:db8::ffff:ffff:ffff:ffff"));
+  EXPECT_EQ(Prefix::must_parse("::/0").last(),
+            IpAddr::must_parse("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"));
+}
+
+TEST(Prefix, SizeClamped) {
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/24").size_clamped(), 256u);
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/32").size_clamped(), 1u);
+  EXPECT_EQ(Prefix::must_parse("2001:db8::/32").size_clamped(), UINT64_MAX);
+}
+
+TEST(Prefix, Subdivide) {
+  const auto p = Prefix::must_parse("10.0.0.0/22");
+  const auto subs = p.subdivide(24, 100);
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_EQ(subs[0], Prefix::must_parse("10.0.0.0/24"));
+  EXPECT_EQ(subs[3], Prefix::must_parse("10.0.3.0/24"));
+}
+
+TEST(Prefix, SubdivideRespectsCap) {
+  const auto p = Prefix::must_parse("10.0.0.0/8");
+  EXPECT_EQ(p.subdivide(24, 10).size(), 10u);
+}
+
+TEST(Prefix, CountSubprefixes) {
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/16").count_subprefixes(24), 256u);
+  EXPECT_EQ(Prefix::must_parse("2001:db8::/32").count_subprefixes(64),
+            1ULL << 32);
+  EXPECT_EQ(Prefix::must_parse("::/0").count_subprefixes(64), UINT64_MAX);
+}
+
+TEST(Prefix, ContainmentConsistentWithSubdivision) {
+  Rng rng(4);
+  const auto p = Prefix::must_parse("172.20.0.0/14");
+  for (const auto& sub : p.subdivide(24, 64)) {
+    EXPECT_TRUE(p.contains(sub));
+    EXPECT_TRUE(p.contains(sub.nth(rng.uniform(256))));
+  }
+}
+
+}  // namespace

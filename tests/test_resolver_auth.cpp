@@ -1,0 +1,203 @@
+// Unit tests: authoritative server behaviour (answers, negatives, TC
+// forcing, logging, TCP framing).
+#include <gtest/gtest.h>
+
+#include "resolver/auth.h"
+#include "sim/network.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd;
+using dns::DnsMessage;
+using dns::DnsName;
+using dns::Rcode;
+using dns::RrType;
+using net::IpAddr;
+
+struct AuthFixture {
+  sim::EventLoop loop;
+  sim::Topology topology;
+  sim::Network network{topology, loop, Rng(11)};
+  std::unique_ptr<sim::Host> host;
+  std::unique_ptr<resolver::AuthServer> auth;
+
+  AuthFixture() {
+    topology.add_as(1);
+    topology.announce(1, net::Prefix::must_parse("30.0.0.0/16"));
+    topology.add_as(2);
+    topology.announce(2, net::Prefix::must_parse("31.0.0.0/16"));
+    host = std::make_unique<sim::Host>(
+        network, 1, sim::os_profile(sim::OsId::kUbuntu1904),
+        std::vector<IpAddr>{IpAddr::must_parse("30.0.0.1")}, Rng(1), "auth");
+
+    resolver::AuthConfig config;
+    config.truncate_suffixes.push_back(DnsName::must_parse("tcp.test"));
+    auth = std::make_unique<resolver::AuthServer>(*host, config);
+
+    dns::SoaRdata soa;
+    soa.mname = DnsName::must_parse("ns1.test");
+    soa.rname = DnsName::must_parse("admin.test");
+    auto zone = std::make_shared<dns::Zone>(DnsName::must_parse("test"), soa);
+    zone->add(dns::make_a(DnsName::must_parse("www.test"),
+                          IpAddr::must_parse("30.0.0.80")));
+    zone->add(dns::make_ns(DnsName::must_parse("child.test"),
+                           DnsName::must_parse("ns.child-host.test")));
+    zone->add(dns::make_a(DnsName::must_parse("ns.child-host.test"),
+                          IpAddr::must_parse("30.0.0.90")));
+    auth->add_zone(zone);
+  }
+
+  DnsMessage ask(const char* qname, RrType type = RrType::kA,
+                 bool tcp = false) {
+    return auth->answer(dns::make_query(1, DnsName::must_parse(qname), type),
+                        tcp);
+  }
+};
+
+TEST(AuthServer, AnswersFromZone) {
+  AuthFixture f;
+  const auto resp = f.ask("www.test");
+  EXPECT_EQ(resp.header.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.header.aa);
+  ASSERT_EQ(resp.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(resp.answers[0].rdata).addr,
+            IpAddr::must_parse("30.0.0.80"));
+}
+
+TEST(AuthServer, NxDomainCarriesSoa) {
+  AuthFixture f;
+  const auto resp = f.ask("missing.test");
+  EXPECT_EQ(resp.header.rcode, Rcode::kNxDomain);
+  ASSERT_EQ(resp.authorities.size(), 1u);
+  EXPECT_EQ(resp.authorities[0].type, RrType::kSoa);
+}
+
+TEST(AuthServer, NoDataCarriesSoa) {
+  AuthFixture f;
+  const auto resp = f.ask("www.test", RrType::kAaaa);
+  EXPECT_EQ(resp.header.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answers.empty());
+  ASSERT_EQ(resp.authorities.size(), 1u);
+  EXPECT_EQ(resp.authorities[0].type, RrType::kSoa);
+}
+
+TEST(AuthServer, DelegationIsNonAuthoritativeWithGlue) {
+  AuthFixture f;
+  const auto resp = f.ask("deep.child.test");
+  EXPECT_EQ(resp.header.rcode, Rcode::kNoError);
+  EXPECT_FALSE(resp.header.aa);
+  ASSERT_EQ(resp.authorities.size(), 1u);
+  EXPECT_EQ(resp.authorities[0].type, RrType::kNs);
+  ASSERT_EQ(resp.additionals.size(), 1u);
+}
+
+TEST(AuthServer, RefusedOutOfZone) {
+  AuthFixture f;
+  EXPECT_EQ(f.ask("other.example").header.rcode, Rcode::kRefused);
+}
+
+TEST(AuthServer, TruncatesUdpUnderTcSuffix) {
+  AuthFixture f;
+  const auto udp_resp = f.ask("probe.tcp.test");
+  EXPECT_TRUE(udp_resp.header.tc);
+  EXPECT_TRUE(udp_resp.answers.empty());
+  // Over TCP the truncation hack is bypassed and the zone answers normally.
+  const auto tcp_resp = f.ask("probe.tcp.test", RrType::kA, /*tcp=*/true);
+  EXPECT_FALSE(tcp_resp.header.tc);
+  EXPECT_EQ(tcp_resp.header.rcode, Rcode::kNxDomain);
+}
+
+TEST(AuthServer, LogsUdpQueries) {
+  AuthFixture f;
+  const auto query = dns::make_query(7, DnsName::must_parse("www.test"),
+                                     RrType::kA);
+  f.network.send(net::make_udp(IpAddr::must_parse("31.0.0.9"), 4242,
+                               IpAddr::must_parse("30.0.0.1"), 53,
+                               query.encode()),
+                 2);
+  f.loop.run();
+  ASSERT_EQ(f.auth->log().size(), 1u);
+  const auto& entry = f.auth->log().front();
+  EXPECT_EQ(entry.client, IpAddr::must_parse("31.0.0.9"));
+  EXPECT_EQ(entry.client_port, 4242);
+  EXPECT_EQ(entry.qname, DnsName::must_parse("www.test"));
+  EXPECT_FALSE(entry.tcp);
+  EXPECT_FALSE(entry.syn.has_value());
+  EXPECT_EQ(f.auth->queries_served(), 1u);
+}
+
+TEST(AuthServer, ObserverInvoked) {
+  AuthFixture f;
+  int observed = 0;
+  f.auth->add_observer([&](const resolver::AuthLogEntry&) { ++observed; });
+  const auto query = dns::make_query(7, DnsName::must_parse("www.test"),
+                                     RrType::kA);
+  f.network.send(net::make_udp(IpAddr::must_parse("31.0.0.9"), 4242,
+                               IpAddr::must_parse("30.0.0.1"), 53,
+                               query.encode()),
+                 2);
+  f.loop.run();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(AuthServer, IgnoresGarbageAndResponses) {
+  AuthFixture f;
+  f.network.send(net::make_udp(IpAddr::must_parse("31.0.0.9"), 4242,
+                               IpAddr::must_parse("30.0.0.1"), 53,
+                               {0xDE, 0xAD}),
+                 2);
+  DnsMessage response = dns::make_response(
+      dns::make_query(9, DnsName::must_parse("www.test"), RrType::kA),
+      Rcode::kNoError);
+  f.network.send(net::make_udp(IpAddr::must_parse("31.0.0.9"), 4242,
+                               IpAddr::must_parse("30.0.0.1"), 53,
+                               response.encode()),
+                 2);
+  f.loop.run();
+  EXPECT_EQ(f.auth->log().size(), 0u);
+}
+
+TEST(AuthServer, LogCapRotates) {
+  AuthFixture f2;
+  resolver::AuthConfig config;
+  config.max_log = 2;
+  sim::Host host2(f2.network, 1, sim::os_profile(sim::OsId::kUbuntu1904),
+                  {IpAddr::must_parse("30.0.0.2")}, Rng(2), "auth2");
+  resolver::AuthServer auth2(host2, config);
+  for (int i = 0; i < 5; ++i) {
+    const auto query = dns::make_query(
+        static_cast<std::uint16_t>(i),
+        DnsName::must_parse("q" + std::to_string(i) + ".test"), RrType::kA);
+    f2.network.send(net::make_udp(IpAddr::must_parse("31.0.0.9"), 4242,
+                                  IpAddr::must_parse("30.0.0.2"), 53,
+                                  query.encode()),
+                    2);
+  }
+  f2.loop.run();
+  EXPECT_EQ(auth2.log().size(), 2u);
+  EXPECT_EQ(auth2.queries_served(), 5u);
+  // Per-packet jitter reorders arrivals; the retained entries are simply the
+  // last two to arrive, whichever those were.
+  for (const auto& entry : auth2.log()) {
+    EXPECT_TRUE(entry.qname.is_subdomain_of(DnsName::must_parse("test")));
+  }
+}
+
+TEST(TcpFraming, RoundTrip) {
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  const auto framed = resolver::tcp_frame(msg);
+  ASSERT_EQ(framed.size(), 7u);
+  EXPECT_EQ(framed[0], 0);
+  EXPECT_EQ(framed[1], 5);
+  EXPECT_EQ(resolver::tcp_unframe(framed), msg);
+}
+
+TEST(TcpFraming, RejectsBadInput) {
+  EXPECT_THROW((void)resolver::tcp_unframe(std::vector<std::uint8_t>{0}),
+               ParseError);
+  EXPECT_THROW((void)resolver::tcp_unframe(std::vector<std::uint8_t>{0, 9, 1}),
+               ParseError);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Unit + property tests: source-port allocation strategies (Table 5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "resolver/port_alloc.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd;
+using namespace cd::resolver;
+
+TEST(FixedPort, AlwaysSame) {
+  FixedPortAllocator alloc(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alloc.next(), 53);
+  EXPECT_EQ(alloc.describe(), "fixed:53");
+}
+
+TEST(SmallPool, DrawsOnlyFromPool) {
+  const std::vector<std::uint16_t> pool = {1111, 2222, 3333};
+  SmallPoolAllocator alloc(pool, Rng(1));
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint16_t p = alloc.next();
+    seen.insert(p);
+    EXPECT_TRUE(p == 1111 || p == 2222 || p == 3333);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all pool members eventually used
+}
+
+TEST(SmallPool, EmptyPoolThrows) {
+  EXPECT_THROW(SmallPoolAllocator({}, Rng(1)), InvariantError);
+}
+
+TEST(Sequential, StrictlyIncreasingWithWrap) {
+  SequentialAllocator alloc(100, 104, 102);
+  EXPECT_EQ(alloc.next(), 102);
+  EXPECT_EQ(alloc.next(), 103);
+  EXPECT_EQ(alloc.next(), 104);
+  EXPECT_EQ(alloc.next(), 100);  // wrap
+  EXPECT_EQ(alloc.next(), 101);
+  EXPECT_EQ(alloc.next(), 102);
+}
+
+TEST(Sequential, InvalidBoundsThrow) {
+  EXPECT_THROW(SequentialAllocator(10, 5, 7), InvariantError);
+  EXPECT_THROW(SequentialAllocator(10, 20, 25), InvariantError);
+}
+
+TEST(UniformRange, StaysWithinBounds) {
+  UniformRangeAllocator alloc(32768, 61000, Rng(2));
+  std::uint16_t lo = UINT16_MAX, hi = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint16_t p = alloc.next();
+    ASSERT_GE(p, 32768);
+    ASSERT_LE(p, 61000);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  // With 20k draws from a 28k pool the observed range should be near-full.
+  EXPECT_LT(lo, 32768 + 100);
+  EXPECT_GT(hi, 61000 - 100);
+}
+
+TEST(UniformRange, SingletonRange) {
+  UniformRangeAllocator alloc(7777, 7777, Rng(3));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(alloc.next(), 7777);
+}
+
+TEST(WindowsPool, ExactlyPoolSizeValues) {
+  WindowsPoolAllocator alloc(static_cast<std::uint16_t>(50000), Rng(4));
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 100000; ++i) seen.insert(alloc.next());
+  EXPECT_EQ(seen.size(), WindowsPoolAllocator::kPoolSize);
+  EXPECT_EQ(*seen.begin(), 50000);
+  EXPECT_EQ(*seen.rbegin(), 50000 + 2499);
+  EXPECT_FALSE(alloc.wraps());
+}
+
+TEST(WindowsPool, WrapsPastIanaMax) {
+  // Start in the top 2,499 ports: the pool wraps to the bottom of the range.
+  WindowsPoolAllocator alloc(static_cast<std::uint16_t>(65000), Rng(5));
+  EXPECT_TRUE(alloc.wraps());
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint16_t p = alloc.next();
+    seen.insert(p);
+    // Every port is inside the IANA range despite the wrap.
+    ASSERT_GE(p, WindowsPoolAllocator::kIanaMin);
+  }
+  EXPECT_EQ(seen.size(), WindowsPoolAllocator::kPoolSize);
+  // Both the high tail and the wrapped low head are populated.
+  EXPECT_TRUE(seen.count(65535));
+  EXPECT_TRUE(seen.count(WindowsPoolAllocator::kIanaMin));
+  // 65000..65535 is 536 ports; the rest start at 49152.
+  EXPECT_EQ(*seen.rbegin(), 65535);
+  EXPECT_EQ(*seen.begin(), WindowsPoolAllocator::kIanaMin);
+}
+
+TEST(WindowsPool, RandomStartInIanaRange) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    WindowsPoolAllocator alloc{Rng(seed)};
+    EXPECT_GE(alloc.pool_start(), WindowsPoolAllocator::kIanaMin);
+    EXPECT_LE(alloc.pool_start(), WindowsPoolAllocator::kIanaMax);
+  }
+}
+
+TEST(WindowsPool, BelowIanaStartThrows) {
+  EXPECT_THROW(WindowsPoolAllocator(static_cast<std::uint16_t>(1000), Rng(1)),
+               InvariantError);
+}
+
+// Property sweep: every allocator yields ports in [1, 65535] forever.
+class AllAllocators
+    : public ::testing::TestWithParam<std::shared_ptr<PortAllocator>> {};
+
+TEST_P(AllAllocators, NeverYieldsPortZero) {
+  auto alloc = GetParam();
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(alloc->next(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllAllocators,
+    ::testing::Values(
+        std::make_shared<FixedPortAllocator>(53),
+        std::make_shared<SmallPoolAllocator>(
+            std::vector<std::uint16_t>{1024, 2048}, Rng(1)),
+        std::make_shared<SequentialAllocator>(1024, 1224, 1024),
+        std::make_shared<UniformRangeAllocator>(1024, 65535, Rng(2)),
+        std::make_shared<WindowsPoolAllocator>(Rng(3))));
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Unit tests: software profiles and their default allocators (Table 5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "resolver/software.h"
+#include "sim/os_model.h"
+
+namespace {
+
+using namespace cd;
+using namespace cd::resolver;
+
+struct SoftwareCase {
+  DnsSoftware software;
+  sim::OsId os;
+  // Expectations on 5,000 draws:
+  std::size_t min_unique;
+  std::size_t max_unique;
+  std::uint16_t lo;  // all ports >= lo
+  std::uint16_t hi;  // all ports <= hi
+};
+
+class DefaultAllocator : public ::testing::TestWithParam<SoftwareCase> {};
+
+TEST_P(DefaultAllocator, MatchesTable5Behaviour) {
+  const SoftwareCase& c = GetParam();
+  auto alloc = make_default_allocator(c.software, sim::os_profile(c.os),
+                                      Rng(1234));
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint16_t p = alloc->next();
+    ASSERT_GE(p, c.lo);
+    ASSERT_LE(p, c.hi);
+    seen.insert(p);
+  }
+  EXPECT_GE(seen.size(), c.min_unique);
+  EXPECT_LE(seen.size(), c.max_unique);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5, DefaultAllocator,
+    ::testing::Values(
+        // BIND 9.5.0: 8 ports, selected at startup.
+        SoftwareCase{DnsSoftware::kBind950, sim::OsId::kUbuntu1904, 2, 8,
+                     1024, 65535},
+        // Full-unprivileged-range implementations.
+        SoftwareCase{DnsSoftware::kBind952To988, sim::OsId::kUbuntu1904, 3000,
+                     5000, 1024, 65535},
+        SoftwareCase{DnsSoftware::kUnbound190, sim::OsId::kFreeBsd121, 3000,
+                     5000, 1024, 65535},
+        SoftwareCase{DnsSoftware::kPowerDns420, sim::OsId::kWin2016, 3000,
+                     5000, 1024, 65535},
+        // OS-default implementations inherit the ephemeral range.
+        SoftwareCase{DnsSoftware::kBind9913To9160, sim::OsId::kUbuntu1904,
+                     3000, 5000, 32768, 61000},
+        SoftwareCase{DnsSoftware::kBind9913To9160, sim::OsId::kFreeBsd121,
+                     3000, 5000, 49152, 65535},
+        SoftwareCase{DnsSoftware::kKnot321, sim::OsId::kUbuntu1904, 3000,
+                     5000, 32768, 61000},
+        // Single fixed port.
+        SoftwareCase{DnsSoftware::kWindowsDns2003, sim::OsId::kWin2003, 1, 1,
+                     1024, 65535},
+        SoftwareCase{DnsSoftware::kBind8, sim::OsId::kUbuntu1004, 1, 1, 53,
+                     53},
+        SoftwareCase{DnsSoftware::kFixedMisconfig, sim::OsId::kUbuntu1904, 1,
+                     1, 53, 65535},
+        // Windows DNS 2008 R2+: 2,500-port pool inside the IANA range.
+        SoftwareCase{DnsSoftware::kWindowsDns2008R2, sim::OsId::kWin2012,
+                     2000, 2500, 49152, 65535},
+        // Legacy misbehaviours: narrow spans.
+        SoftwareCase{DnsSoftware::kLegacySequential, sim::OsId::kEmbeddedCpe,
+                     21, 201, 1024, 65535},
+        SoftwareCase{DnsSoftware::kLegacySmallPool, sim::OsId::kEmbeddedCpe,
+                     2, 7, 1024, 65535}));
+
+TEST(SoftwareProfiles, AllRegistered) {
+  EXPECT_GE(all_software_profiles().size(), 12u);
+  for (const SoftwareProfile& p : all_software_profiles()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_EQ(&software_profile(p.id), &p);
+    EXPECT_FALSE(default_pool_description(p.id).empty());
+  }
+}
+
+TEST(SoftwareProfiles, KnotMinimizesStrictly) {
+  EXPECT_EQ(software_profile(DnsSoftware::kKnot321).qmin, QminMode::kStrict);
+  EXPECT_EQ(software_profile(DnsSoftware::kBind952To988).qmin, QminMode::kOff);
+}
+
+TEST(SoftwareProfiles, SequentialAllocatorWalksInOrder) {
+  auto alloc = make_default_allocator(DnsSoftware::kLegacySequential,
+                                      sim::os_profile(sim::OsId::kEmbeddedCpe),
+                                      Rng(9));
+  std::uint16_t prev = alloc->next();
+  int decreases = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint16_t p = alloc->next();
+    if (p < prev) ++decreases;
+    prev = p;
+  }
+  // Walks upward, wrapping occasionally (span <= 200 over 300 draws -> at
+  // least one wrap, each wrap is a single decrease).
+  EXPECT_GE(decreases, 1);
+  EXPECT_LE(decreases, 15);
+}
+
+TEST(OsProfiles, EphemeralRangesMatchPaper) {
+  EXPECT_EQ(sim::os_profile(sim::OsId::kUbuntu1904).ephemeral_lo, 32768);
+  EXPECT_EQ(sim::os_profile(sim::OsId::kUbuntu1904).ephemeral_hi, 61000);
+  EXPECT_EQ(sim::os_profile(sim::OsId::kFreeBsd121).ephemeral_lo, 49152);
+  EXPECT_EQ(sim::os_profile(sim::OsId::kFreeBsd121).ephemeral_hi, 65535);
+  // Max observable ranges match §5.3.2: 28,232 / 16,383.
+  EXPECT_EQ(61000 - 32768, 28232);
+  EXPECT_EQ(65535 - 49152, 16383);
+}
+
+TEST(OsProfiles, RegistryConsistent) {
+  for (const sim::OsProfile& p : sim::all_os_profiles()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_LE(p.ephemeral_lo, p.ephemeral_hi);
+    EXPECT_EQ(&sim::os_profile(p.id), &p);
+    EXPECT_FALSE(p.fp.syn_options.empty());
+  }
+}
+
+}  // namespace

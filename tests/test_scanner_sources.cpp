@@ -1,0 +1,182 @@
+// Unit + property tests: spoofed-source selection (§3.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/special.h"
+#include "scanner/source_select.h"
+
+namespace {
+
+using namespace cd;
+using net::IpAddr;
+using net::Prefix;
+using scanner::SourceCategory;
+using scanner::SourceSelector;
+using scanner::SpoofedSource;
+
+struct SelectFixture {
+  sim::Topology topology;
+
+  SelectFixture() {
+    topology.add_as(100);  // large AS: a /16 (256 /24s)
+    topology.announce(100, Prefix::must_parse("20.0.0.0/16"));
+    topology.add_as(200);  // small AS: one /22 (4 /24s)
+    topology.announce(200, Prefix::must_parse("21.0.0.0/22"));
+    topology.add_as(300);  // v6 AS
+    topology.announce(300, Prefix::must_parse("2400:30::/32"));
+    topology.announce(300, Prefix::must_parse("22.0.0.0/24"));
+  }
+
+  SourceSelector make(std::vector<IpAddr> hitlist = {},
+                      scanner::SourceSelectConfig config = {}) {
+    return SourceSelector(topology, std::move(hitlist), config, Rng(5));
+  }
+};
+
+std::map<SourceCategory, std::vector<IpAddr>> by_category(
+    const std::vector<SpoofedSource>& sources) {
+  std::map<SourceCategory, std::vector<IpAddr>> out;
+  for (const auto& s : sources) out[s.category].push_back(s.addr);
+  return out;
+}
+
+TEST(SourceSelector, AllCategoriesPresentV4) {
+  SelectFixture f;
+  auto selector = f.make();
+  const auto target = IpAddr::must_parse("20.0.5.10");
+  const auto cats = by_category(selector.sources_for(target, 100));
+  EXPECT_EQ(cats.at(SourceCategory::kOtherPrefix).size(), 97u);
+  EXPECT_EQ(cats.at(SourceCategory::kSamePrefix).size(), 1u);
+  EXPECT_EQ(cats.at(SourceCategory::kPrivate),
+            std::vector<IpAddr>{IpAddr::must_parse("192.168.0.10")});
+  EXPECT_EQ(cats.at(SourceCategory::kDstAsSrc), std::vector<IpAddr>{target});
+  EXPECT_EQ(cats.at(SourceCategory::kLoopback),
+            std::vector<IpAddr>{IpAddr::must_parse("127.0.0.1")});
+}
+
+TEST(SourceSelector, TotalNeverExceeds101) {
+  SelectFixture f;
+  auto selector = f.make();
+  EXPECT_LE(selector.sources_for(IpAddr::must_parse("20.0.5.10"), 100).size(),
+            101u);
+}
+
+TEST(SourceSelector, SmallAsYieldsFewerOtherPrefixes) {
+  SelectFixture f;
+  auto selector = f.make();
+  const auto cats =
+      by_category(selector.sources_for(IpAddr::must_parse("21.0.1.7"), 200));
+  // 4 /24s minus the target's own leaves 3.
+  EXPECT_EQ(cats.at(SourceCategory::kOtherPrefix).size(), 3u);
+}
+
+TEST(SourceSelector, OtherPrefixPropertiesV4) {
+  SelectFixture f;
+  auto selector = f.make();
+  const auto target = IpAddr::must_parse("20.0.5.10");
+  const Prefix target_p24(target, 24);
+  const auto cats = by_category(selector.sources_for(target, 100));
+  std::set<net::U128, net::U128Hash> p24s;
+  std::set<cd::net::U128> unused;
+  std::set<std::string> seen24;
+  for (const IpAddr& addr : cats.at(SourceCategory::kOtherPrefix)) {
+    // In the AS, not in the target's own /24, one per /24, valid host part.
+    EXPECT_TRUE(Prefix::must_parse("20.0.0.0/16").contains(addr));
+    EXPECT_FALSE(target_p24.contains(addr));
+    const std::uint32_t last_octet = addr.v4_bits() & 0xFF;
+    EXPECT_GE(last_octet, 1u);
+    EXPECT_LE(last_octet, 254u);
+    EXPECT_TRUE(seen24.insert(Prefix(addr, 24).to_string()).second)
+        << "duplicate /24";
+  }
+}
+
+TEST(SourceSelector, SamePrefixInTargets24ButDistinct) {
+  SelectFixture f;
+  auto selector = f.make();
+  for (int i = 0; i < 20; ++i) {
+    const auto target = IpAddr::v4(0x14000000u + static_cast<unsigned>(i * 259 + 17));
+    const auto cats = by_category(selector.sources_for(target, 100));
+    const IpAddr same = cats.at(SourceCategory::kSamePrefix).front();
+    EXPECT_TRUE(Prefix(target, 24).contains(same));
+    EXPECT_NE(same, target);
+  }
+}
+
+TEST(SourceSelector, V6UsesUlaAndV6Loopback) {
+  SelectFixture f;
+  auto selector = f.make();
+  const auto target = IpAddr::must_parse("2400:30:0:5::10");
+  const auto cats = by_category(selector.sources_for(target, 300));
+  EXPECT_EQ(cats.at(SourceCategory::kPrivate),
+            std::vector<IpAddr>{IpAddr::must_parse("fc00::10")});
+  EXPECT_EQ(cats.at(SourceCategory::kLoopback),
+            std::vector<IpAddr>{IpAddr::must_parse("::1")});
+}
+
+TEST(SourceSelector, V6HostSelectionWindow) {
+  SelectFixture f;
+  auto selector = f.make();
+  const auto target = IpAddr::must_parse("2400:30:0:5::10");
+  const auto cats = by_category(selector.sources_for(target, 300));
+  for (const IpAddr& addr : cats.at(SourceCategory::kOtherPrefix)) {
+    EXPECT_TRUE(addr.is_v6());
+    // Within the first 100 addresses of its /64, skipping the first 2.
+    const std::uint64_t offset = addr.bits().lo & 0xFFFFFFFFFFFFFFFFULL;
+    const std::uint64_t host = offset - (Prefix(addr, 64).base().bits().lo);
+    EXPECT_GE(host, 2u);
+    EXPECT_LT(host, 100u);
+  }
+  const IpAddr same = cats.at(SourceCategory::kSamePrefix).front();
+  EXPECT_TRUE(Prefix(target, 64).contains(same));
+  EXPECT_NE(same, target);
+}
+
+TEST(SourceSelector, HitlistBiasesV6Selection) {
+  SelectFixture f;
+  // Hitlist: three active /64s in AS 300.
+  std::vector<IpAddr> hitlist = {IpAddr::must_parse("2400:30:0:aa::5"),
+                                 IpAddr::must_parse("2400:30:0:bb::9"),
+                                 IpAddr::must_parse("2400:30:0:cc::1")};
+  auto selector = f.make(hitlist);
+  const auto target = IpAddr::must_parse("2400:30:0:5::10");
+  const auto cats = by_category(selector.sources_for(target, 300));
+  std::set<std::string> chosen64;
+  for (const IpAddr& addr : cats.at(SourceCategory::kOtherPrefix)) {
+    chosen64.insert(Prefix(addr, 64).to_string());
+  }
+  // All hitlist /64s appear among the selected other-prefixes.
+  EXPECT_TRUE(chosen64.count("2400:30:0:aa::/64"));
+  EXPECT_TRUE(chosen64.count("2400:30:0:bb::/64"));
+  EXPECT_TRUE(chosen64.count("2400:30:0:cc::/64"));
+}
+
+TEST(SourceSelector, DeterministicPerTarget) {
+  SelectFixture f;
+  auto s1 = f.make();
+  auto s2 = f.make();
+  const auto target = IpAddr::must_parse("20.0.77.42");
+  // Same seed, same target -> identical lists, regardless of call order.
+  (void)s2.sources_for(IpAddr::must_parse("20.0.1.1"), 100);
+  EXPECT_EQ(s1.sources_for(target, 100), s2.sources_for(target, 100));
+}
+
+TEST(SourceSelector, CapConfigurable) {
+  SelectFixture f;
+  scanner::SourceSelectConfig config;
+  config.max_other_prefixes = 10;
+  auto selector = f.make({}, config);
+  const auto cats =
+      by_category(selector.sources_for(IpAddr::must_parse("20.0.5.10"), 100));
+  EXPECT_EQ(cats.at(SourceCategory::kOtherPrefix).size(), 10u);
+}
+
+TEST(SourceSelector, CategoryNames) {
+  EXPECT_EQ(scanner::source_category_name(SourceCategory::kOtherPrefix),
+            "Other Prefix");
+  EXPECT_EQ(scanner::source_category_name(SourceCategory::kLoopback),
+            "Loopback");
+}
+
+}  // namespace

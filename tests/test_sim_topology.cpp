@@ -1,0 +1,96 @@
+// Unit tests: routing table (LPM) and topology.
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cd;
+using net::IpAddr;
+using net::Prefix;
+using sim::Topology;
+
+TEST(RoutingTable, LongestPrefixWins) {
+  sim::RoutingTable routes;
+  routes.add(Prefix::must_parse("10.0.0.0/8"), 100);
+  routes.add(Prefix::must_parse("10.1.0.0/16"), 200);
+  routes.add(Prefix::must_parse("10.1.2.0/24"), 300);
+
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("10.1.2.3")), 300u);
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("10.1.9.9")), 200u);
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("10.200.0.1")), 100u);
+  EXPECT_FALSE(routes.lookup(IpAddr::must_parse("11.0.0.1")));
+}
+
+TEST(RoutingTable, LookupPrefixReturnsMatch) {
+  sim::RoutingTable routes;
+  routes.add(Prefix::must_parse("192.0.2.0/24"), 5);
+  const auto p = routes.lookup_prefix(IpAddr::must_parse("192.0.2.200"));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, Prefix::must_parse("192.0.2.0/24"));
+}
+
+TEST(RoutingTable, V6Lpm) {
+  sim::RoutingTable routes;
+  routes.add(Prefix::must_parse("2001:db8::/32"), 1);
+  routes.add(Prefix::must_parse("2001:db8:1::/48"), 2);
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("2001:db8:1::5")), 2u);
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("2001:db8:2::5")), 1u);
+  EXPECT_FALSE(routes.lookup(IpAddr::must_parse("2001:db9::1")));
+}
+
+TEST(RoutingTable, FamiliesAreSeparate) {
+  sim::RoutingTable routes;
+  routes.add(Prefix::must_parse("::/0"), 6);
+  EXPECT_FALSE(routes.lookup(IpAddr::must_parse("1.2.3.4")));
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("abcd::1")), 6u);
+}
+
+TEST(RoutingTable, LaterAnnouncementWins) {
+  sim::RoutingTable routes;
+  routes.add(Prefix::must_parse("10.0.0.0/8"), 1);
+  routes.add(Prefix::must_parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(routes.lookup(IpAddr::must_parse("10.0.0.1")), 2u);
+  EXPECT_EQ(routes.size(), 1u);
+}
+
+TEST(Topology, AnnounceAndLookup) {
+  Topology topo;
+  topo.add_as(100);
+  topo.announce(100, Prefix::must_parse("20.0.0.0/16"));
+  topo.announce(100, Prefix::must_parse("2400:1::/32"));
+  EXPECT_EQ(topo.asn_of(IpAddr::must_parse("20.0.5.5")), 100u);
+  EXPECT_EQ(topo.asn_of(IpAddr::must_parse("2400:1::9")), 100u);
+  EXPECT_EQ(topo.prefixes_of(100, net::IpFamily::kV4).size(), 1u);
+  EXPECT_EQ(topo.prefixes_of(100, net::IpFamily::kV6).size(), 1u);
+  EXPECT_TRUE(topo.prefixes_of(999, net::IpFamily::kV4).empty());
+}
+
+TEST(Topology, AnnounceUnknownAsnThrows) {
+  Topology topo;
+  EXPECT_THROW(topo.announce(5, Prefix::must_parse("10.0.0.0/8")),
+               InvariantError);
+}
+
+TEST(Topology, IsInternalFollowsRouting) {
+  Topology topo;
+  topo.add_as(1);
+  topo.add_as(2);
+  topo.announce(1, Prefix::must_parse("20.0.0.0/16"));
+  topo.announce(2, Prefix::must_parse("20.1.0.0/16"));
+  EXPECT_TRUE(topo.is_internal(1, IpAddr::must_parse("20.0.0.1")));
+  EXPECT_FALSE(topo.is_internal(1, IpAddr::must_parse("20.1.0.1")));
+  EXPECT_FALSE(topo.is_internal(1, IpAddr::must_parse("192.168.0.1")));
+}
+
+TEST(Topology, AddAsIdempotent) {
+  Topology topo;
+  sim::AsInfo& a = topo.add_as(7, sim::FilterPolicy{.osav = true});
+  sim::AsInfo& b = topo.add_as(7, sim::FilterPolicy{});  // policy not reset
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(b.policy.osav);
+  EXPECT_EQ(topo.as_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wildcard.dir/ablation_wildcard.cpp.o"
+  "CMakeFiles/ablation_wildcard.dir/ablation_wildcard.cpp.o.d"
+  "ablation_wildcard"
+  "ablation_wildcard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wildcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

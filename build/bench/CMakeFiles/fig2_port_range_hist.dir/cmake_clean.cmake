@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_port_range_hist.dir/fig2_port_range_hist.cpp.o"
+  "CMakeFiles/fig2_port_range_hist.dir/fig2_port_range_hist.cpp.o.d"
+  "fig2_port_range_hist"
+  "fig2_port_range_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_port_range_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

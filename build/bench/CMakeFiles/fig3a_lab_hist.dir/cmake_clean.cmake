@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_lab_hist.dir/fig3a_lab_hist.cpp.o"
+  "CMakeFiles/fig3a_lab_hist.dir/fig3a_lab_hist.cpp.o.d"
+  "fig3a_lab_hist"
+  "fig3a_lab_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_lab_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_wild_hist.dir/fig3b_wild_hist.cpp.o"
+  "CMakeFiles/fig3b_wild_hist.dir/fig3b_wild_hist.cpp.o.d"
+  "fig3b_wild_hist"
+  "fig3b_wild_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_wild_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_dsav.dir/headline_dsav.cpp.o"
+  "CMakeFiles/headline_dsav.dir/headline_dsav.cpp.o.d"
+  "headline_dsav"
+  "headline_dsav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_dsav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for headline_dsav.
+# This may be replaced when dependencies are built.

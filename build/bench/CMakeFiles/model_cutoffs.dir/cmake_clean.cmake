@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_cutoffs.dir/model_cutoffs.cpp.o"
+  "CMakeFiles/model_cutoffs.dir/model_cutoffs.cpp.o.d"
+  "model_cutoffs"
+  "model_cutoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_cutoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

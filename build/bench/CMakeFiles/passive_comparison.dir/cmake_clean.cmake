@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_comparison.dir/passive_comparison.cpp.o"
+  "CMakeFiles/passive_comparison.dir/passive_comparison.cpp.o.d"
+  "passive_comparison"
+  "passive_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_countries.dir/table1_countries.cpp.o"
+  "CMakeFiles/table1_countries.dir/table1_countries.cpp.o.d"
+  "table1_countries"
+  "table1_countries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_reachable_pct.dir/table2_reachable_pct.cpp.o"
+  "CMakeFiles/table2_reachable_pct.dir/table2_reachable_pct.cpp.o.d"
+  "table2_reachable_pct"
+  "table2_reachable_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_reachable_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_port_ranges.dir/table4_port_ranges.cpp.o"
+  "CMakeFiles/table4_port_ranges.dir/table4_port_ranges.cpp.o.d"
+  "table4_port_ranges"
+  "table4_port_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_port_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

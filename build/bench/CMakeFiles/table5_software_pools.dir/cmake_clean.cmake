@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_software_pools.dir/table5_software_pools.cpp.o"
+  "CMakeFiles/table5_software_pools.dir/table5_software_pools.cpp.o.d"
+  "table5_software_pools"
+  "table5_software_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_software_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_os_acceptance.dir/table6_os_acceptance.cpp.o"
+  "CMakeFiles/table6_os_acceptance.dir/table6_os_acceptance.cpp.o.d"
+  "table6_os_acceptance"
+  "table6_os_acceptance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_os_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

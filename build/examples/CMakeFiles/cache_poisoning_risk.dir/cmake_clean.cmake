@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_poisoning_risk.dir/cache_poisoning_risk.cpp.o"
+  "CMakeFiles/cache_poisoning_risk.dir/cache_poisoning_risk.cpp.o.d"
+  "cache_poisoning_risk"
+  "cache_poisoning_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_poisoning_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

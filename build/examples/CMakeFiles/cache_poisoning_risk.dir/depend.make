@@ -1,0 +1,2 @@
+# Empty dependencies file for cache_poisoning_risk.
+# This may be replaced when dependencies are built.

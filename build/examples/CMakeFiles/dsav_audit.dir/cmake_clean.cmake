@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsav_audit.dir/dsav_audit.cpp.o"
+  "CMakeFiles/dsav_audit.dir/dsav_audit.cpp.o.d"
+  "dsav_audit"
+  "dsav_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsav_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

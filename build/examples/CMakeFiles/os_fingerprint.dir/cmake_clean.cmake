@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_fingerprint.dir/os_fingerprint.cpp.o"
+  "CMakeFiles/os_fingerprint.dir/os_fingerprint.cpp.o.d"
+  "os_fingerprint"
+  "os_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisoning_demo.dir/poisoning_demo.cpp.o"
+  "CMakeFiles/poisoning_demo.dir/poisoning_demo.cpp.o.d"
+  "poisoning_demo"
+  "poisoning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisoning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

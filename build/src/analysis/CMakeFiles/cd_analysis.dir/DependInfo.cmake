@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/beta.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/beta.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/beta.cpp.o.d"
+  "/root/repo/src/analysis/classify.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/classify.cpp.o.d"
+  "/root/repo/src/analysis/geo.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/geo.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/geo.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/p0f.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/p0f.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/p0f.cpp.o.d"
+  "/root/repo/src/analysis/passive.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/passive.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/passive.cpp.o.d"
+  "/root/repo/src/analysis/port_range.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/port_range.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/port_range.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/cd_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/cd_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/cd_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/cd_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cd_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

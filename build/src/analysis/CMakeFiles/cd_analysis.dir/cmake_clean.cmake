@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_analysis.dir/beta.cpp.o"
+  "CMakeFiles/cd_analysis.dir/beta.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/classify.cpp.o"
+  "CMakeFiles/cd_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/geo.cpp.o"
+  "CMakeFiles/cd_analysis.dir/geo.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/cd_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/p0f.cpp.o"
+  "CMakeFiles/cd_analysis.dir/p0f.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/passive.cpp.o"
+  "CMakeFiles/cd_analysis.dir/passive.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/port_range.cpp.o"
+  "CMakeFiles/cd_analysis.dir/port_range.cpp.o.d"
+  "CMakeFiles/cd_analysis.dir/report.cpp.o"
+  "CMakeFiles/cd_analysis.dir/report.cpp.o.d"
+  "libcd_analysis.a"
+  "libcd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

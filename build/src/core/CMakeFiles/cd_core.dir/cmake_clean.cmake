@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_core.dir/experiment.cpp.o"
+  "CMakeFiles/cd_core.dir/experiment.cpp.o.d"
+  "libcd_core.a"
+  "libcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_ditl.dir/ditl.cpp.o"
+  "CMakeFiles/cd_ditl.dir/ditl.cpp.o.d"
+  "CMakeFiles/cd_ditl.dir/world_gen.cpp.o"
+  "CMakeFiles/cd_ditl.dir/world_gen.cpp.o.d"
+  "libcd_ditl.a"
+  "libcd_ditl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_ditl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/cache.cpp" "src/dns/CMakeFiles/cd_dns.dir/cache.cpp.o" "gcc" "src/dns/CMakeFiles/cd_dns.dir/cache.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/cd_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/cd_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/cd_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/cd_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/cd_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/cd_dns.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

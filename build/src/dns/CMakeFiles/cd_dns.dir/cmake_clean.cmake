@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_dns.dir/cache.cpp.o"
+  "CMakeFiles/cd_dns.dir/cache.cpp.o.d"
+  "CMakeFiles/cd_dns.dir/message.cpp.o"
+  "CMakeFiles/cd_dns.dir/message.cpp.o.d"
+  "CMakeFiles/cd_dns.dir/name.cpp.o"
+  "CMakeFiles/cd_dns.dir/name.cpp.o.d"
+  "CMakeFiles/cd_dns.dir/zone.cpp.o"
+  "CMakeFiles/cd_dns.dir/zone.cpp.o.d"
+  "libcd_dns.a"
+  "libcd_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

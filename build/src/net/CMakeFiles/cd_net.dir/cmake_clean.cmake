@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_net.dir/checksum.cpp.o"
+  "CMakeFiles/cd_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/cd_net.dir/headers.cpp.o"
+  "CMakeFiles/cd_net.dir/headers.cpp.o.d"
+  "CMakeFiles/cd_net.dir/ip.cpp.o"
+  "CMakeFiles/cd_net.dir/ip.cpp.o.d"
+  "CMakeFiles/cd_net.dir/packet.cpp.o"
+  "CMakeFiles/cd_net.dir/packet.cpp.o.d"
+  "CMakeFiles/cd_net.dir/special.cpp.o"
+  "CMakeFiles/cd_net.dir/special.cpp.o.d"
+  "libcd_net.a"
+  "libcd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/auth.cpp" "src/resolver/CMakeFiles/cd_resolver.dir/auth.cpp.o" "gcc" "src/resolver/CMakeFiles/cd_resolver.dir/auth.cpp.o.d"
+  "/root/repo/src/resolver/port_alloc.cpp" "src/resolver/CMakeFiles/cd_resolver.dir/port_alloc.cpp.o" "gcc" "src/resolver/CMakeFiles/cd_resolver.dir/port_alloc.cpp.o.d"
+  "/root/repo/src/resolver/recursive.cpp" "src/resolver/CMakeFiles/cd_resolver.dir/recursive.cpp.o" "gcc" "src/resolver/CMakeFiles/cd_resolver.dir/recursive.cpp.o.d"
+  "/root/repo/src/resolver/software.cpp" "src/resolver/CMakeFiles/cd_resolver.dir/software.cpp.o" "gcc" "src/resolver/CMakeFiles/cd_resolver.dir/software.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/cd_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

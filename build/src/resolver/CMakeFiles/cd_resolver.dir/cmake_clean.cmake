@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_resolver.dir/auth.cpp.o"
+  "CMakeFiles/cd_resolver.dir/auth.cpp.o.d"
+  "CMakeFiles/cd_resolver.dir/port_alloc.cpp.o"
+  "CMakeFiles/cd_resolver.dir/port_alloc.cpp.o.d"
+  "CMakeFiles/cd_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/cd_resolver.dir/recursive.cpp.o.d"
+  "CMakeFiles/cd_resolver.dir/software.cpp.o"
+  "CMakeFiles/cd_resolver.dir/software.cpp.o.d"
+  "libcd_resolver.a"
+  "libcd_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

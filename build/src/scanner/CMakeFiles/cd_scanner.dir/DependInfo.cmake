@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/analyst.cpp" "src/scanner/CMakeFiles/cd_scanner.dir/analyst.cpp.o" "gcc" "src/scanner/CMakeFiles/cd_scanner.dir/analyst.cpp.o.d"
+  "/root/repo/src/scanner/collector.cpp" "src/scanner/CMakeFiles/cd_scanner.dir/collector.cpp.o" "gcc" "src/scanner/CMakeFiles/cd_scanner.dir/collector.cpp.o.d"
+  "/root/repo/src/scanner/followup.cpp" "src/scanner/CMakeFiles/cd_scanner.dir/followup.cpp.o" "gcc" "src/scanner/CMakeFiles/cd_scanner.dir/followup.cpp.o.d"
+  "/root/repo/src/scanner/prober.cpp" "src/scanner/CMakeFiles/cd_scanner.dir/prober.cpp.o" "gcc" "src/scanner/CMakeFiles/cd_scanner.dir/prober.cpp.o.d"
+  "/root/repo/src/scanner/qname.cpp" "src/scanner/CMakeFiles/cd_scanner.dir/qname.cpp.o" "gcc" "src/scanner/CMakeFiles/cd_scanner.dir/qname.cpp.o.d"
+  "/root/repo/src/scanner/source_select.cpp" "src/scanner/CMakeFiles/cd_scanner.dir/source_select.cpp.o" "gcc" "src/scanner/CMakeFiles/cd_scanner.dir/source_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resolver/CMakeFiles/cd_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cd_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_scanner.dir/analyst.cpp.o"
+  "CMakeFiles/cd_scanner.dir/analyst.cpp.o.d"
+  "CMakeFiles/cd_scanner.dir/collector.cpp.o"
+  "CMakeFiles/cd_scanner.dir/collector.cpp.o.d"
+  "CMakeFiles/cd_scanner.dir/followup.cpp.o"
+  "CMakeFiles/cd_scanner.dir/followup.cpp.o.d"
+  "CMakeFiles/cd_scanner.dir/prober.cpp.o"
+  "CMakeFiles/cd_scanner.dir/prober.cpp.o.d"
+  "CMakeFiles/cd_scanner.dir/qname.cpp.o"
+  "CMakeFiles/cd_scanner.dir/qname.cpp.o.d"
+  "CMakeFiles/cd_scanner.dir/source_select.cpp.o"
+  "CMakeFiles/cd_scanner.dir/source_select.cpp.o.d"
+  "libcd_scanner.a"
+  "libcd_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

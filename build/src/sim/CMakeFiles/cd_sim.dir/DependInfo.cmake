@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cpp" "src/sim/CMakeFiles/cd_sim.dir/event_loop.cpp.o" "gcc" "src/sim/CMakeFiles/cd_sim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/cd_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/cd_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/cd_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/cd_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/os_model.cpp" "src/sim/CMakeFiles/cd_sim.dir/os_model.cpp.o" "gcc" "src/sim/CMakeFiles/cd_sim.dir/os_model.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/cd_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/cd_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/cd_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/cd_sim.dir/host.cpp.o"
+  "CMakeFiles/cd_sim.dir/host.cpp.o.d"
+  "CMakeFiles/cd_sim.dir/network.cpp.o"
+  "CMakeFiles/cd_sim.dir/network.cpp.o.d"
+  "CMakeFiles/cd_sim.dir/os_model.cpp.o"
+  "CMakeFiles/cd_sim.dir/os_model.cpp.o.d"
+  "CMakeFiles/cd_sim.dir/topology.cpp.o"
+  "CMakeFiles/cd_sim.dir/topology.cpp.o.d"
+  "libcd_sim.a"
+  "libcd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_util.dir/csv.cpp.o"
+  "CMakeFiles/cd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cd_util.dir/rng.cpp.o"
+  "CMakeFiles/cd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cd_util.dir/str.cpp.o"
+  "CMakeFiles/cd_util.dir/str.cpp.o.d"
+  "CMakeFiles/cd_util.dir/table.cpp.o"
+  "CMakeFiles/cd_util.dir/table.cpp.o.d"
+  "libcd_util.a"
+  "libcd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

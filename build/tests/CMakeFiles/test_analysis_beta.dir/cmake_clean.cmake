@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_beta.dir/test_analysis_beta.cpp.o"
+  "CMakeFiles/test_analysis_beta.dir/test_analysis_beta.cpp.o.d"
+  "test_analysis_beta"
+  "test_analysis_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

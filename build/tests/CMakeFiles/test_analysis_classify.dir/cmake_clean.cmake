@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_classify.dir/test_analysis_classify.cpp.o"
+  "CMakeFiles/test_analysis_classify.dir/test_analysis_classify.cpp.o.d"
+  "test_analysis_classify"
+  "test_analysis_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

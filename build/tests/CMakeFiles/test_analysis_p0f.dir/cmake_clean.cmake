@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_p0f.dir/test_analysis_p0f.cpp.o"
+  "CMakeFiles/test_analysis_p0f.dir/test_analysis_p0f.cpp.o.d"
+  "test_analysis_p0f"
+  "test_analysis_p0f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_p0f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_passive.dir/test_analysis_passive.cpp.o"
+  "CMakeFiles/test_analysis_passive.dir/test_analysis_passive.cpp.o.d"
+  "test_analysis_passive"
+  "test_analysis_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_port_range.dir/test_analysis_port_range.cpp.o"
+  "CMakeFiles/test_analysis_port_range.dir/test_analysis_port_range.cpp.o.d"
+  "test_analysis_port_range"
+  "test_analysis_port_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_port_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

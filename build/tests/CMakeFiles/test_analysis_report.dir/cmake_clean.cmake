@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_report.dir/test_analysis_report.cpp.o"
+  "CMakeFiles/test_analysis_report.dir/test_analysis_report.cpp.o.d"
+  "test_analysis_report"
+  "test_analysis_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

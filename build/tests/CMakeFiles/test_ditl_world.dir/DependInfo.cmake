@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ditl_world.cpp" "tests/CMakeFiles/test_ditl_world.dir/test_ditl_world.cpp.o" "gcc" "tests/CMakeFiles/test_ditl_world.dir/test_ditl_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ditl/CMakeFiles/cd_ditl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/cd_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/cd_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cd_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_cache.dir/test_dns_cache.cpp.o"
+  "CMakeFiles/test_dns_cache.dir/test_dns_cache.cpp.o.d"
+  "test_dns_cache"
+  "test_dns_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_zone.dir/test_dns_zone.cpp.o"
+  "CMakeFiles/test_dns_zone.dir/test_dns_zone.cpp.o.d"
+  "test_dns_zone"
+  "test_dns_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_ip.dir/test_net_ip.cpp.o"
+  "CMakeFiles/test_net_ip.dir/test_net_ip.cpp.o.d"
+  "test_net_ip"
+  "test_net_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

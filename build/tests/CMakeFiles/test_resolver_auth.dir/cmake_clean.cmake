@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver_auth.dir/test_resolver_auth.cpp.o"
+  "CMakeFiles/test_resolver_auth.dir/test_resolver_auth.cpp.o.d"
+  "test_resolver_auth"
+  "test_resolver_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

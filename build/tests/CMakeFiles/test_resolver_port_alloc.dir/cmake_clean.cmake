@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver_port_alloc.dir/test_resolver_port_alloc.cpp.o"
+  "CMakeFiles/test_resolver_port_alloc.dir/test_resolver_port_alloc.cpp.o.d"
+  "test_resolver_port_alloc"
+  "test_resolver_port_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver_port_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

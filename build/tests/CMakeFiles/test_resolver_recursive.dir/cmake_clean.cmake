@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver_recursive.dir/test_resolver_recursive.cpp.o"
+  "CMakeFiles/test_resolver_recursive.dir/test_resolver_recursive.cpp.o.d"
+  "test_resolver_recursive"
+  "test_resolver_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

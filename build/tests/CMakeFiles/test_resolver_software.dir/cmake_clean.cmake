@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver_software.dir/test_resolver_software.cpp.o"
+  "CMakeFiles/test_resolver_software.dir/test_resolver_software.cpp.o.d"
+  "test_resolver_software"
+  "test_resolver_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

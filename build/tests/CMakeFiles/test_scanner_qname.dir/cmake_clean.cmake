@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanner_qname.dir/test_scanner_qname.cpp.o"
+  "CMakeFiles/test_scanner_qname.dir/test_scanner_qname.cpp.o.d"
+  "test_scanner_qname"
+  "test_scanner_qname.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanner_qname.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

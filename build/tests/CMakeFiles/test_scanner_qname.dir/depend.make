@@ -1,0 +1,2 @@
+# Empty dependencies file for test_scanner_qname.
+# This may be replaced when dependencies are built.

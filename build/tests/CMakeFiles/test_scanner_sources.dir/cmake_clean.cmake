@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanner_sources.dir/test_scanner_sources.cpp.o"
+  "CMakeFiles/test_scanner_sources.dir/test_scanner_sources.cpp.o.d"
+  "test_scanner_sources"
+  "test_scanner_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanner_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

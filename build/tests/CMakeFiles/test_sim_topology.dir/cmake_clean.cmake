@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_topology.dir/test_sim_topology.cpp.o"
+  "CMakeFiles/test_sim_topology.dir/test_sim_topology.cpp.o.d"
+  "test_sim_topology"
+  "test_sim_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,62 +4,135 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "analysis/classify.h"
 #include "core/experiment.h"
+#include "core/parallel.h"
 #include "ditl/world.h"
 #include "util/str.h"
 #include "util/table.h"
 
 namespace cd::bench {
 
-/// A generated world plus completed experiment results.
+/// Command-line knobs shared by the table/figure benches.
+struct RunOptions {
+  double scale = 1.0;  // multiplies the AS count
+  bool wildcard_answers = false;
+  std::uint64_t seed = 42;
+  std::size_t shards = 1;   // AS-partitioned campaign shards
+  std::size_t threads = 1;  // worker threads for the sharded runner
+};
+
+/// Parses --scale=X --seed=N --threads=N --shards=N (unknown args ignored,
+/// so benches keep working under tooling that appends its own flags).
+/// --threads alone implies one shard per thread.
+inline RunOptions parse_run_options(int argc, char** argv) {
+  RunOptions opt;
+  bool shards_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opt.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt.threads = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      opt.shards = std::strtoull(arg + 9, nullptr, 10);
+      shards_given = true;
+    } else if (std::strcmp(arg, "--wildcard") == 0) {
+      opt.wildcard_answers = true;
+    }
+  }
+  if (opt.threads == 0) opt.threads = 1;
+  if (!shards_given) opt.shards = opt.threads;
+  if (opt.shards == 0) opt.shards = 1;
+  return opt;
+}
+
+/// A generated world plus completed experiment results. In sharded mode
+/// (`options.threads > 1` or `options.shards > 1`) the campaign runs via
+/// core::run_sharded_experiment; `world` is then the reference world —
+/// identical to every shard's, used for target lists, geo and ground truth —
+/// and `experiment` is null.
 struct Run {
   std::unique_ptr<cd::ditl::World> world;
   std::unique_ptr<cd::core::Experiment> experiment;
   const cd::core::ExperimentResults* results = nullptr;
+  cd::core::ExperimentResults merged;  // storage for the sharded path
 };
 
-/// Generates the bench world and runs the full campaign (the expensive part
-/// every table/figure bench shares). `scale` multiplies the AS count.
-inline Run run_standard_experiment(double scale = 1.0,
-                                   bool wildcard_answers = false,
-                                   std::uint64_t seed = 42) {
+inline Run run_standard_experiment(const RunOptions& options) {
   using clock = std::chrono::steady_clock;
 
   cd::ditl::WorldSpec spec = cd::ditl::bench_world_spec();
-  spec.n_asns = static_cast<int>(spec.n_asns * scale);
-  spec.wildcard_answers = wildcard_answers;
-  spec.seed = seed;
+  spec.n_asns = static_cast<int>(spec.n_asns * options.scale);
+  spec.wildcard_answers = options.wildcard_answers;
+  spec.seed = options.seed;
+
+  cd::core::ExperimentConfig config;
+  config.analyst = cd::scanner::AnalystConfig{};
 
   const auto t0 = clock::now();
   Run run;
   run.world = cd::ditl::generate_world(spec);
   const auto t1 = clock::now();
 
-  cd::core::ExperimentConfig config;
-  config.analyst = cd::scanner::AnalystConfig{};
-  run.experiment =
-      std::make_unique<cd::core::Experiment>(*run.world, config);
-  run.results = &run.experiment->run();
-  const auto t2 = clock::now();
-
   const auto ms = [](auto a, auto b) {
     return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count();
   };
+
+  const bool sharded = options.threads > 1 || options.shards > 1;
+  long long campaign_ms = 0;
+  if (sharded) {
+    config.num_shards = options.shards;
+    config.num_threads = options.threads;
+    cd::core::ShardedResults out = cd::core::run_sharded_experiment(spec, config);
+    campaign_ms = static_cast<long long>(out.wall_ms);
+    std::printf("# shards: %zu on %zu threads\n", options.shards,
+                options.threads);
+    for (const cd::core::ShardTiming& s : out.shards) {
+      std::printf("#   shard %zu: %zu targets, gen %.0fms, run %.0fms\n",
+                  s.shard, s.targets, s.gen_ms, s.run_ms);
+    }
+    std::printf("# wall %.0fms, aggregate shard time %.0fms "
+                "(parallel speedup est. %.2fx)\n",
+                out.wall_ms, out.aggregate_ms(),
+                out.wall_ms > 0 ? out.aggregate_ms() / out.wall_ms : 0.0);
+    run.merged = std::move(out.merged);
+    run.results = &run.merged;
+  } else {
+    run.experiment = std::make_unique<cd::core::Experiment>(*run.world, config);
+    run.results = &run.experiment->run();
+    campaign_ms = ms(t1, clock::now());
+  }
+
   std::printf(
       "# world: %zu ASes, %zu resolvers, %zu targets (gen %lldms)\n"
-      "# campaign: %llu probes, %llu auth log entries, %llu events "
-      "(run %lldms)\n\n",
+      "# campaign: %llu probes, %llu auth log entries (run %lldms), "
+      "digest %016llx\n\n",
       run.world->topology.as_count(), run.world->resolvers.size(),
       run.world->targets.size(), static_cast<long long>(ms(t0, t1)),
       static_cast<unsigned long long>(run.results->queries_sent),
       static_cast<unsigned long long>(run.results->collector_stats.entries_seen),
-      static_cast<unsigned long long>(run.world->loop.executed()),
-      static_cast<long long>(ms(t1, t2)));
+      campaign_ms,
+      static_cast<unsigned long long>(cd::core::results_digest(*run.results)));
   return run;
+}
+
+/// Legacy entry point used by benches without campaign-shaping flags.
+inline Run run_standard_experiment(double scale = 1.0,
+                                   bool wildcard_answers = false,
+                                   std::uint64_t seed = 42) {
+  RunOptions options;
+  options.scale = scale;
+  options.wildcard_answers = wildcard_answers;
+  options.seed = seed;
+  return run_standard_experiment(options);
 }
 
 /// "measured (paper: X)" cell helper.

@@ -7,10 +7,10 @@
 //   - §3.6.4 QNAME-minimization gaps; §3.6.3 lifetime exclusions
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cd;
   std::printf("== headline_dsav: paper §4, §5.1, §5.4, §3.6 ==\n");
-  auto run = bench::run_standard_experiment();
+  auto run = bench::run_standard_experiment(bench::parse_run_options(argc, argv));
   const auto& results = *run.results;
   const auto& targets = run.world->targets;
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + full test suite, then a ThreadSanitizer
+# build that reruns the sharded-runner tests (label "parallel") to catch
+# data races the deterministic-equivalence tests cannot.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-ci}"
+
+echo "=== plain build + ctest ==="
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j
+ctest --test-dir "${PREFIX}" --output-on-failure -j
+
+echo "=== TSan build + parallel-label ctest ==="
+cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
+cmake --build "${PREFIX}-tsan" -j --target test_core_parallel
+ctest --test-dir "${PREFIX}-tsan" -L parallel --output-on-failure
+
+echo "=== ci.sh: all green ==="

@@ -38,10 +38,32 @@ Experiment::Experiment(cd::ditl::World& world, ExperimentConfig config)
   }
 }
 
+ExperimentResults merge_results(std::vector<ExperimentResults> parts) {
+  ExperimentResults merged;
+  for (ExperimentResults& part : parts) {
+    for (auto& [addr, record] : part.records) {
+      const bool inserted =
+          merged.records.emplace(addr, std::move(record)).second;
+      CD_ENSURE(inserted, "merge_results: target present in two shards");
+    }
+    merged.collector_stats += part.collector_stats;
+    merged.qmin_asns.insert(part.qmin_asns.begin(), part.qmin_asns.end());
+    merged.lifetime_excluded_targets.insert(
+        part.lifetime_excluded_targets.begin(),
+        part.lifetime_excluded_targets.end());
+    merged.network_stats += part.network_stats;
+    merged.queries_sent += part.queries_sent;
+    merged.followup_batteries += part.followup_batteries;
+    merged.analyst_replays += part.analyst_replays;
+  }
+  return merged;
+}
+
 const ExperimentResults& Experiment::run() {
   if (results_) return *results_;
 
-  prober_->schedule_campaign(world_.targets);
+  prober_->schedule_campaign(world_.targets, config_.shard_index,
+                             config_.num_shards);
   world_.loop.run(config_.max_events);
 
   ExperimentResults results;

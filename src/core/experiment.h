@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "analysis/classify.h"
 #include "ditl/world.h"
@@ -29,8 +30,20 @@ struct ExperimentConfig {
   cd::scanner::FollowupConfig followup;
   /// When set, simulate IDS analysts replaying logged probes (§3.6.3).
   std::optional<cd::scanner::AnalystConfig> analyst;
-  /// Safety valve for the event loop.
+  /// Safety valve for the event loop (per shard).
   std::uint64_t max_events = 400'000'000;
+
+  // --- sharding (core/parallel.h) -------------------------------------------
+  /// Number of AS-partitioned shards the target list is split into. Each
+  /// shard runs its own world, event loop, prober and collector; results
+  /// merge in shard order. The merged campaign evidence is identical for
+  /// any shard count (see results_digest in core/parallel.h).
+  std::size_t num_shards = 1;
+  /// Worker threads the sharded runner spreads shards over. Purely an
+  /// execution knob: results are bit-identical for any thread count.
+  std::size_t num_threads = 1;
+  /// Which shard this Experiment instance probes (set by the runner).
+  std::size_t shard_index = 0;
 };
 
 struct ExperimentResults {
@@ -43,6 +56,12 @@ struct ExperimentResults {
   std::uint64_t followup_batteries = 0;
   std::uint64_t analyst_replays = 0;
 };
+
+/// Merges per-shard results in shard order: counters are summed, evidence
+/// sets are unioned, and target records — whose key sets are disjoint
+/// because shards partition targets by AS — are inserted shard by shard.
+[[nodiscard]] ExperimentResults merge_results(
+    std::vector<ExperimentResults> parts);
 
 /// Wires scanner components onto a World and runs the campaign to
 /// completion. The world must outlive the experiment.

@@ -1,0 +1,193 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "ditl/world.h"
+#include "scanner/prober.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cd::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Incremental FNV-1a over a canonical little-endian serialization.
+class Digest {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void addr(const cd::net::IpAddr& a) {
+    u64(a.is_v6() ? 6 : 4);
+    u64(a.bits().hi);
+    u64(a.bits().lo);
+  }
+  void bytes(const std::vector<std::uint8_t>& data) {
+    u64(data.size());
+    for (std::uint8_t b : data) byte(b);
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  void byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 0x00000100000001B3ULL;
+  }
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+struct ShardOutcome {
+  std::optional<ExperimentResults> results;
+  ShardTiming timing;
+  std::exception_ptr error;
+};
+
+ShardOutcome run_one_shard(const cd::ditl::WorldSpec& spec,
+                           ExperimentConfig config, std::size_t shard) {
+  ShardOutcome out;
+  out.timing.shard = shard;
+  try {
+    const auto gen_start = Clock::now();
+    auto world = cd::ditl::generate_world(spec);
+    out.timing.gen_ms = ms_since(gen_start);
+
+    for (const cd::scanner::TargetInfo& target : world->targets) {
+      if (cd::scanner::shard_of(target.asn, config.num_shards) == shard) {
+        ++out.timing.targets;
+      }
+    }
+
+    config.shard_index = shard;
+    const auto run_start = Clock::now();
+    Experiment experiment(*world, config);
+    out.results = experiment.run();
+    out.timing.run_ms = ms_since(run_start);
+  } catch (...) {
+    out.error = std::current_exception();
+  }
+  return out;
+}
+
+}  // namespace
+
+double ShardedResults::aggregate_ms() const {
+  double total = 0.0;
+  for (const ShardTiming& t : shards) total += t.gen_ms + t.run_ms;
+  return total;
+}
+
+ShardedResults run_sharded_experiment(const cd::ditl::WorldSpec& spec,
+                                      const ExperimentConfig& config) {
+  const std::size_t n_shards = std::max<std::size_t>(1, config.num_shards);
+  const std::size_t n_threads =
+      std::min(std::max<std::size_t>(1, config.num_threads), n_shards);
+
+  ExperimentConfig shard_config = config;
+  shard_config.num_shards = n_shards;
+
+  const auto wall_start = Clock::now();
+  std::vector<ShardOutcome> outcomes(n_shards);
+
+  if (n_threads == 1) {
+    for (std::size_t shard = 0; shard < n_shards; ++shard) {
+      outcomes[shard] = run_one_shard(spec, shard_config, shard);
+    }
+  } else {
+    // Work pickup by atomic counter: threads claim the next unstarted
+    // shard, so an uneven shard mix still balances across the pool.
+    std::atomic<std::size_t> next_shard{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t shard =
+            next_shard.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= n_shards) return;
+        outcomes[shard] = run_one_shard(spec, shard_config, shard);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  ShardedResults sharded;
+  std::vector<ExperimentResults> parts;
+  parts.reserve(n_shards);
+  for (ShardOutcome& out : outcomes) {
+    if (out.error) std::rethrow_exception(out.error);
+    CD_ENSURE(out.results.has_value(), "run_sharded_experiment: missing shard");
+    parts.push_back(std::move(*out.results));
+    sharded.shards.push_back(out.timing);
+  }
+  sharded.merged = merge_results(std::move(parts));
+  sharded.wall_ms = ms_since(wall_start);
+  return sharded;
+}
+
+std::uint64_t results_digest(const ExperimentResults& results) {
+  Digest d;
+
+  std::vector<const cd::scanner::TargetRecord*> records;
+  records.reserve(results.records.size());
+  for (const auto& [addr, record] : results.records) records.push_back(&record);
+  std::sort(records.begin(), records.end(),
+            [](const auto* a, const auto* b) { return a->target < b->target; });
+
+  d.u64(records.size());
+  for (const cd::scanner::TargetRecord* r : records) {
+    d.addr(r->target);
+    d.u64(r->asn);
+    d.u64(r->sources_hit.size());
+    for (const auto& src : r->sources_hit) d.addr(src);
+    d.u64(r->categories_hit.size());
+    for (const auto cat : r->categories_hit) {
+      d.u64(static_cast<std::uint64_t>(cat));
+    }
+    // first_hit_time deliberately omitted (see header); the source that
+    // produced the first hit is stable because probes are seconds apart.
+    d.addr(r->first_hit_source);
+    d.u64(static_cast<std::uint64_t>(r->direct_seen));
+    d.u64(static_cast<std::uint64_t>(r->forwarded_seen));
+    d.u64(r->forwarders_seen.size());
+    for (const auto& fwd : r->forwarders_seen) d.addr(fwd);
+    d.u64(static_cast<std::uint64_t>(r->client_in_target_as));
+    d.u64(r->ports_v4.size());
+    for (const std::uint16_t p : r->ports_v4) d.u64(p);
+    d.u64(r->ports_v6.size());
+    for (const std::uint16_t p : r->ports_v6) d.u64(p);
+    d.u64(static_cast<std::uint64_t>(r->open_hit));
+    d.u64(static_cast<std::uint64_t>(r->tcp_hit));
+    d.u64(static_cast<std::uint64_t>(r->tcp_syn.has_value()));
+    if (r->tcp_syn) d.bytes(r->tcp_syn->serialize());
+  }
+
+  // collector_stats deliberately omitted (see header): auth-side traffic
+  // volume, not per-target evidence.
+  d.u64(results.qmin_asns.size());
+  for (const auto asn : results.qmin_asns) d.u64(asn);
+  d.u64(results.lifetime_excluded_targets.size());
+  for (const auto& addr : results.lifetime_excluded_targets) d.addr(addr);
+
+  // network_stats deliberately omitted (see header).
+  d.u64(results.queries_sent);
+  d.u64(results.followup_batteries);
+  d.u64(results.analyst_replays);
+  return d.value();
+}
+
+}  // namespace cd::core

@@ -1,0 +1,68 @@
+// Sharded parallel campaign runner.
+//
+// The target list is partitioned into `config.num_shards` shards by
+// destination AS (shard_of in scanner/prober.h), and each shard runs a
+// complete, independently generated world — its own event loop, prober,
+// collector and follow-up engine — on a small std::thread pool. World
+// generation is deterministic and cheap relative to the campaign (tens of
+// milliseconds vs seconds at paper scale), so duplicating it per shard
+// buys full isolation: no shared mutable state, no locks on the hot path.
+//
+// Determinism contract: for a fixed spec and config, the merged results
+// are identical for ANY (num_shards, num_threads) combination — shards
+// merge in shard order, and every random decision a shard makes is derived
+// from stable identities (shard index, target address, packet content),
+// never from thread or arrival order. `results_digest` captures exactly
+// the shard-count-invariant portion of the results; see its comment for
+// the two documented exclusions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "ditl/world_spec.h"
+
+namespace cd::core {
+
+/// Wall-clock accounting for one shard, split by phase.
+struct ShardTiming {
+  std::size_t shard = 0;
+  std::size_t targets = 0;   // targets assigned to this shard
+  double gen_ms = 0.0;       // world generation
+  double run_ms = 0.0;       // campaign (schedule + event loop drain)
+};
+
+struct ShardedResults {
+  ExperimentResults merged;
+  std::vector<ShardTiming> shards;  // indexed by shard
+  double wall_ms = 0.0;             // end-to-end, including merge
+  /// Sum of per-shard gen+run time: what a 1-thread execution of the same
+  /// sharding costs, so aggregate/wall estimates the parallel speedup even
+  /// on machines where the pool cannot actually run concurrently.
+  [[nodiscard]] double aggregate_ms() const;
+};
+
+/// Runs the campaign described by (spec, config) across
+/// `config.num_shards` shards on `config.num_threads` worker threads and
+/// merges the per-shard results in shard order. `config.shard_index` is
+/// ignored (the runner sets it per shard). Exceptions thrown inside a
+/// shard are rethrown on the calling thread after the pool joins.
+[[nodiscard]] ShardedResults run_sharded_experiment(
+    const cd::ditl::WorldSpec& spec, const ExperimentConfig& config);
+
+/// Order-independent digest of the shard-count-invariant evidence: records
+/// (sorted by target address, all fields except `first_hit_time`),
+/// QNAME-minimization ASes, lifetime exclusions and the scanner-side
+/// counters (queries sent, follow-up batteries, analyst replays).
+///
+/// Excluded by design — the traffic-volume/timing artifacts of shared
+/// public-resolver cache warmness, the one thing sharding legitimately
+/// perturbs: per-record `first_hit_time`, the world's `network_stats`,
+/// and `collector_stats` (a forwarded target resolving against a cold
+/// per-shard cache takes longer, which can add retransmitted — duplicate —
+/// auth log entries; every evidence *set* stays exact because the records
+/// deduplicate).
+[[nodiscard]] std::uint64_t results_digest(const ExperimentResults& results);
+
+}  // namespace cd::core

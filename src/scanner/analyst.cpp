@@ -16,7 +16,7 @@ AnalystSimulator::AnalystSimulator(cd::sim::Network& network,
       ids_asns_(std::move(ids_asns)),
       public_resolver_(public_resolver),
       config_(config),
-      rng_(rng) {
+      seed_(rng.u64()) {
   network_.add_tap([this](const Packet& pkt, cd::sim::DropReason,
                           cd::sim::SimTime) { maybe_replay(pkt); });
 }
@@ -29,7 +29,22 @@ void AnalystSimulator::maybe_replay(const Packet& packet) {
   // later drops it, as long as it is destined into a monitored AS.
   const auto dst_asn = network_.topology().asn_of(packet.dst);
   if (!dst_asn || !ids_asns_.count(*dst_asn)) return;
-  if (!rng_.chance(config_.replay_probability)) return;
+
+  // The analyst's curiosity about one logged probe is a pure function of
+  // (seed, packet): src/dst discriminate a probe from its own replay (same
+  // qname, different addresses), the payload hash discriminates probes
+  // between the same endpoints (each embeds a distinct timestamped qname).
+  std::uint64_t h = cd::hash_combine(seed_,
+                                     cd::net::IpAddrHash{}(packet.src));
+  h = cd::hash_combine(h, cd::net::IpAddrHash{}(packet.dst));
+  if (!packet.payload.empty()) {
+    h = cd::hash_combine(
+        h, cd::stable_hash(std::string_view(
+               reinterpret_cast<const char*>(packet.payload.data()),
+               packet.payload.size())));
+  }
+  cd::Rng decision = cd::Rng::substream(seed_, h);
+  if (!decision.chance(config_.replay_probability)) return;
 
   cd::dns::DnsMessage query;
   try {
@@ -43,7 +58,7 @@ void AnalystSimulator::maybe_replay(const Packet& packet) {
   const cd::sim::SimTime delay =
       config_.min_delay +
       static_cast<cd::sim::SimTime>(
-          rng_.uniform(static_cast<std::uint64_t>(
+          decision.uniform(static_cast<std::uint64_t>(
               config_.max_delay - config_.min_delay)));
 
   // The analyst's workstation: some address inside the logging AS, same
@@ -57,15 +72,17 @@ void AnalystSimulator::maybe_replay(const Packet& packet) {
 
   const cd::dns::DnsName qname = query.qname();
   const cd::sim::Asn asn = *dst_asn;
-  network_.loop().schedule_in(delay, [this, qname, workstation, asn] {
-    const cd::dns::DnsMessage q = cd::dns::make_query(
-        static_cast<std::uint16_t>(rng_.u64()), qname, cd::dns::RrType::kA,
-        /*rd=*/true);
-    Packet pkt = cd::net::make_udp(
-        workstation, static_cast<std::uint16_t>(1024 + rng_.uniform(64512)),
-        public_resolver_, 53, q.encode());
-    network_.send(std::move(pkt), asn);
-  });
+  const auto txid = static_cast<std::uint16_t>(decision.u64());
+  const auto sport =
+      static_cast<std::uint16_t>(1024 + decision.uniform(64512));
+  network_.loop().schedule_in(
+      delay, [this, qname, workstation, asn, txid, sport] {
+        const cd::dns::DnsMessage q =
+            cd::dns::make_query(txid, qname, cd::dns::RrType::kA, /*rd=*/true);
+        Packet pkt = cd::net::make_udp(workstation, sport, public_resolver_,
+                                       53, q.encode());
+        network_.send(std::move(pkt), asn);
+      });
 }
 
 }  // namespace cd::scanner

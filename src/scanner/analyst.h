@@ -5,6 +5,14 @@
 // resolutions reach our authoritative servers hours after the embedded
 // timestamp and must be filtered by the collector's lifetime threshold.
 // This component injects exactly that behaviour as failure-injection.
+//
+// Replay decisions (and the replay's delay, port and id) are derived by
+// hashing each observed packet against the constructor seed, not drawn from
+// a stream consumed in arrival order, so whether a given probe is replayed
+// does not depend on what other traffic the tap saw first. A sharded
+// campaign (core/parallel.h) therefore replays exactly the probes a serial
+// campaign would — except that `max_replays` caps each shard's analyst
+// separately, so merged totals can exceed a serial run's when the cap binds.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +55,7 @@ class AnalystSimulator {
   std::set<cd::sim::Asn> ids_asns_;
   cd::net::IpAddr public_resolver_;
   AnalystConfig config_;
-  cd::Rng rng_;
+  std::uint64_t seed_;  // per-probe decision streams derive from this
   std::uint64_t replays_ = 0;
 };
 

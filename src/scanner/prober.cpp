@@ -2,11 +2,18 @@
 
 #include "dns/message.h"
 #include "net/packet.h"
+#include "util/error.h"
 
 namespace cd::scanner {
 
 using cd::net::IpAddr;
 using cd::net::Packet;
+
+std::size_t shard_of(cd::sim::Asn asn, std::size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Mix before reducing: raw ASNs are clustered, mixed ones spread evenly.
+  return static_cast<std::size_t>(cd::mix64(asn) % num_shards);
+}
 
 Prober::Prober(cd::sim::Host& vantage, QnameCodec codec,
                SourceSelector& selector, ProbeConfig config, cd::Rng rng)
@@ -14,7 +21,15 @@ Prober::Prober(cd::sim::Host& vantage, QnameCodec codec,
       codec_(std::move(codec)),
       selector_(selector),
       config_(config),
-      rng_(rng) {}
+      seed_(rng.u64()) {}
+
+cd::Rng& Prober::target_rng(const IpAddr& addr) {
+  const auto it = target_rngs_.find(addr);
+  if (it != target_rngs_.end()) return it->second;
+  return target_rngs_
+      .emplace(addr, cd::Rng::substream(seed_, cd::net::IpAddrHash{}(addr)))
+      .first->second;
+}
 
 void Prober::send_query(const IpAddr& src, std::uint16_t sport,
                         const TargetInfo& target, QueryMode mode) {
@@ -25,10 +40,10 @@ void Prober::send_query(const IpAddr& src, std::uint16_t sport,
   info.asn = target.asn;
   info.mode = mode;
 
-  const cd::dns::DnsMessage query =
-      cd::dns::make_query(static_cast<std::uint16_t>(rng_.u64()),
-                          codec_.encode(info), cd::dns::RrType::kA,
-                          /*rd=*/true);
+  const cd::dns::DnsMessage query = cd::dns::make_query(
+      static_cast<std::uint16_t>(target_rng(target.addr).u64()),
+      codec_.encode(info), cd::dns::RrType::kA,
+      /*rd=*/true);
 
   Packet pkt = cd::net::make_udp(src, sport, target.addr, 53, query.encode());
   // Injected at the vantage's AS: a spoofed packet still physically leaves
@@ -39,34 +54,43 @@ void Prober::send_query(const IpAddr& src, std::uint16_t sport,
 
 void Prober::send_spoofed(const TargetInfo& target, const IpAddr& spoofed,
                           QueryMode mode) {
-  const std::uint16_t sport =
-      static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+  const std::uint16_t sport = static_cast<std::uint16_t>(
+      1024 + target_rng(target.addr).uniform(64512));
   send_query(spoofed, sport, target, mode);
 }
 
 void Prober::send_open(const TargetInfo& target) {
   const auto src = vantage_.address(target.addr.family());
   if (!src) return;
-  const std::uint16_t sport =
-      static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+  const std::uint16_t sport = static_cast<std::uint16_t>(
+      1024 + target_rng(target.addr).uniform(64512));
   send_query(*src, sport, target, QueryMode::kOpen);
 }
 
-void Prober::schedule_campaign(std::vector<TargetInfo> targets) {
+void Prober::schedule_campaign(std::vector<TargetInfo> targets,
+                               std::size_t shard_index,
+                               std::size_t num_shards) {
+  CD_ENSURE(num_shards > 0 && shard_index < num_shards,
+            "schedule_campaign: bad shard spec");
   targets_ = std::move(targets);
   if (targets_.empty()) return;
 
   auto& loop = vantage_.network().loop();
   const std::size_t n = targets_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    // Stagger target start times uniformly across the window, with jitter so
-    // equal-index targets in reruns do not collide artificially.
+    if (shard_of(targets_[i].asn, num_shards) != shard_index) continue;
+    // Stagger target start times uniformly across the window, with
+    // per-target jitter so equal-index targets in reruns do not collide
+    // artificially. Jitter comes from the target's own substream (its first
+    // draw), keeping the start time a function of (seed, global index,
+    // target) only.
     const cd::sim::SimTime start =
         config_.start_delay +
         static_cast<cd::sim::SimTime>(
             static_cast<double>(config_.duration) * static_cast<double>(i) /
             static_cast<double>(n)) +
-        static_cast<cd::sim::SimTime>(rng_.uniform(cd::sim::kSecond));
+        static_cast<cd::sim::SimTime>(
+            target_rng(targets_[i].addr).uniform(cd::sim::kSecond));
     loop.schedule_at(start, [this, i] { probe_step(i, 0, nullptr); });
   }
 }

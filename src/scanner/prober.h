@@ -1,9 +1,18 @@
 // The measurement client: sends spoofed-source DNS queries from a vantage
 // host in a network without OSAV (the paper's §3.4 requirement).
+//
+// All probe randomness (schedule jitter, spoofed source ports, DNS ids) is
+// drawn from per-target substreams derived from the constructor seed and the
+// target address, consumed in the target's own event order. A target's
+// probe traffic is therefore a pure function of (seed, target), independent
+// of which other targets run alongside it — the property the sharded
+// campaign runner (core/parallel.h) relies on for serial/parallel
+// equivalence.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "scanner/qname.h"
@@ -18,6 +27,11 @@ struct TargetInfo {
 
   friend bool operator==(const TargetInfo&, const TargetInfo&) = default;
 };
+
+/// Deterministic shard assignment for a campaign split `num_shards` ways:
+/// partitioning is by origin AS, so an AS's whole resolver fleet (including
+/// its shared in-AS forwarding upstream) always lands in a single shard.
+[[nodiscard]] std::size_t shard_of(cd::sim::Asn asn, std::size_t num_shards);
 
 struct ProbeConfig {
   /// Campaign window over which target start times are staggered.
@@ -40,9 +54,15 @@ class Prober {
   Prober(const Prober&) = delete;
   Prober& operator=(const Prober&) = delete;
 
-  /// Schedules spoofed reachability queries for every target, staggered over
-  /// the campaign window. Call once; then run the event loop.
-  void schedule_campaign(std::vector<TargetInfo> targets);
+  /// Schedules spoofed reachability queries for the targets of one shard,
+  /// staggered over the campaign window. Start times are computed from each
+  /// target's *global* index in `targets`, so a target probes at the same
+  /// simulated time whether the campaign runs as one shard or many. The
+  /// default arguments schedule everything (the serial campaign). Call once;
+  /// then run the event loop.
+  void schedule_campaign(std::vector<TargetInfo> targets,
+                         std::size_t shard_index = 0,
+                         std::size_t num_shards = 1);
 
   /// Sends one spoofed-source query to `target` immediately.
   void send_spoofed(const TargetInfo& target, const cd::net::IpAddr& spoofed,
@@ -63,12 +83,16 @@ class Prober {
                   SourceListPtr sources);
   void send_query(const cd::net::IpAddr& src, std::uint16_t sport,
                   const TargetInfo& target, QueryMode mode);
+  /// The target's private random substream (created on first use).
+  [[nodiscard]] cd::Rng& target_rng(const cd::net::IpAddr& addr);
 
   cd::sim::Host& vantage_;
   QnameCodec codec_;
   SourceSelector& selector_;
   ProbeConfig config_;
-  cd::Rng rng_;
+  std::uint64_t seed_;  // per-target substreams derive from this
+  std::unordered_map<cd::net::IpAddr, cd::Rng, cd::net::IpAddrHash>
+      target_rngs_;
   std::vector<TargetInfo> targets_;
   std::uint64_t sent_ = 0;
 };

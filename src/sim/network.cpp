@@ -24,7 +24,7 @@ std::string drop_reason_name(DropReason reason) {
 }
 
 Network::Network(Topology& topology, EventLoop& loop, cd::Rng rng)
-    : topology_(topology), loop_(loop), rng_(rng) {}
+    : topology_(topology), loop_(loop), jitter_seed_(rng.u64()) {}
 
 void Network::attach(Host* host) {
   CD_ENSURE(host != nullptr, "attach: null host");
@@ -93,8 +93,28 @@ DropReason Network::classify(const Packet& packet, Asn origin_asn,
   return DropReason::kNone;
 }
 
-SimTime Network::latency(Asn from, Asn to) {
-  if (from == to) return kMillisecond + static_cast<SimTime>(rng_.uniform(2 * kMillisecond));
+SimTime Network::latency(Asn from, Asn to,
+                         const cd::net::Packet& packet) const {
+  // Jitter is a pure hash of (seed, packet identity), not a draw from a
+  // shared stream: concurrent traffic cannot perturb a packet's transit
+  // time, so per-packet latencies are identical in serial and sharded runs.
+  std::uint64_t j = cd::hash_combine(jitter_seed_,
+                                     cd::net::IpAddrHash{}(packet.src));
+  j = cd::hash_combine(j, cd::net::IpAddrHash{}(packet.dst));
+  j = cd::hash_combine(
+      j, (static_cast<std::uint64_t>(packet.src_port) << 32) |
+             (static_cast<std::uint64_t>(packet.dst_port) << 16) |
+             static_cast<std::uint64_t>(packet.proto));
+  if (!packet.payload.empty()) {
+    j = cd::hash_combine(
+        j, cd::stable_hash(std::string_view(
+               reinterpret_cast<const char*>(packet.payload.data()),
+               packet.payload.size())));
+  }
+
+  if (from == to) {
+    return kMillisecond + static_cast<SimTime>(j % (2 * kMillisecond));
+  }
   // Deterministic symmetric base latency per AS pair.
   const std::uint64_t a = std::min(from, to);
   const std::uint64_t b = std::max(from, to);
@@ -103,7 +123,7 @@ SimTime Network::latency(Asn from, Asn to) {
   h *= 0xBF58476D1CE4E5B9ULL;
   h ^= h >> 32;
   const SimTime base = 5 * kMillisecond + static_cast<SimTime>(h % (45 * kMillisecond));
-  const SimTime jitter = static_cast<SimTime>(rng_.uniform(500));
+  const SimTime jitter = static_cast<SimTime>(j % 500);
   return base + jitter;
 }
 
@@ -126,7 +146,7 @@ void Network::send(Packet packet, Asn origin_asn) {
   }
 
   ++stats_.delivered;
-  const SimTime delay = latency(origin_asn, host->asn());
+  const SimTime delay = latency(origin_asn, host->asn(), packet);
   loop_.schedule_in(delay, [host, pkt = std::move(packet)] {
     host->deliver(pkt);
   });

@@ -42,11 +42,29 @@ struct NetworkStats {
   std::uint64_t dropped_unrouted = 0;
   std::uint64_t dropped_no_host = 0;
   std::uint64_t dropped_stack = 0;
+
+  /// Accumulates another network's counters (merging shard results).
+  NetworkStats& operator+=(const NetworkStats& other) {
+    sent += other.sent;
+    delivered += other.delivered;
+    dropped_osav += other.dropped_osav;
+    dropped_dsav += other.dropped_dsav;
+    dropped_martian += other.dropped_martian;
+    dropped_urpf += other.dropped_urpf;
+    dropped_unrouted += other.dropped_unrouted;
+    dropped_no_host += other.dropped_no_host;
+    dropped_stack += other.dropped_stack;
+    return *this;
+  }
 };
 
 /// Packet transport over a Topology. Latency between AS pairs is a
-/// deterministic function of the pair plus small per-packet jitter, so runs
-/// are reproducible but not artificially synchronous.
+/// deterministic function of the pair plus small per-packet jitter derived
+/// by hashing the packet itself, so runs are reproducible but not
+/// artificially synchronous. Because the jitter is a pure function of
+/// (seed, packet), a packet's transit time does not depend on what else is
+/// in flight — the property that lets sharded campaigns (core/parallel.h)
+/// reproduce a serial run's per-packet timing.
 class Network {
  public:
   using Tap = std::function<void(const cd::net::Packet&, DropReason, SimTime)>;
@@ -79,11 +97,12 @@ class Network {
  private:
   [[nodiscard]] DropReason classify(const cd::net::Packet& packet,
                                     Asn origin_asn, Host** out_host);
-  [[nodiscard]] SimTime latency(Asn from, Asn to);
+  [[nodiscard]] SimTime latency(Asn from, Asn to,
+                                const cd::net::Packet& packet) const;
 
   Topology& topology_;
   EventLoop& loop_;
-  cd::Rng rng_;
+  std::uint64_t jitter_seed_;
   std::unordered_map<cd::net::IpAddr, Host*, cd::net::IpAddrHash> hosts_;
   std::vector<Tap> taps_;
   NetworkStats stats_;

@@ -18,7 +18,19 @@ std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
-std::uint64_t fnv1a(std::string_view s) {
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ rotl(b, 32) ^ 0x9E3779B97F4A7C15ULL);
+}
+
+std::uint64_t stable_hash(std::string_view s) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (char c : s) {
     h ^= static_cast<unsigned char>(c);
@@ -26,8 +38,6 @@ std::uint64_t fnv1a(std::string_view s) {
   }
   return h;
 }
-
-}  // namespace
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
@@ -87,7 +97,11 @@ Rng Rng::split(std::uint64_t tag) {
 }
 
 Rng Rng::split(std::string_view tag) {
-  return split(fnv1a(tag));
+  return split(stable_hash(tag));
+}
+
+Rng Rng::substream(std::uint64_t seed, std::uint64_t index) {
+  return Rng(hash_combine(seed, index));
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {

@@ -12,6 +12,17 @@
 
 namespace cd {
 
+/// SplitMix64 finalizer: a stateless, high-quality 64-bit mixing function.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Combines two 64-bit values into a well-mixed third. Not commutative.
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// FNV-1a over bytes. Stable across platforms and standard libraries
+/// (unlike std::hash), so hash-derived random substreams reproduce
+/// everywhere.
+[[nodiscard]] std::uint64_t stable_hash(std::string_view s);
+
 /// xoshiro256** PRNG with SplitMix64 seeding. Not cryptographic; chosen for
 /// speed, quality, and a tiny state that is cheap to split.
 class Rng {
@@ -40,6 +51,14 @@ class Rng {
   /// split from the same parent state.
   [[nodiscard]] Rng split(std::uint64_t tag);
   [[nodiscard]] Rng split(std::string_view tag);
+
+  /// Child stream derived purely from (seed, index), with no parent state:
+  /// unlike split(), the result depends only on the arguments, never on how
+  /// many values were drawn before. This is how sharded runs derive
+  /// substreams — indexed by a stable identity (shard index, AS, target),
+  /// never by thread — so the stream an entity sees is independent of
+  /// execution interleaving.
+  [[nodiscard]] static Rng substream(std::uint64_t seed, std::uint64_t index);
 
   /// Fisher-Yates shuffle.
   template <typename T>

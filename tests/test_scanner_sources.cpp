@@ -172,6 +172,98 @@ TEST(SourceSelector, CapConfigurable) {
   EXPECT_EQ(cats.at(SourceCategory::kOtherPrefix).size(), 10u);
 }
 
+// Property tests over a generated population: 500 v4 ASes with prefix
+// lengths /16../24 and 500 v6 ASes with /40../48, one random target each.
+// For every target the paper's selection invariants must hold: the
+// other-prefix cap, one source per other subprefix, never the target's own
+// /24 (/64), and host parts that skip network/broadcast (v4) or the
+// router window (v6).
+TEST(SourceSelectorProperty, RandomizedAsPopulation) {
+  sim::Topology topology;
+  Rng gen(0xA5);  // fixed seed: reproducible population
+  struct Case {
+    sim::Asn asn;
+    Prefix prefix;
+    IpAddr target;
+  };
+  std::vector<Case> cases;
+
+  for (int i = 0; i < 500; ++i) {  // v4: distinct aligned /16 blocks
+    const auto asn = static_cast<sim::Asn>(1000 + i);
+    const IpAddr block = IpAddr::v4(static_cast<std::uint8_t>(40 + i / 256),
+                                    static_cast<std::uint8_t>(i % 256), 0, 0);
+    const int len = 16 + 2 * static_cast<int>(gen.uniform(5));  // 16..24
+    const Prefix prefix(block, len);
+    topology.add_as(asn);
+    topology.announce(asn, prefix);
+    const std::uint64_t host =
+        1 + gen.uniform(std::min<std::uint64_t>(prefix.size_clamped() - 2,
+                                                60000));
+    cases.push_back({asn, prefix, prefix.nth(host)});
+  }
+  for (int i = 0; i < 500; ++i) {  // v6: distinct /32 blocks
+    const auto asn = static_cast<sim::Asn>(5000 + i);
+    const IpAddr block =
+        IpAddr::v6(0x2600000000000000ULL | (static_cast<std::uint64_t>(i) << 32),
+                   0);
+    const int len = 40 + 2 * static_cast<int>(gen.uniform(5));  // 40..48
+    const Prefix prefix(block, len);
+    topology.add_as(asn);
+    topology.announce(asn, prefix);
+    // Random /64 within the prefix, random host in the active window.
+    const std::uint64_t subnet = gen.uniform(1u << 10);
+    const IpAddr p64 = prefix.base().offset_by(0).is_v6()
+                           ? IpAddr::v6(prefix.base().bits().hi | subnet, 0)
+                           : prefix.base();
+    cases.push_back({asn, prefix, p64.offset_by(2 + gen.uniform(98))});
+  }
+
+  SourceSelector selector(topology, {}, {}, Rng(7));
+  for (const Case& c : cases) {
+    const int sub_len = c.target.is_v4() ? 24 : 64;
+    const Prefix own(c.target, sub_len);
+    const auto cats = by_category(selector.sources_for(c.target, c.asn));
+
+    const auto other_it = cats.find(SourceCategory::kOtherPrefix);
+    const std::size_t n_other =
+        other_it == cats.end() ? 0 : other_it->second.size();
+    EXPECT_LE(n_other, 97u) << c.target.to_string();
+    const std::uint64_t subprefixes = c.prefix.count_subprefixes(sub_len);
+    EXPECT_EQ(n_other,
+              std::min<std::uint64_t>(97, subprefixes - 1))
+        << c.prefix.to_string();
+
+    std::set<std::string> seen_sub;
+    if (other_it != cats.end()) {
+      for (const IpAddr& addr : other_it->second) {
+        EXPECT_TRUE(c.prefix.contains(addr)) << addr.to_string();
+        EXPECT_FALSE(own.contains(addr))
+            << addr.to_string() << " collides with target subprefix of "
+            << c.target.to_string();
+        EXPECT_TRUE(seen_sub.insert(Prefix(addr, sub_len).to_string()).second)
+            << "two sources in one subprefix";
+        if (addr.is_v4()) {
+          const std::uint32_t octet = addr.v4_bits() & 0xFF;
+          EXPECT_GE(octet, 1u) << addr.to_string();    // not network address
+          EXPECT_LE(octet, 254u) << addr.to_string();  // not broadcast
+        } else {
+          const std::uint64_t host =
+              addr.bits().lo - Prefix(addr, 64).base().bits().lo;
+          EXPECT_GE(host, 2u) << addr.to_string();   // router window skipped
+          EXPECT_LT(host, 100u) << addr.to_string(); // active window only
+        }
+      }
+    }
+
+    const auto& same = cats.at(SourceCategory::kSamePrefix);
+    ASSERT_EQ(same.size(), 1u);
+    EXPECT_TRUE(own.contains(same.front()));
+    EXPECT_NE(same.front(), c.target);
+    EXPECT_EQ(cats.at(SourceCategory::kDstAsSrc),
+              std::vector<IpAddr>{c.target});
+  }
+}
+
 TEST(SourceSelector, CategoryNames) {
   EXPECT_EQ(scanner::source_category_name(SourceCategory::kOtherPrefix),
             "Other Prefix");

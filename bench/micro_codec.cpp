@@ -1,10 +1,49 @@
 // Microbenchmarks: wire codecs (DNS messages, names, packets, query-name
 // encoding) — the per-packet cost floor of the simulator.
+//
+// Beyond wall-clock time, every codec benchmark reports:
+//   bytes_per_second  — wire throughput (set via SetBytesProcessed)
+//   allocs/op         — heap allocations per operation, counted by a global
+//                       operator new hook; the pooled variants show what the
+//                       thread-local BufferPool saves over fresh vectors.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "dns/message.h"
 #include "net/packet.h"
 #include "scanner/qname.h"
+#include "util/bytes.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// Global allocation hook: counts every operator-new call in the process.
+// Benchmark loops measure the delta across their iterations, so framework
+// setup allocations outside the loop do not pollute allocs/op.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -24,19 +63,51 @@ dns::DnsMessage sample_response() {
   return resp;
 }
 
+void report_allocs(benchmark::State& state, std::uint64_t since) {
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - since) /
+      static_cast<double>(state.iterations()));
+}
+
 void BM_DnsMessageEncode(benchmark::State& state) {
   const dns::DnsMessage msg = sample_response();
+  const std::size_t wire_size = msg.encode().size();
+  const std::uint64_t a0 = alloc_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(msg.encode());
   }
+  report_allocs(state, a0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire_size));
 }
 BENCHMARK(BM_DnsMessageEncode);
 
+void BM_DnsMessageEncodePooled(benchmark::State& state) {
+  // Steady-state simulator pattern: encode into a pooled buffer, hand it to
+  // the network, get the capacity back when the packet dies.
+  const dns::DnsMessage msg = sample_response();
+  const std::size_t wire_size = dns::encode_pooled(msg).size();
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    std::vector<std::uint8_t> wire = dns::encode_pooled(msg);
+    benchmark::DoNotOptimize(wire.data());
+    BufferPool::release(std::move(wire));
+  }
+  report_allocs(state, a0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire_size));
+}
+BENCHMARK(BM_DnsMessageEncodePooled);
+
 void BM_DnsMessageDecode(benchmark::State& state) {
   const auto wire = sample_response().encode();
+  const std::uint64_t a0 = alloc_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(dns::DnsMessage::decode(wire));
   }
+  report_allocs(state, a0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
 }
 BENCHMARK(BM_DnsMessageDecode);
 
@@ -53,11 +124,34 @@ void BM_PacketSerializeUdp(benchmark::State& state) {
   const net::Packet pkt = net::make_udp(
       net::IpAddr::must_parse("192.0.2.1"), 5353,
       net::IpAddr::must_parse("198.51.100.2"), 53, payload);
+  const std::size_t wire_size = pkt.serialize().size();
+  const std::uint64_t a0 = alloc_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(pkt.serialize());
   }
+  report_allocs(state, a0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire_size));
 }
 BENCHMARK(BM_PacketSerializeUdp);
+
+void BM_PacketSerializeUdpPooled(benchmark::State& state) {
+  const auto payload = sample_response().encode();
+  const net::Packet pkt = net::make_udp(
+      net::IpAddr::must_parse("192.0.2.1"), 5353,
+      net::IpAddr::must_parse("198.51.100.2"), 53, payload);
+  const std::size_t wire_size = pkt.serialize().size();
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    std::vector<std::uint8_t> wire = pkt.serialize();
+    benchmark::DoNotOptimize(wire.data());
+    BufferPool::release(std::move(wire));
+  }
+  report_allocs(state, a0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire_size));
+}
+BENCHMARK(BM_PacketSerializeUdpPooled);
 
 void BM_PacketRoundTripTcpSyn(benchmark::State& state) {
   net::Packet pkt = net::make_tcp(net::IpAddr::must_parse("2001:db8::1"),
@@ -69,9 +163,16 @@ void BM_PacketRoundTripTcpSyn(benchmark::State& state) {
                      {net::TcpOptionKind::kTimestamp, 1},
                      {net::TcpOptionKind::kNop, 0},
                      {net::TcpOptionKind::kWindowScale, 7}};
+  const std::size_t wire_size = pkt.serialize().size();
+  const std::uint64_t a0 = alloc_count();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net::Packet::parse(pkt.serialize()));
+    std::vector<std::uint8_t> wire = pkt.serialize();
+    benchmark::DoNotOptimize(net::Packet::parse(wire));
+    BufferPool::release(std::move(wire));
   }
+  report_allocs(state, a0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire_size));
 }
 BENCHMARK(BM_PacketRoundTripTcpSyn);
 

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + full test suite, then a ThreadSanitizer
-# build that reruns the sharded-runner tests (label "parallel") to catch
-# data races the deterministic-equivalence tests cannot.
+# CI entry point: plain build + full test suite, then three sanitizer
+# builds — ThreadSanitizer over the sharded-runner tests (label
+# "parallel") to catch data races the deterministic-equivalence tests
+# cannot, AddressSanitizer over the wire-codec round-trip/fuzz tests
+# (truncation fuzzing only proves "throws, never over-reads" when the
+# reads are instrumented), and UndefinedBehaviorSanitizer over the full
+# unit suite (shift/overflow/alignment UB in the byte codecs).
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -18,5 +22,16 @@ echo "=== TSan build + parallel-label ctest ==="
 cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j --target test_core_parallel
 ctest --test-dir "${PREFIX}-tsan" -L parallel --output-on-failure
+
+echo "=== ASan build + codec round-trip/fuzz tests ==="
+cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
+cmake --build "${PREFIX}-asan" -j --target test_util_bytes
+ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir "${PREFIX}-asan" -R test_util_bytes --output-on-failure
+
+echo "=== UBSan build + unit-label ctest ==="
+cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
+cmake --build "${PREFIX}-ubsan" -j
+ctest --test-dir "${PREFIX}-ubsan" -L unit --output-on-failure -j
 
 echo "=== ci.sh: all green ==="

@@ -5,164 +5,147 @@
 namespace cd::dns {
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16(out, static_cast<std::uint16_t>(v));
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t& off) {
-  if (off + 2 > d.size()) throw ParseError("DnsMessage: truncated u16");
-  const std::uint16_t v = static_cast<std::uint16_t>((d[off] << 8) | d[off + 1]);
-  off += 2;
-  return v;
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t& off) {
-  const std::uint32_t hi = get_u16(d, off);
-  const std::uint32_t lo = get_u16(d, off);
-  return (hi << 16) | lo;
-}
-
-void encode_rdata(const DnsRr& rr, std::vector<std::uint8_t>& out,
-                  NameCompressor* comp) {
+void encode_rdata(const DnsRr& rr, cd::ByteWriter& w, NameCompressor* comp) {
   // Reserve the RDLENGTH slot, then backfill after encoding.
-  const std::size_t len_pos = out.size();
-  put_u16(out, 0);
-  const std::size_t start = out.size();
+  const std::size_t len_pos = w.reserve_u16();
+  const std::size_t start = w.size();
 
   std::visit(
       [&](const auto& rd) {
         using T = std::decay_t<decltype(rd)>;
         if constexpr (std::is_same_v<T, ARdata>) {
           CD_ENSURE(rd.addr.is_v4(), "A rdata must be IPv4");
-          const auto b = rd.addr.to_bytes();
-          out.insert(out.end(), b.begin(), b.end());
+          w.bytes(rd.addr.to_bytes());
         } else if constexpr (std::is_same_v<T, AaaaRdata>) {
           CD_ENSURE(rd.addr.is_v6(), "AAAA rdata must be IPv6");
-          const auto b = rd.addr.to_bytes();
-          out.insert(out.end(), b.begin(), b.end());
+          w.bytes(rd.addr.to_bytes());
         } else if constexpr (std::is_same_v<T, NsRdata>) {
-          encode_name(rd.nsdname, out, comp);
+          encode_name(rd.nsdname, w, comp);
         } else if constexpr (std::is_same_v<T, CnameRdata>) {
-          encode_name(rd.target, out, comp);
+          encode_name(rd.target, w, comp);
         } else if constexpr (std::is_same_v<T, PtrRdata>) {
-          encode_name(rd.target, out, comp);
+          encode_name(rd.target, w, comp);
         } else if constexpr (std::is_same_v<T, TxtRdata>) {
           // Character-strings of <= 255 bytes each.
           std::size_t pos = 0;
           while (pos < rd.text.size() || pos == 0) {
-            const std::size_t chunk = std::min<std::size_t>(
-                255, rd.text.size() - pos);
-            out.push_back(static_cast<std::uint8_t>(chunk));
-            out.insert(out.end(), rd.text.begin() + static_cast<std::ptrdiff_t>(pos),
-                       rd.text.begin() + static_cast<std::ptrdiff_t>(pos + chunk));
+            const std::size_t chunk =
+                std::min<std::size_t>(255, rd.text.size() - pos);
+            w.u8(static_cast<std::uint8_t>(chunk));
+            w.text(std::string_view(rd.text).substr(pos, chunk));
             pos += chunk;
             if (pos >= rd.text.size()) break;
           }
         } else if constexpr (std::is_same_v<T, SoaRdata>) {
-          encode_name(rd.mname, out, comp);
-          encode_name(rd.rname, out, comp);
-          put_u32(out, rd.serial);
-          put_u32(out, rd.refresh);
-          put_u32(out, rd.retry);
-          put_u32(out, rd.expire);
-          put_u32(out, rd.minimum);
+          encode_name(rd.mname, w, comp);
+          encode_name(rd.rname, w, comp);
+          w.u32(rd.serial);
+          w.u32(rd.refresh);
+          w.u32(rd.retry);
+          w.u32(rd.expire);
+          w.u32(rd.minimum);
         } else if constexpr (std::is_same_v<T, RawRdata>) {
-          out.insert(out.end(), rd.bytes.begin(), rd.bytes.end());
+          w.bytes(rd.bytes);
         }
       },
       rr.rdata);
 
-  const std::size_t rdlen = out.size() - start;
+  const std::size_t rdlen = w.size() - start;
   CD_ENSURE(rdlen <= 0xFFFF, "rdata too long");
-  out[len_pos] = static_cast<std::uint8_t>(rdlen >> 8);
-  out[len_pos + 1] = static_cast<std::uint8_t>(rdlen);
+  w.patch_u16(len_pos, static_cast<std::uint16_t>(rdlen));
 }
 
-Rdata decode_rdata(RrType type, std::span<const std::uint8_t> msg,
-                   std::size_t off, std::size_t rdlen) {
-  const std::span<const std::uint8_t> rd = msg.subspan(off, rdlen);
+// `r` spans the whole message with the cursor at the rdata start; on return
+// the cursor is at the rdata end. Name-bearing rdata must keep its in-place
+// bytes inside RDLENGTH (compression targets may point anywhere earlier).
+Rdata decode_rdata(RrType type, cd::ByteReader& r, std::size_t rdlen) {
+  const std::size_t rd_end = r.pos() + rdlen;
+  const auto check_in_bounds = [&] {
+    if (r.pos() > rd_end) throw ParseError("rdata name overruns RDLENGTH");
+  };
   switch (type) {
     case RrType::kA: {
       if (rdlen != 4) throw ParseError("bad A rdlength");
-      return ARdata{cd::net::IpAddr::v4(
-          (static_cast<std::uint32_t>(rd[0]) << 24) |
-          (static_cast<std::uint32_t>(rd[1]) << 16) |
-          (static_cast<std::uint32_t>(rd[2]) << 8) | rd[3])};
+      return ARdata{cd::net::IpAddr::v4(r.u32())};
     }
     case RrType::kAaaa: {
       if (rdlen != 16) throw ParseError("bad AAAA rdlength");
-      std::uint64_t hi = 0, lo = 0;
-      for (int i = 0; i < 8; ++i) hi = (hi << 8) | rd[static_cast<std::size_t>(i)];
-      for (int i = 8; i < 16; ++i) lo = (lo << 8) | rd[static_cast<std::size_t>(i)];
+      // Sequence the reads: chaining r.u32() calls inside one expression
+      // would leave their order unspecified.
+      const auto u64be = [&r] {
+        const std::uint64_t hi = r.u32();
+        const std::uint64_t lo = r.u32();
+        return (hi << 32) | lo;
+      };
+      const std::uint64_t hi = u64be();
+      const std::uint64_t lo = u64be();
       return AaaaRdata{cd::net::IpAddr::v6(hi, lo)};
     }
     case RrType::kNs: {
-      std::size_t pos = off;
-      return NsRdata{decode_name(msg, pos)};
+      NsRdata rd{decode_name(r)};
+      check_in_bounds();
+      return rd;
     }
     case RrType::kCname: {
-      std::size_t pos = off;
-      return CnameRdata{decode_name(msg, pos)};
+      CnameRdata rd{decode_name(r)};
+      check_in_bounds();
+      return rd;
     }
     case RrType::kPtr: {
-      std::size_t pos = off;
-      return PtrRdata{decode_name(msg, pos)};
+      PtrRdata rd{decode_name(r)};
+      check_in_bounds();
+      return rd;
     }
     case RrType::kTxt: {
+      cd::ByteReader rd(r.bytes(rdlen), "TXT rdata");
       std::string text;
-      std::size_t pos = 0;
-      while (pos < rdlen) {
-        const std::size_t chunk = rd[pos];
-        if (pos + 1 + chunk > rdlen) throw ParseError("bad TXT rdata");
-        text.append(reinterpret_cast<const char*>(&rd[pos + 1]), chunk);
-        pos += 1 + chunk;
+      while (!rd.done()) {
+        const std::size_t chunk = rd.u8();
+        if (rd.remaining() < chunk) throw ParseError("bad TXT rdata");
+        const auto s = rd.bytes(chunk);
+        text.append(reinterpret_cast<const char*>(s.data()), s.size());
       }
       return TxtRdata{std::move(text)};
     }
     case RrType::kSoa: {
-      std::size_t pos = off;
       SoaRdata soa;
-      soa.mname = decode_name(msg, pos);
-      soa.rname = decode_name(msg, pos);
-      soa.serial = get_u32(msg, pos);
-      soa.refresh = get_u32(msg, pos);
-      soa.retry = get_u32(msg, pos);
-      soa.expire = get_u32(msg, pos);
-      soa.minimum = get_u32(msg, pos);
-      if (pos > off + rdlen) throw ParseError("bad SOA rdata");
+      soa.mname = decode_name(r);
+      soa.rname = decode_name(r);
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      if (r.pos() > rd_end) throw ParseError("bad SOA rdata");
       return soa;
     }
-    default:
-      return RawRdata{{rd.begin(), rd.end()}};
+    default: {
+      const auto raw = r.bytes(rdlen);
+      return RawRdata{{raw.begin(), raw.end()}};
+    }
   }
 }
 
-void encode_rr(const DnsRr& rr, std::vector<std::uint8_t>& out,
-               NameCompressor* comp) {
-  encode_name(rr.name, out, comp);
-  put_u16(out, static_cast<std::uint16_t>(rr.type));
-  put_u16(out, 1);  // class IN
-  put_u32(out, rr.ttl);
-  encode_rdata(rr, out, comp);
+void encode_rr(const DnsRr& rr, cd::ByteWriter& w, NameCompressor* comp) {
+  encode_name(rr.name, w, comp);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(1);  // class IN
+  w.u32(rr.ttl);
+  encode_rdata(rr, w, comp);
 }
 
-DnsRr decode_rr(std::span<const std::uint8_t> msg, std::size_t& off) {
+DnsRr decode_rr(cd::ByteReader& r) {
   DnsRr rr;
-  rr.name = decode_name(msg, off);
-  rr.type = static_cast<RrType>(get_u16(msg, off));
-  const std::uint16_t klass = get_u16(msg, off);
+  rr.name = decode_name(r);
+  rr.type = static_cast<RrType>(r.u16());
+  const std::uint16_t klass = r.u16();
   (void)klass;  // only IN supported; EDNS OPT reuses this field for UDP size
-  rr.ttl = get_u32(msg, off);
-  const std::uint16_t rdlen = get_u16(msg, off);
-  if (off + rdlen > msg.size()) throw ParseError("DnsMessage: truncated rdata");
-  rr.rdata = decode_rdata(rr.type, msg, off, rdlen);
-  off += rdlen;
+  rr.ttl = r.u32();
+  const std::uint16_t rdlen = r.u16();
+  if (r.remaining() < rdlen) throw ParseError("DnsMessage: truncated rdata");
+  const std::size_t rd_end = r.pos() + rdlen;
+  rr.rdata = decode_rdata(rr.type, r, rdlen);
+  r.seek(rd_end);
   return rr;
 }
 
@@ -249,11 +232,10 @@ DnsRr make_cname(const DnsName& name, const DnsName& target,
   return DnsRr{name, RrType::kCname, ttl, CnameRdata{target}};
 }
 
-std::vector<std::uint8_t> DnsMessage::encode() const {
-  std::vector<std::uint8_t> out;
+void DnsMessage::encode_into(cd::ByteWriter& w) const {
   NameCompressor comp;
 
-  put_u16(out, header.id);
+  w.u16(header.id);
   std::uint16_t flags = 0;
   if (header.qr) flags |= 0x8000;
   flags |= static_cast<std::uint16_t>(header.opcode) << 11;
@@ -262,28 +244,40 @@ std::vector<std::uint8_t> DnsMessage::encode() const {
   if (header.rd) flags |= 0x0100;
   if (header.ra) flags |= 0x0080;
   flags |= static_cast<std::uint16_t>(header.rcode);
-  put_u16(out, flags);
-  put_u16(out, static_cast<std::uint16_t>(questions.size()));
-  put_u16(out, static_cast<std::uint16_t>(answers.size()));
-  put_u16(out, static_cast<std::uint16_t>(authorities.size()));
-  put_u16(out, static_cast<std::uint16_t>(additionals.size()));
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
 
   for (const DnsQuestion& q : questions) {
-    encode_name(q.qname, out, &comp);
-    put_u16(out, static_cast<std::uint16_t>(q.qtype));
-    put_u16(out, 1);  // class IN
+    encode_name(q.qname, w, &comp);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(1);  // class IN
   }
-  for (const DnsRr& rr : answers) encode_rr(rr, out, &comp);
-  for (const DnsRr& rr : authorities) encode_rr(rr, out, &comp);
-  for (const DnsRr& rr : additionals) encode_rr(rr, out, &comp);
+  for (const DnsRr& rr : answers) encode_rr(rr, w, &comp);
+  for (const DnsRr& rr : authorities) encode_rr(rr, w, &comp);
+  for (const DnsRr& rr : additionals) encode_rr(rr, w, &comp);
+}
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  std::vector<std::uint8_t> out;
+  cd::ByteWriter w(out);
+  encode_into(w);
   return out;
 }
 
-DnsMessage DnsMessage::decode(std::span<const std::uint8_t> wire) {
+std::vector<std::uint8_t> encode_pooled(const DnsMessage& m) {
+  std::vector<std::uint8_t> out = cd::BufferPool::acquire();
+  cd::ByteWriter w(out);
+  m.encode_into(w);
+  return out;
+}
+
+DnsMessage DnsMessage::decode(cd::ByteReader& r) {
   DnsMessage m;
-  std::size_t off = 0;
-  m.header.id = get_u16(wire, off);
-  const std::uint16_t flags = get_u16(wire, off);
+  m.header.id = r.u16();
+  const std::uint16_t flags = r.u16();
   m.header.qr = flags & 0x8000;
   m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xF);
   m.header.aa = flags & 0x0400;
@@ -291,22 +285,27 @@ DnsMessage DnsMessage::decode(std::span<const std::uint8_t> wire) {
   m.header.rd = flags & 0x0100;
   m.header.ra = flags & 0x0080;
   m.header.rcode = static_cast<Rcode>(flags & 0xF);
-  const std::uint16_t qd = get_u16(wire, off);
-  const std::uint16_t an = get_u16(wire, off);
-  const std::uint16_t ns = get_u16(wire, off);
-  const std::uint16_t ar = get_u16(wire, off);
+  const std::uint16_t qd = r.u16();
+  const std::uint16_t an = r.u16();
+  const std::uint16_t ns = r.u16();
+  const std::uint16_t ar = r.u16();
 
   for (int i = 0; i < qd; ++i) {
     DnsQuestion q;
-    q.qname = decode_name(wire, off);
-    q.qtype = static_cast<RrType>(get_u16(wire, off));
-    get_u16(wire, off);  // class
+    q.qname = decode_name(r);
+    q.qtype = static_cast<RrType>(r.u16());
+    r.u16();  // class
     m.questions.push_back(std::move(q));
   }
-  for (int i = 0; i < an; ++i) m.answers.push_back(decode_rr(wire, off));
-  for (int i = 0; i < ns; ++i) m.authorities.push_back(decode_rr(wire, off));
-  for (int i = 0; i < ar; ++i) m.additionals.push_back(decode_rr(wire, off));
+  for (int i = 0; i < an; ++i) m.answers.push_back(decode_rr(r));
+  for (int i = 0; i < ns; ++i) m.authorities.push_back(decode_rr(r));
+  for (int i = 0; i < ar; ++i) m.additionals.push_back(decode_rr(r));
   return m;
+}
+
+DnsMessage DnsMessage::decode(std::span<const std::uint8_t> wire) {
+  cd::ByteReader r(wire, "DnsMessage");
+  return decode(r);
 }
 
 const DnsName& DnsMessage::qname() const {

@@ -140,7 +140,14 @@ struct DnsMessage {
   std::vector<DnsRr> authorities;
   std::vector<DnsRr> additionals;
 
+  /// Appends the wire encoding through `w`. The writer's base must be the
+  /// message start (compression offsets are writer-relative).
+  void encode_into(cd::ByteWriter& w) const;
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes from a reader spanning exactly one message; leaves the cursor
+  /// after the last counted record.
+  [[nodiscard]] static DnsMessage decode(cd::ByteReader& r);
   [[nodiscard]] static DnsMessage decode(std::span<const std::uint8_t> wire);
 
   /// First question's name, or root if none (convenience for logging).
@@ -148,6 +155,11 @@ struct DnsMessage {
 
   friend bool operator==(const DnsMessage&, const DnsMessage&) = default;
 };
+
+/// Encodes `m` into a buffer drawn from the thread-local cd::BufferPool, so
+/// repeated encodes on one thread reuse capacity. Hand the result to a packet
+/// payload (or release it back to the pool) instead of copying it.
+[[nodiscard]] std::vector<std::uint8_t> encode_pooled(const DnsMessage& m);
 
 /// Builds a recursion-desired query with the given id.
 [[nodiscard]] DnsMessage make_query(std::uint16_t id, const DnsName& qname,

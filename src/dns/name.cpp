@@ -122,7 +122,7 @@ std::size_t DnsNameHash::operator()(const DnsName& n) const noexcept {
   return h;
 }
 
-void encode_name(const DnsName& name, std::vector<std::uint8_t>& out,
+void encode_name(const DnsName& name, cd::ByteWriter& w,
                  NameCompressor* comp) {
   const auto& labels = name.labels();
   for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -135,25 +135,33 @@ void encode_name(const DnsName& name, std::vector<std::uint8_t>& out,
       }
       const auto it = comp->offsets.find(key);
       if (it != comp->offsets.end()) {
-        out.push_back(static_cast<std::uint8_t>(0xC0 | (it->second >> 8)));
-        out.push_back(static_cast<std::uint8_t>(it->second));
+        w.u16(static_cast<std::uint16_t>(0xC000 | it->second));
         return;
       }
       // Remember this suffix's offset if it is pointer-representable.
-      if (out.size() <= 0x3FFF) {
+      if (w.size() <= 0x3FFF) {
         comp->offsets.emplace(std::move(key),
-                              static_cast<std::uint16_t>(out.size()));
+                              static_cast<std::uint16_t>(w.size()));
       }
     }
-    out.push_back(static_cast<std::uint8_t>(labels[i].size()));
-    out.insert(out.end(), labels[i].begin(), labels[i].end());
+    w.u8(static_cast<std::uint8_t>(labels[i].size()));
+    w.text(labels[i]);
   }
-  out.push_back(0);  // root
+  w.u8(0);  // root
 }
 
-DnsName decode_name(std::span<const std::uint8_t> msg, std::size_t& offset) {
+void encode_name(const DnsName& name, std::vector<std::uint8_t>& out,
+                 NameCompressor* comp) {
+  // Base the writer at offset 0: legacy callers treat `out` as the whole
+  // message, so compression offsets must be absolute vector offsets.
+  cd::ByteWriter w(out, 0);
+  encode_name(name, w, comp);
+}
+
+DnsName decode_name(cd::ByteReader& r) {
+  const std::span<const std::uint8_t> msg = r.whole();
   std::vector<std::string> labels;
-  std::size_t pos = offset;
+  std::size_t pos = r.pos();
   bool jumped = false;
   std::size_t after_first_pointer = 0;
   int hops = 0;
@@ -189,8 +197,16 @@ DnsName decode_name(std::span<const std::uint8_t> msg, std::size_t& offset) {
     pos += 1 + len;
   }
 
-  offset = jumped ? after_first_pointer : pos;
+  r.seek(jumped ? after_first_pointer : pos);
   return DnsName(std::move(labels));
+}
+
+DnsName decode_name(std::span<const std::uint8_t> msg, std::size_t& offset) {
+  cd::ByteReader r(msg, "decode_name");
+  r.seek(offset);
+  DnsName name = decode_name(r);
+  offset = r.pos();
+  return name;
 }
 
 }  // namespace cd::dns

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/bytes.h"
+
 namespace cd::dns {
 
 /// A fully-qualified DNS name as an ordered list of labels (root = empty
@@ -70,14 +72,23 @@ struct NameCompressor {
   std::unordered_map<std::string, std::uint16_t> offsets;
 };
 
-/// Appends the wire encoding of `name` to `out`, compressing against (and
-/// updating) `comp` when provided.
+/// Appends the wire encoding of `name` through `w`, compressing against
+/// (and updating) `comp` when provided. Compression offsets are relative to
+/// the writer's base, so `w` must have been constructed at the start of the
+/// DNS message.
+void encode_name(const DnsName& name, cd::ByteWriter& w, NameCompressor* comp);
+
+/// Convenience shim over the ByteWriter form.
 void encode_name(const DnsName& name, std::vector<std::uint8_t>& out,
                  NameCompressor* comp);
 
-/// Decodes a (possibly compressed) name at `offset` within `msg`. Advances
-/// `offset` past the name's in-place bytes. Throws cd::ParseError on
-/// malformed input, including pointer loops.
+/// Decodes a (possibly compressed) name at the reader's cursor, leaving the
+/// cursor past the name's in-place bytes. The reader must span the whole DNS
+/// message (compression pointers are message-relative). Throws cd::ParseError
+/// on malformed input, including pointer loops.
+[[nodiscard]] DnsName decode_name(cd::ByteReader& r);
+
+/// Convenience shim over the ByteReader form.
 [[nodiscard]] DnsName decode_name(std::span<const std::uint8_t> msg,
                                   std::size_t& offset);
 

@@ -12,6 +12,10 @@ void Checksum::add(std::span<const std::uint8_t> data) {
   }
 }
 
+void Checksum::add_written(const cd::ByteWriter& w, std::size_t from) {
+  add(w.written(from));
+}
+
 void Checksum::add_word(std::uint16_t word) {
   sum_ += word;
 }

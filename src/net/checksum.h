@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <span>
 
+#include "util/bytes.h"
+
 namespace cd::net {
 
 /// Incremental ones'-complement sum accumulator. Fold with finish().
@@ -11,6 +13,10 @@ class Checksum {
  public:
   /// Adds bytes; an odd trailing byte is padded as the high octet of a word.
   void add(std::span<const std::uint8_t> data);
+
+  /// Adds the region written through `w` starting at writer-relative `from`
+  /// (the ByteWriter's checksummable-region view).
+  void add_written(const cd::ByteWriter& w, std::size_t from = 0);
 
   /// Adds one 16-bit word in host order.
   void add_word(std::uint16_t word);

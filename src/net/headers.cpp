@@ -6,25 +6,6 @@
 namespace cd::net {
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16(out, static_cast<std::uint16_t>(v));
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t off) {
-  return static_cast<std::uint16_t>((d[off] << 8) | d[off + 1]);
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t off) {
-  return (static_cast<std::uint32_t>(get_u16(d, off)) << 16) |
-         get_u16(d, off + 2);
-}
-
 // Pseudo-header contribution for UDP/TCP checksums (v4 and v6 forms).
 void add_pseudo_header(Checksum& sum, const IpAddr& src, const IpAddr& dst,
                        IpProto proto, std::size_t l4_length) {
@@ -46,76 +27,127 @@ void add_pseudo_header(Checksum& sum, const IpAddr& src, const IpAddr& dst,
 
 }  // namespace
 
-std::vector<std::uint8_t> Ipv4Header::serialize() const {
+void Ipv4Header::serialize_into(cd::ByteWriter& w) const {
   CD_ENSURE(src.is_v4() && dst.is_v4(), "Ipv4Header: non-v4 address");
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(dont_fragment ? 0x4000 : 0x0000);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  const std::size_t cks = w.reserve_u16();
+  w.u32(src.v4_bits());
+  w.u32(dst.v4_bits());
+  w.patch_u16(cks, internet_checksum(w.written(start)));
+}
+
+std::vector<std::uint8_t> Ipv4Header::serialize() const {
   std::vector<std::uint8_t> out;
   out.reserve(kSize);
-  out.push_back(0x45);  // version 4, IHL 5
-  out.push_back(tos);
-  put_u16(out, total_length);
-  put_u16(out, identification);
-  put_u16(out, dont_fragment ? 0x4000 : 0x0000);
-  out.push_back(ttl);
-  out.push_back(static_cast<std::uint8_t>(protocol));
-  put_u16(out, 0);  // checksum placeholder
-  put_u32(out, src.v4_bits());
-  put_u32(out, dst.v4_bits());
-  const std::uint16_t sum = internet_checksum(out);
-  out[10] = static_cast<std::uint8_t>(sum >> 8);
-  out[11] = static_cast<std::uint8_t>(sum);
+  cd::ByteWriter w(out);
+  serialize_into(w);
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(cd::ByteReader& r) {
+  if (r.remaining() < kSize) throw ParseError("Ipv4Header: short buffer");
+  const auto data = r.bytes(kSize);
+  if ((data[0] >> 4) != 4) throw ParseError("Ipv4Header: not version 4");
+  if ((data[0] & 0x0F) != 5) throw ParseError("Ipv4Header: options unsupported");
+  if (internet_checksum(data) != 0) {
+    throw ParseError("Ipv4Header: bad checksum");
+  }
+  cd::ByteReader h(data, "Ipv4Header");
+  h.skip(1);  // version/IHL, validated above
+  Ipv4Header out;
+  out.tos = h.u8();
+  out.total_length = h.u16();
+  out.identification = h.u16();
+  out.dont_fragment = (h.u16() & 0x4000) != 0;
+  out.ttl = h.u8();
+  out.protocol = static_cast<IpProto>(h.u8());
+  h.skip(2);  // checksum, validated above
+  out.src = IpAddr::v4(h.u32());
+  out.dst = IpAddr::v4(h.u32());
   return out;
 }
 
 Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) throw ParseError("Ipv4Header: short buffer");
-  if ((data[0] >> 4) != 4) throw ParseError("Ipv4Header: not version 4");
-  if ((data[0] & 0x0F) != 5) throw ParseError("Ipv4Header: options unsupported");
-  if (internet_checksum(data.subspan(0, kSize)) != 0) {
-    throw ParseError("Ipv4Header: bad checksum");
-  }
-  Ipv4Header h;
-  h.tos = data[1];
-  h.total_length = get_u16(data, 2);
-  h.identification = get_u16(data, 4);
-  h.dont_fragment = (get_u16(data, 6) & 0x4000) != 0;
-  h.ttl = data[8];
-  h.protocol = static_cast<IpProto>(data[9]);
-  h.src = IpAddr::v4(get_u32(data, 12));
-  h.dst = IpAddr::v4(get_u32(data, 16));
-  return h;
+  cd::ByteReader r(data, "Ipv4Header");
+  return parse(r);
+}
+
+void Ipv6Header::serialize_into(cd::ByteWriter& w) const {
+  CD_ENSURE(src.is_v6() && dst.is_v6(), "Ipv6Header: non-v6 address");
+  w.u32((0x6u << 28) | (static_cast<std::uint32_t>(traffic_class) << 20) |
+        (flow_label & 0xFFFFF));
+  w.u16(payload_length);
+  w.u8(static_cast<std::uint8_t>(next_header));
+  w.u8(hop_limit);
+  w.bytes(src.to_bytes());
+  w.bytes(dst.to_bytes());
 }
 
 std::vector<std::uint8_t> Ipv6Header::serialize() const {
-  CD_ENSURE(src.is_v6() && dst.is_v6(), "Ipv6Header: non-v6 address");
   std::vector<std::uint8_t> out;
   out.reserve(kSize);
-  put_u32(out, (0x6u << 28) | (static_cast<std::uint32_t>(traffic_class) << 20) |
-                   (flow_label & 0xFFFFF));
-  put_u16(out, payload_length);
-  out.push_back(static_cast<std::uint8_t>(next_header));
-  out.push_back(hop_limit);
-  for (std::uint8_t b : src.to_bytes()) out.push_back(b);
-  for (std::uint8_t b : dst.to_bytes()) out.push_back(b);
+  cd::ByteWriter w(out);
+  serialize_into(w);
+  return out;
+}
+
+Ipv6Header Ipv6Header::parse(cd::ByteReader& r) {
+  if (r.remaining() < kSize) throw ParseError("Ipv6Header: short buffer");
+  cd::ByteReader h(r.bytes(kSize), "Ipv6Header");
+  const std::uint32_t first = h.u32();
+  if ((first >> 28) != 6) throw ParseError("Ipv6Header: not version 6");
+  Ipv6Header out;
+  out.traffic_class = static_cast<std::uint8_t>(first >> 20);
+  out.flow_label = first & 0xFFFFF;
+  out.payload_length = h.u16();
+  out.next_header = static_cast<IpProto>(h.u8());
+  out.hop_limit = h.u8();
+  // Sequence the four reads explicitly: chaining them inside one expression
+  // would leave their order unspecified.
+  const auto u64be = [&h] {
+    const std::uint64_t hi = h.u32();
+    const std::uint64_t lo = h.u32();
+    return (hi << 32) | lo;
+  };
+  const std::uint64_t src_hi = u64be();
+  const std::uint64_t src_lo = u64be();
+  out.src = IpAddr::v6(src_hi, src_lo);
+  const std::uint64_t dst_hi = u64be();
+  const std::uint64_t dst_lo = u64be();
+  out.dst = IpAddr::v6(dst_hi, dst_lo);
   return out;
 }
 
 Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) throw ParseError("Ipv6Header: short buffer");
-  const std::uint32_t first = get_u32(data, 0);
-  if ((first >> 28) != 6) throw ParseError("Ipv6Header: not version 6");
-  Ipv6Header h;
-  h.traffic_class = static_cast<std::uint8_t>(first >> 20);
-  h.flow_label = first & 0xFFFFF;
-  h.payload_length = get_u16(data, 4);
-  h.next_header = static_cast<IpProto>(data[6]);
-  h.hop_limit = data[7];
-  h.src = IpAddr::v6(
-      (static_cast<std::uint64_t>(get_u32(data, 8)) << 32) | get_u32(data, 12),
-      (static_cast<std::uint64_t>(get_u32(data, 16)) << 32) | get_u32(data, 20));
-  h.dst = IpAddr::v6(
-      (static_cast<std::uint64_t>(get_u32(data, 24)) << 32) | get_u32(data, 28),
-      (static_cast<std::uint64_t>(get_u32(data, 32)) << 32) | get_u32(data, 36));
-  return h;
+  cd::ByteReader r(data, "Ipv6Header");
+  return parse(r);
+}
+
+void UdpHeader::serialize_into(cd::ByteWriter& w, const IpAddr& src,
+                               const IpAddr& dst,
+                               std::span<const std::uint8_t> payload) const {
+  const std::size_t start = w.size();
+  w.u16(src_port);
+  w.u16(dst_port);
+  const std::uint16_t len =
+      length ? length : static_cast<std::uint16_t>(kSize + payload.size());
+  w.u16(len);
+  const std::size_t cks = w.reserve_u16();
+  w.bytes(payload);
+
+  Checksum sum;
+  add_pseudo_header(sum, src, dst, IpProto::kUdp, len);
+  sum.add(w.written(start));
+  std::uint16_t cs = sum.finish();
+  if (cs == 0) cs = 0xFFFF;  // RFC 768: zero transmitted as all-ones
+  w.patch_u16(cks, cs);
 }
 
 std::vector<std::uint8_t> UdpHeader::serialize(
@@ -123,30 +155,18 @@ std::vector<std::uint8_t> UdpHeader::serialize(
     std::span<const std::uint8_t> payload) const {
   std::vector<std::uint8_t> out;
   out.reserve(kSize + payload.size());
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  const std::uint16_t len =
-      length ? length : static_cast<std::uint16_t>(kSize + payload.size());
-  put_u16(out, len);
-  put_u16(out, 0);  // checksum placeholder
-  out.insert(out.end(), payload.begin(), payload.end());
-
-  Checksum sum;
-  add_pseudo_header(sum, src, dst, IpProto::kUdp, len);
-  sum.add(out);
-  std::uint16_t cs = sum.finish();
-  if (cs == 0) cs = 0xFFFF;  // RFC 768: zero transmitted as all-ones
-  out[6] = static_cast<std::uint8_t>(cs >> 8);
-  out[7] = static_cast<std::uint8_t>(cs);
+  cd::ByteWriter w(out);
+  serialize_into(w, src, dst, payload);
   return out;
 }
 
 UdpHeader UdpHeader::parse(std::span<const std::uint8_t> data) {
   if (data.size() < kSize) throw ParseError("UdpHeader: short buffer");
+  cd::ByteReader r(data, "UdpHeader");
   UdpHeader h;
-  h.src_port = get_u16(data, 0);
-  h.dst_port = get_u16(data, 2);
-  h.length = get_u16(data, 4);
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
   if (h.length < kSize || h.length > data.size()) {
     throw ParseError("UdpHeader: bad length");
   }
@@ -179,112 +199,120 @@ std::size_t TcpHeader::size() const {
   return 20 + ((opt_bytes + 3) / 4) * 4;
 }
 
-std::vector<std::uint8_t> TcpHeader::serialize(
-    const IpAddr& src, const IpAddr& dst,
-    std::span<const std::uint8_t> payload) const {
-  std::vector<std::uint8_t> out;
+void TcpHeader::serialize_into(cd::ByteWriter& w, const IpAddr& src,
+                               const IpAddr& dst,
+                               std::span<const std::uint8_t> payload) const {
+  const std::size_t start = w.size();
   const std::size_t hdr_size = size();
-  out.reserve(hdr_size + payload.size());
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  put_u32(out, seq);
-  put_u32(out, ack);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
   const std::uint8_t data_offset = static_cast<std::uint8_t>(hdr_size / 4);
-  out.push_back(static_cast<std::uint8_t>(data_offset << 4));
+  w.u8(static_cast<std::uint8_t>(data_offset << 4));
   std::uint8_t flag_bits = 0;
   if (flags.fin) flag_bits |= 0x01;
   if (flags.syn) flag_bits |= 0x02;
   if (flags.rst) flag_bits |= 0x04;
   if (flags.psh) flag_bits |= 0x08;
   if (flags.ack) flag_bits |= 0x10;
-  out.push_back(flag_bits);
-  put_u16(out, window);
-  put_u16(out, 0);  // checksum placeholder
-  put_u16(out, 0);  // urgent pointer
+  w.u8(flag_bits);
+  w.u16(window);
+  const std::size_t cks = w.reserve_u16();
+  w.u16(0);  // urgent pointer
 
   for (const TcpOption& o : options) {
     switch (o.kind) {
       case TcpOptionKind::kEol:
-        out.push_back(0);
+        w.u8(0);
         break;
       case TcpOptionKind::kNop:
-        out.push_back(1);
+        w.u8(1);
         break;
       case TcpOptionKind::kMss:
-        out.push_back(2);
-        out.push_back(4);
-        put_u16(out, static_cast<std::uint16_t>(o.value));
+        w.u8(2);
+        w.u8(4);
+        w.u16(static_cast<std::uint16_t>(o.value));
         break;
       case TcpOptionKind::kWindowScale:
-        out.push_back(3);
-        out.push_back(3);
-        out.push_back(static_cast<std::uint8_t>(o.value));
+        w.u8(3);
+        w.u8(3);
+        w.u8(static_cast<std::uint8_t>(o.value));
         break;
       case TcpOptionKind::kSackPermitted:
-        out.push_back(4);
-        out.push_back(2);
+        w.u8(4);
+        w.u8(2);
         break;
       case TcpOptionKind::kTimestamp:
-        out.push_back(8);
-        out.push_back(10);
-        put_u32(out, o.value);
-        put_u32(out, 0);  // echo reply
+        w.u8(8);
+        w.u8(10);
+        w.u32(o.value);
+        w.u32(0);  // echo reply
         break;
     }
   }
-  while (out.size() < hdr_size) out.push_back(0);  // EOL padding
-  out.insert(out.end(), payload.begin(), payload.end());
+  w.fill(hdr_size - (w.size() - start));  // EOL padding
+  w.bytes(payload);
 
   Checksum sum;
-  add_pseudo_header(sum, src, dst, IpProto::kTcp, out.size());
-  sum.add(out);
-  const std::uint16_t cs = sum.finish();
-  out[16] = static_cast<std::uint8_t>(cs >> 8);
-  out[17] = static_cast<std::uint8_t>(cs);
+  add_pseudo_header(sum, src, dst, IpProto::kTcp, w.size() - start);
+  sum.add(w.written(start));
+  w.patch_u16(cks, sum.finish());
+}
+
+std::vector<std::uint8_t> TcpHeader::serialize(
+    const IpAddr& src, const IpAddr& dst,
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(size() + payload.size());
+  cd::ByteWriter w(out);
+  serialize_into(w, src, dst, payload);
   return out;
 }
 
 TcpHeader TcpHeader::parse(std::span<const std::uint8_t> data) {
   if (data.size() < 20) throw ParseError("TcpHeader: short buffer");
+  cd::ByteReader r(data, "TcpHeader");
   TcpHeader h;
-  h.src_port = get_u16(data, 0);
-  h.dst_port = get_u16(data, 2);
-  h.seq = get_u32(data, 4);
-  h.ack = get_u32(data, 8);
-  const std::size_t hdr_size = static_cast<std::size_t>(data[12] >> 4) * 4;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::size_t hdr_size = static_cast<std::size_t>(r.u8() >> 4) * 4;
   if (hdr_size < 20 || hdr_size > data.size()) {
     throw ParseError("TcpHeader: bad data offset");
   }
-  const std::uint8_t flag_bits = data[13];
+  const std::uint8_t flag_bits = r.u8();
   h.flags.fin = flag_bits & 0x01;
   h.flags.syn = flag_bits & 0x02;
   h.flags.rst = flag_bits & 0x04;
   h.flags.psh = flag_bits & 0x08;
   h.flags.ack = flag_bits & 0x10;
-  h.window = get_u16(data, 14);
+  h.window = r.u16();
+  r.skip(4);  // checksum + urgent pointer
 
-  std::size_t off = 20;
-  while (off < hdr_size) {
-    const std::uint8_t kind = data[off];
+  while (r.pos() < hdr_size) {
+    const std::uint8_t kind = r.u8();
     if (kind == 0) break;  // EOL
     if (kind == 1) {
       h.options.push_back({TcpOptionKind::kNop, 0});
-      ++off;
       continue;
     }
-    if (off + 1 >= hdr_size) throw ParseError("TcpHeader: truncated option");
-    const std::uint8_t len = data[off + 1];
-    if (len < 2 || off + len > hdr_size) {
+    if (r.pos() >= hdr_size) throw ParseError("TcpHeader: truncated option");
+    const std::uint8_t len = r.u8();
+    // `len` counts the kind and length octets themselves.
+    if (len < 2 || r.pos() - 2 + len > hdr_size) {
       throw ParseError("TcpHeader: bad option length");
     }
+    cd::ByteReader opt(r.bytes(len - 2), "TcpHeader");
     switch (static_cast<TcpOptionKind>(kind)) {
       case TcpOptionKind::kMss:
         if (len != 4) throw ParseError("TcpHeader: bad MSS option");
-        h.options.push_back({TcpOptionKind::kMss, get_u16(data, off + 2)});
+        h.options.push_back({TcpOptionKind::kMss, opt.u16()});
         break;
       case TcpOptionKind::kWindowScale:
         if (len != 3) throw ParseError("TcpHeader: bad WS option");
-        h.options.push_back({TcpOptionKind::kWindowScale, data[off + 2]});
+        h.options.push_back({TcpOptionKind::kWindowScale, opt.u8()});
         break;
       case TcpOptionKind::kSackPermitted:
         if (len != 2) throw ParseError("TcpHeader: bad SACK option");
@@ -292,13 +320,12 @@ TcpHeader TcpHeader::parse(std::span<const std::uint8_t> data) {
         break;
       case TcpOptionKind::kTimestamp:
         if (len != 10) throw ParseError("TcpHeader: bad TS option");
-        h.options.push_back({TcpOptionKind::kTimestamp, get_u32(data, off + 2)});
+        h.options.push_back({TcpOptionKind::kTimestamp, opt.u32()});
         break;
       default:
         // Unknown option: skip (not part of our fingerprint alphabet).
         break;
     }
-    off += len;
   }
   return h;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/ip.h"
+#include "util/bytes.h"
 
 namespace cd::net {
 
@@ -29,10 +30,15 @@ struct Ipv4Header {
 
   static constexpr std::size_t kSize = 20;
 
+  /// Appends the header (with a correct checksum) to `w`.
+  void serialize_into(cd::ByteWriter& w) const;
+
   /// Serializes with a correct header checksum.
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
-  /// Parses and verifies the checksum; throws cd::ParseError on bad input.
+  /// Consumes kSize bytes from `r`, verifying the checksum; throws
+  /// cd::ParseError on bad input.
+  [[nodiscard]] static Ipv4Header parse(cd::ByteReader& r);
   [[nodiscard]] static Ipv4Header parse(std::span<const std::uint8_t> data);
 };
 
@@ -48,7 +54,9 @@ struct Ipv6Header {
 
   static constexpr std::size_t kSize = 40;
 
+  void serialize_into(cd::ByteWriter& w) const;
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Ipv6Header parse(cd::ByteReader& r);
   [[nodiscard]] static Ipv6Header parse(std::span<const std::uint8_t> data);
 };
 
@@ -60,6 +68,9 @@ struct UdpHeader {
 
   static constexpr std::size_t kSize = 8;
 
+  /// Appends header + payload with the pseudo-header checksum filled in.
+  void serialize_into(cd::ByteWriter& w, const IpAddr& src, const IpAddr& dst,
+                      std::span<const std::uint8_t> payload) const;
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       const IpAddr& src, const IpAddr& dst,
       std::span<const std::uint8_t> payload) const;
@@ -107,6 +118,9 @@ struct TcpHeader {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Appends header + payload with the pseudo-header checksum filled in.
+  void serialize_into(cd::ByteWriter& w, const IpAddr& src, const IpAddr& dst,
+                      std::span<const std::uint8_t> payload) const;
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       const IpAddr& src, const IpAddr& dst,
       std::span<const std::uint8_t> payload) const;

@@ -4,17 +4,16 @@
 
 namespace cd::net {
 
-std::vector<std::uint8_t> Packet::serialize() const {
+void Packet::serialize_into(cd::ByteWriter& w) const {
   CD_ENSURE(src.family() == dst.family(), "Packet: mixed address families");
 
-  std::vector<std::uint8_t> l4;
+  // The IP header carries the L4 length, so compute it up front and write
+  // straight through — no intermediate L4 buffer.
+  std::size_t l4_size;
+  TcpHeader tcp;
   if (proto == IpProto::kUdp) {
-    UdpHeader udp;
-    udp.src_port = src_port;
-    udp.dst_port = dst_port;
-    l4 = udp.serialize(src, dst, payload);
+    l4_size = UdpHeader::kSize + payload.size();
   } else {
-    TcpHeader tcp;
     tcp.src_port = src_port;
     tcp.dst_port = dst_port;
     tcp.seq = tcp_seq;
@@ -22,48 +21,65 @@ std::vector<std::uint8_t> Packet::serialize() const {
     tcp.flags = tcp_flags;
     tcp.window = tcp_window;
     tcp.options = tcp_options;
-    l4 = tcp.serialize(src, dst, payload);
+    l4_size = tcp.size() + payload.size();
   }
 
-  std::vector<std::uint8_t> out;
   if (is_v4()) {
     Ipv4Header ip;
-    ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + l4.size());
+    ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + l4_size);
     ip.ttl = ttl;
     ip.protocol = proto;
     ip.src = src;
     ip.dst = dst;
-    out = ip.serialize();
+    w.reserve(w.size() + Ipv4Header::kSize + l4_size);
+    ip.serialize_into(w);
   } else {
     Ipv6Header ip;
-    ip.payload_length = static_cast<std::uint16_t>(l4.size());
+    ip.payload_length = static_cast<std::uint16_t>(l4_size);
     ip.next_header = proto;
     ip.hop_limit = ttl;
     ip.src = src;
     ip.dst = dst;
-    out = ip.serialize();
+    w.reserve(w.size() + Ipv6Header::kSize + l4_size);
+    ip.serialize_into(w);
   }
-  out.insert(out.end(), l4.begin(), l4.end());
+
+  if (proto == IpProto::kUdp) {
+    UdpHeader udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    udp.serialize_into(w, src, dst, payload);
+  } else {
+    tcp.serialize_into(w, src, dst, payload);
+  }
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> out = cd::BufferPool::acquire();
+  cd::ByteWriter w(out);
+  serialize_into(w);
   return out;
 }
 
 Packet Packet::parse(std::span<const std::uint8_t> wire) {
   if (wire.empty()) throw ParseError("Packet: empty buffer");
+  cd::ByteReader r(wire, "Packet");
   Packet p;
   std::span<const std::uint8_t> l4;
   const int version = wire[0] >> 4;
   if (version == 4) {
-    const Ipv4Header ip = Ipv4Header::parse(wire);
-    if (ip.total_length > wire.size()) {
+    const Ipv4Header ip = Ipv4Header::parse(r);
+    if (ip.total_length < Ipv4Header::kSize ||
+        ip.total_length > wire.size()) {
       throw ParseError("Packet: truncated v4 datagram");
     }
     p.src = ip.src;
     p.dst = ip.dst;
     p.proto = ip.protocol;
     p.ttl = ip.ttl;
-    l4 = wire.subspan(Ipv4Header::kSize, ip.total_length - Ipv4Header::kSize);
+    l4 = r.bytes(ip.total_length - Ipv4Header::kSize);
   } else if (version == 6) {
-    const Ipv6Header ip = Ipv6Header::parse(wire);
+    const Ipv6Header ip = Ipv6Header::parse(r);
     if (Ipv6Header::kSize + ip.payload_length > wire.size()) {
       throw ParseError("Packet: truncated v6 datagram");
     }
@@ -71,7 +87,7 @@ Packet Packet::parse(std::span<const std::uint8_t> wire) {
     p.dst = ip.dst;
     p.proto = ip.next_header;
     p.ttl = ip.hop_limit;
-    l4 = wire.subspan(Ipv6Header::kSize, ip.payload_length);
+    l4 = r.bytes(ip.payload_length);
   } else {
     throw ParseError("Packet: unknown IP version");
   }

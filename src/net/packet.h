@@ -35,8 +35,12 @@ struct Packet {
 
   [[nodiscard]] bool is_v4() const { return src.is_v4(); }
 
-  /// Full wire bytes: IP header + (UDP|TCP) header + payload.
-  /// Requires src/dst in the same family.
+  /// Appends the full wire bytes (IP header + (UDP|TCP) header + payload)
+  /// through `w`. Requires src/dst in the same family.
+  void serialize_into(cd::ByteWriter& w) const;
+
+  /// serialize_into() into a buffer drawn from the thread-local
+  /// cd::BufferPool (shim over the writer form).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
   /// Inverse of serialize(); throws cd::ParseError on malformed input.

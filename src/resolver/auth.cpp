@@ -1,5 +1,6 @@
 #include "resolver/auth.h"
 
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace cd::resolver {
@@ -17,6 +18,19 @@ std::vector<std::uint8_t> tcp_frame(const std::vector<std::uint8_t>& message) {
   out.push_back(static_cast<std::uint8_t>(message.size() >> 8));
   out.push_back(static_cast<std::uint8_t>(message.size()));
   out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+std::vector<std::uint8_t> tcp_frame_pooled(const DnsMessage& message) {
+  std::vector<std::uint8_t> out = cd::BufferPool::acquire();
+  cd::ByteWriter frame(out);
+  const std::size_t len_pos = frame.reserve_u16();
+  // A fresh writer bases the DNS message at its own start, keeping name
+  // compression offsets message-relative despite the 2-byte prefix.
+  cd::ByteWriter body(out);
+  message.encode_into(body);
+  CD_ENSURE(body.size() <= 0xFFFF, "tcp_frame: message too large");
+  frame.patch_u16(len_pos, static_cast<std::uint16_t>(body.size()));
   return out;
 }
 
@@ -140,7 +154,8 @@ void AuthServer::on_udp(const Packet& packet) {
          std::nullopt);
 
   const DnsMessage resp = answer(query, /*tcp=*/false);
-  host_.send_udp(packet.dst, 53, packet.src, packet.src_port, resp.encode());
+  host_.send_udp(packet.dst, 53, packet.src, packet.src_port,
+                 cd::dns::encode_pooled(resp));
 }
 
 std::vector<std::uint8_t> AuthServer::on_tcp(
@@ -156,7 +171,7 @@ std::vector<std::uint8_t> AuthServer::on_tcp(
   record(query, info.peer, info.peer_port, info.local, /*tcp=*/true, info.syn);
 
   const DnsMessage resp = answer(query, /*tcp=*/true);
-  return tcp_frame(resp.encode());
+  return tcp_frame_pooled(resp);
 }
 
 }  // namespace cd::resolver

@@ -84,6 +84,11 @@ class AuthServer {
 [[nodiscard]] std::vector<std::uint8_t> tcp_frame(
     const std::vector<std::uint8_t>& message);
 
+/// Encodes `message` directly behind its TCP length prefix into a pooled
+/// buffer — one allocation-free pass instead of encode + copy-into-frame.
+[[nodiscard]] std::vector<std::uint8_t> tcp_frame_pooled(
+    const cd::dns::DnsMessage& message);
+
 /// Strips the TCP length prefix; throws cd::ParseError on bad framing.
 [[nodiscard]] std::vector<std::uint8_t> tcp_unframe(
     std::span<const std::uint8_t> framed);

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "net/special.h"
-#include "resolver/auth.h"  // tcp_frame / tcp_unframe
+#include "resolver/auth.h"  // tcp_frame_pooled / tcp_unframe
 #include "util/error.h"
 
 namespace cd::resolver {
@@ -90,7 +90,7 @@ void RecursiveResolver::handle_client_query(const Packet& packet,
     if (config_.respond_refused) {
       DnsMessage resp = cd::dns::make_response(query, Rcode::kRefused);
       host_.send_udp(packet.dst, 53, packet.src, packet.src_port,
-                     resp.encode());
+                     cd::dns::encode_pooled(resp));
     }
     return;
   }
@@ -107,7 +107,7 @@ void RecursiveResolver::handle_client_query(const Packet& packet,
             resp.header.ra = true;
             resp.answers = records;
             host_.send_udp(server_addr, 53, client, client_port,
-                           resp.encode());
+                           cd::dns::encode_pooled(resp));
           });
 }
 
@@ -274,7 +274,7 @@ void RecursiveResolver::send_current_query(const TaskPtr& task) {
   pending_.emplace(key, std::move(pq));
 
   ++stats_.upstream_queries;
-  host_.send_udp(*src, sport, *server, 53, query.encode());
+  host_.send_udp(*src, sport, *server, 53, cd::dns::encode_pooled(query));
 }
 
 void RecursiveResolver::on_timeout(std::uint64_t key) {
@@ -345,7 +345,7 @@ void RecursiveResolver::retry_over_tcp(const TaskPtr& task,
                           task->current_qname, task->current_qtype,
                           /*rd=*/task->forward_mode);
   host_.tcp_connect(
-      *src, server, 53, tcp_frame(query.encode()),
+      *src, server, 53, tcp_frame_pooled(query),
       [this, task, server](std::optional<std::vector<std::uint8_t>> reply) {
         if (task->finished) return;
         if (!reply) {

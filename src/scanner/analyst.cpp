@@ -80,7 +80,7 @@ void AnalystSimulator::maybe_replay(const Packet& packet) {
         const cd::dns::DnsMessage q =
             cd::dns::make_query(txid, qname, cd::dns::RrType::kA, /*rd=*/true);
         Packet pkt = cd::net::make_udp(workstation, sport, public_resolver_,
-                                       53, q.encode());
+                                       53, cd::dns::encode_pooled(q));
         network_.send(std::move(pkt), asn);
       });
 }

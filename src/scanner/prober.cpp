@@ -45,7 +45,8 @@ void Prober::send_query(const IpAddr& src, std::uint16_t sport,
       codec_.encode(info), cd::dns::RrType::kA,
       /*rd=*/true);
 
-  Packet pkt = cd::net::make_udp(src, sport, target.addr, 53, query.encode());
+  Packet pkt = cd::net::make_udp(src, sport, target.addr, 53,
+                                 cd::dns::encode_pooled(query));
   // Injected at the vantage's AS: a spoofed packet still physically leaves
   // our network, so our border's (absent) OSAV is what matters.
   vantage_.network().send(std::move(pkt), vantage_.asn());

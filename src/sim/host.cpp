@@ -193,7 +193,7 @@ void Host::deliver_tcp(const Packet& packet) {
       std::vector<std::uint8_t> response =
           lit->second(conn.info, packet.payload);
       network_.loop().cancel(conn.timeout_event);
-      const TcpConnInfo info = conn.info;
+      TcpConnInfo info = std::move(conn.info);  // retiring the connection
       connections_.erase(it);
       Packet reply = make_segment(info.local, info.local_port, info.peer,
                                   info.peer_port,

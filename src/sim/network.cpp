@@ -2,6 +2,7 @@
 
 #include "net/special.h"
 #include "sim/host.h"
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace cd::sim {
@@ -135,21 +136,28 @@ void Network::send(Packet packet, Asn origin_asn) {
   for (const Tap& tap : taps_) tap(packet, reason, loop_.now());
 
   switch (reason) {
-    case DropReason::kOsav: ++stats_.dropped_osav; return;
-    case DropReason::kDsav: ++stats_.dropped_dsav; return;
-    case DropReason::kMartian: ++stats_.dropped_martian; return;
-    case DropReason::kUrpfSubnet: ++stats_.dropped_urpf; return;
-    case DropReason::kUnrouted: ++stats_.dropped_unrouted; return;
-    case DropReason::kNoHost: ++stats_.dropped_no_host; return;
-    case DropReason::kStackRejected: ++stats_.dropped_stack; return;
-    case DropReason::kNone: break;
+    case DropReason::kOsav: ++stats_.dropped_osav; break;
+    case DropReason::kDsav: ++stats_.dropped_dsav; break;
+    case DropReason::kMartian: ++stats_.dropped_martian; break;
+    case DropReason::kUrpfSubnet: ++stats_.dropped_urpf; break;
+    case DropReason::kUnrouted: ++stats_.dropped_unrouted; break;
+    case DropReason::kNoHost: ++stats_.dropped_no_host; break;
+    case DropReason::kStackRejected: ++stats_.dropped_stack; break;
+    case DropReason::kNone: {
+      ++stats_.delivered;
+      const SimTime delay = latency(origin_asn, host->asn(), packet);
+      loop_.schedule_in(delay, [host, pkt = std::move(packet)]() mutable {
+        host->deliver(pkt);
+        // The packet dies here; recycle its payload capacity for the next
+        // encode on this shard's thread.
+        cd::BufferPool::release(std::move(pkt.payload));
+      });
+      return;
+    }
   }
-
-  ++stats_.delivered;
-  const SimTime delay = latency(origin_asn, host->asn(), packet);
-  loop_.schedule_in(delay, [host, pkt = std::move(packet)] {
-    host->deliver(pkt);
-  });
+  // Dropped at a border or the host stack: the payload buffer is dead —
+  // recycle it instead of freeing.
+  cd::BufferPool::release(std::move(packet.payload));
 }
 
 void Network::add_tap(Tap tap) {

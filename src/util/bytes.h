@@ -1,0 +1,184 @@
+// Unified zero-copy wire codec: a bounds-checked big-endian cursor pair
+// (ByteReader/ByteWriter) shared by every layer that touches wire bytes
+// (net/headers, net/packet, dns/name, dns/message), plus a thread-local
+// BufferPool that recycles vector capacity across packets.
+//
+// Invariants:
+//  - All ByteReader failures throw cd::ParseError; it never over-reads.
+//  - ByteWriter only appends to (and patches within) the region written
+//    since its construction, so nested writers over one buffer are safe
+//    (e.g. a TCP length-prefix writer wrapping a DNS message writer).
+//  - BufferPool free-lists are thread-local: under the sharded runner each
+//    worker thread recycles its own buffers, no locks, no cross-shard
+//    coupling (see DESIGN.md §5.8).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cd {
+
+/// Bounds-checked big-endian reading cursor over a borrowed byte span.
+/// `what` names the protocol layer in ParseError messages.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data,
+                      const char* what = "ByteReader")
+      : data_(data), what_(what) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  /// The whole underlying span (for formats with intra-message pointers,
+  /// e.g. DNS name compression).
+  [[nodiscard]] std::span<const std::uint8_t> whole() const { return data_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>((data_[pos_] << 8) |
+                                              data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+
+  /// Consumes and returns the next `n` bytes as a subspan (zero-copy).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  void skip(std::size_t n) { need(n), pos_ += n; }
+
+  [[nodiscard]] std::uint8_t peek_u8() const {
+    need(1);
+    return data_[pos_];
+  }
+
+  /// Absolute reposition within the span (bounds-checked).
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) fail("seek out of bounds");
+    pos_ = pos;
+  }
+
+  [[noreturn]] void fail(std::string_view msg) const {
+    throw ParseError(std::string(what_) + ": " + std::string(msg));
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) fail("truncated input");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+/// Big-endian appending cursor over a caller-owned vector. All offsets
+/// (size(), patch positions, written()) are relative to the buffer length
+/// at construction, so a writer constructed mid-buffer behaves as if its
+/// message started at offset zero — which is exactly what DNS name
+/// compression needs when a message is framed inside a larger buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out)
+      : out_(out), base_(out.size()) {}
+
+  /// Writer with an explicit base: offsets are relative to `base` even if
+  /// `out` already holds bytes past it (used to continue an existing
+  /// message, e.g. appending more compressed names to a partial encoding).
+  ByteWriter(std::vector<std::uint8_t>& out, std::size_t base)
+      : out_(out), base_(base) {}
+
+  /// Bytes written through this writer (== current message length).
+  [[nodiscard]] std::size_t size() const { return out_.size() - base_; }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  void text(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void fill(std::size_t n, std::uint8_t value = 0) {
+    out_.insert(out_.end(), n, value);
+  }
+
+  /// Writes a u16 placeholder and returns its writer-relative position for a
+  /// later patch_u16 (checksum / length / RDLENGTH backfill).
+  [[nodiscard]] std::size_t reserve_u16() {
+    const std::size_t pos = size();
+    u16(0);
+    return pos;
+  }
+
+  void patch_u16(std::size_t pos, std::uint16_t v) {
+    out_[base_ + pos] = static_cast<std::uint8_t>(v >> 8);
+    out_[base_ + pos + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  /// The checksummable region written through this writer, from
+  /// writer-relative `from` to the current end.
+  [[nodiscard]] std::span<const std::uint8_t> written(std::size_t from = 0)
+      const {
+    return std::span<const std::uint8_t>(out_).subspan(base_ + from);
+  }
+
+  void reserve(std::size_t n) { out_.reserve(base_ + n); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t base_;
+};
+
+/// Thread-local recycling pool for wire buffers. acquire() returns an empty
+/// vector that usually still owns a previous packet's capacity; release()
+/// hands capacity back. Each thread has its own free list (no locks), which
+/// is safe under the sharded runner: a shard's event loop runs entirely on
+/// one worker thread, so a buffer is acquired and released on the same
+/// thread that owns the pool.
+class BufferPool {
+ public:
+  /// An empty buffer, with recycled capacity when available.
+  [[nodiscard]] static std::vector<std::uint8_t> acquire();
+
+  /// Returns a buffer's capacity to this thread's pool. Oversized buffers
+  /// and overflow beyond the pool cap are simply freed.
+  static void release(std::vector<std::uint8_t>&& buf);
+
+  /// Buffers currently idle in this thread's pool (introspection/tests).
+  [[nodiscard]] static std::size_t idle_count();
+};
+
+}  // namespace cd

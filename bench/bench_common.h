@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/classify.h"
@@ -25,6 +26,8 @@ struct RunOptions {
   std::uint64_t seed = 42;
   std::size_t shards = 1;   // AS-partitioned campaign shards
   std::size_t threads = 1;  // worker threads for the sharded runner
+  /// When set, the campaign records its wire traffic (results->capture).
+  std::optional<cd::core::CaptureSpec> capture;
 };
 
 /// Parses --scale=X --seed=N --threads=N --shards=N (unknown args ignored,
@@ -76,6 +79,7 @@ inline Run run_standard_experiment(const RunOptions& options) {
 
   cd::core::ExperimentConfig config;
   config.analyst = cd::scanner::AnalystConfig{};
+  config.capture = options.capture;
 
   const auto t0 = clock::now();
   Run run;

@@ -23,15 +23,27 @@ cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j --target test_core_parallel
 ctest --test-dir "${PREFIX}-tsan" -L parallel --output-on-failure
 
-echo "=== ASan build + codec round-trip/fuzz tests ==="
+echo "=== ASan build + codec/pcap round-trip/fuzz tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
-cmake --build "${PREFIX}-asan" -j --target test_util_bytes
+cmake --build "${PREFIX}-asan" -j --target test_util_bytes test_util_pcap test_golden_pcap
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir "${PREFIX}-asan" -R test_util_bytes --output-on-failure
+ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir "${PREFIX}-asan" -L pcap --output-on-failure
 
-echo "=== UBSan build + unit-label ctest ==="
+echo "=== UBSan build + unit/pcap-label ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
-ctest --test-dir "${PREFIX}-ubsan" -L unit --output-on-failure -j
+ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap" --output-on-failure -j
+
+echo "=== golden capture readable by stock tooling ==="
+# The fixture claims to be a standard pcap; let an independent reader vouch
+# for it when one is installed (CI images without tcpdump skip gracefully).
+if command -v tcpdump >/dev/null 2>&1; then
+  tcpdump -r tests/fixtures/quickstart.pcap -c 5 >/dev/null
+  echo "tcpdump read the golden fixture"
+else
+  echo "tcpdump not installed; skipping read-back check"
+fi
 
 echo "=== ci.sh: all green ==="

@@ -29,8 +29,10 @@ Experiment::Experiment(cd::ditl::World& world, ExperimentConfig config)
   for (cd::resolver::AuthServer* auth : world_.experiment_auths) {
     collector_->attach(*auth);
   }
-  followup_ = std::make_unique<FollowupEngine>(*prober_, *collector_,
-                                               config_.followup);
+  if (config_.followups) {
+    followup_ = std::make_unique<FollowupEngine>(*prober_, *collector_,
+                                                 config_.followup);
+  }
   if (config_.analyst && !world_.public_dns_addrs.empty()) {
     analyst_ = std::make_unique<cd::scanner::AnalystSimulator>(
         *world_.network, world_.ids_asns, world_.public_dns_addrs.front(),
@@ -56,24 +58,55 @@ ExperimentResults merge_results(std::vector<ExperimentResults> parts) {
     merged.followup_batteries += part.followup_batteries;
     merged.analyst_replays += part.analyst_replays;
   }
+  std::vector<cd::pcap::Capture> captures;
+  captures.reserve(parts.size());
+  for (ExperimentResults& part : parts) {
+    captures.push_back(std::move(part.capture));
+  }
+  merged.capture = cd::pcap::merge_captures(std::move(captures));
   return merged;
 }
 
 const ExperimentResults& Experiment::run() {
   if (results_) return *results_;
 
+  cd::pcap::Capture capture;
+  std::optional<cd::sim::Network::TapId> capture_tap;
+  if (config_.capture) {
+    capture.snaplen = config_.capture->snaplen;
+    cd::sim::Network::CaptureOptions options;
+    options.include_drops = config_.capture->include_drops;
+    if (config_.capture->probes_only) {
+      const cd::sim::Asn vantage_asn = world_.vantage->asn();
+      options.filter = [vantage_asn](const cd::net::Packet&,
+                                     cd::sim::DropReason,
+                                     cd::sim::Asn origin) {
+        return origin == vantage_asn;
+      };
+    }
+    capture_tap = world_.network->attach_capture(capture, std::move(options));
+  }
+
   prober_->schedule_campaign(world_.targets, config_.shard_index,
                              config_.num_shards);
   world_.loop.run(config_.max_events);
 
+  if (capture_tap) {
+    world_.network->remove_tap(*capture_tap);
+    // Canonical order, not delivery order: per-shard captures must merge to
+    // the same bytes a serial capture canonicalizes to (see util/pcap.h).
+    cd::pcap::canonicalize(capture);
+  }
+
   ExperimentResults results;
+  results.capture = std::move(capture);
   results.records = collector_->records();
   results.collector_stats = collector_->stats();
   results.qmin_asns = collector_->qmin_asns();
   results.lifetime_excluded_targets = collector_->lifetime_excluded_targets();
   results.network_stats = world_.network->stats();
   results.queries_sent = prober_->queries_sent();
-  results.followup_batteries = followup_->batteries_sent();
+  results.followup_batteries = followup_ ? followup_->batteries_sent() : 0;
   results.analyst_replays = analyst_ ? analyst_->replays() : 0;
   results_ = std::move(results);
   return *results_;

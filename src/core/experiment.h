@@ -21,8 +21,27 @@
 #include "scanner/collector.h"
 #include "scanner/followup.h"
 #include "scanner/prober.h"
+#include "util/pcap.h"
 
 namespace cd::core {
+
+/// Wire-capture knobs for a campaign (ExperimentConfig::capture). The tap is
+/// installed on the world's network for the duration of the run; the
+/// resulting canonical capture lands in ExperimentResults::capture.
+struct CaptureSpec {
+  /// Record border/stack drops (annotated with their DropReason in the
+  /// sidecar index), not just delivered packets.
+  bool include_drops = true;
+  /// Capture only the scanner's probe plane: packets physically originating
+  /// in the vantage AS. This is the shard-invariant portion of the traffic
+  /// (probe schedule and latency jitter are pure functions of stable
+  /// identities), so probe-plane captures are byte-identical between serial
+  /// and sharded runs; full captures additionally contain resolver traffic
+  /// whose timing depends on shared-cache warmness, which sharding
+  /// legitimately perturbs.
+  bool probes_only = false;
+  std::uint32_t snaplen = cd::pcap::kDefaultSnaplen;
+};
 
 struct ExperimentConfig {
   cd::scanner::ProbeConfig probe;
@@ -30,6 +49,12 @@ struct ExperimentConfig {
   cd::scanner::FollowupConfig followup;
   /// When set, simulate IDS analysts replaying logged probes (§3.6.3).
   std::optional<cd::scanner::AnalystConfig> analyst;
+  /// When set, export the campaign's wire traffic as a pcap capture.
+  std::optional<CaptureSpec> capture;
+  /// Run the §3.5 follow-up batteries on first hits. Disabled by the
+  /// wire-equivalence tests: follow-up *timing* keys off first-hit arrival,
+  /// which shared-cache warmness (and therefore sharding) perturbs.
+  bool followups = true;
   /// Safety valve for the event loop (per shard).
   std::uint64_t max_events = 400'000'000;
 
@@ -52,6 +77,8 @@ struct ExperimentResults {
   std::set<cd::sim::Asn> qmin_asns;
   std::set<cd::net::IpAddr> lifetime_excluded_targets;
   cd::sim::NetworkStats network_stats;
+  /// Canonically ordered wire capture (empty unless the config enabled it).
+  cd::pcap::Capture capture;
   std::uint64_t queries_sent = 0;
   std::uint64_t followup_batteries = 0;
   std::uint64_t analyst_replays = 0;

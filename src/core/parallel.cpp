@@ -190,4 +190,11 @@ std::uint64_t results_digest(const ExperimentResults& results) {
   return d.value();
 }
 
+std::uint64_t capture_digest(const cd::pcap::Capture& capture) {
+  Digest d;
+  d.bytes(capture.to_pcap());
+  d.bytes(capture.to_index());
+  return d.value();
+}
+
 }  // namespace cd::core

@@ -65,4 +65,12 @@ struct ShardedResults {
 /// deduplicate).
 [[nodiscard]] std::uint64_t results_digest(const ExperimentResults& results);
 
+/// Digest of a capture's full serialized form (pcap bytes then sidecar
+/// index bytes). Because Experiment/merge_results canonicalize record
+/// order, a probe-plane capture's digest is invariant across
+/// (num_shards, num_threads) — the wire-level analogue of results_digest,
+/// checked by tests/test_core_parallel.cpp and regenerable externally from
+/// the exported files themselves.
+[[nodiscard]] std::uint64_t capture_digest(const cd::pcap::Capture& capture);
+
 }  // namespace cd::core

@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
 #include "net/special.h"
 #include "sim/host.h"
 #include "util/bytes.h"
@@ -128,12 +130,54 @@ SimTime Network::latency(Asn from, Asn to,
   return base + jitter;
 }
 
+bool Network::capture_wants(const CaptureEntry& entry, const Packet& packet,
+                            DropReason reason, Asn origin_asn) const {
+  if (!entry.sink) return false;  // tombstoned
+  if (reason != DropReason::kNone && !entry.options.include_drops) {
+    return false;
+  }
+  if (entry.options.host &&
+      !(packet.src == *entry.options.host ||
+        packet.dst == *entry.options.host)) {
+    return false;
+  }
+  if (entry.options.filter &&
+      !entry.options.filter(packet, reason, origin_asn)) {
+    return false;
+  }
+  return true;
+}
+
+void Network::record_capture(const Packet& packet, DropReason reason,
+                             Asn origin_asn) {
+  ++dispatch_depth_;
+  std::vector<std::uint8_t> wire;  // serialized lazily, shared across sinks
+  for (std::size_t i = 0; i < captures_.size(); ++i) {
+    if (!capture_wants(captures_[i], packet, reason, origin_asn)) continue;
+    if (wire.empty()) wire = packet.serialize();
+    cd::pcap::PcapRecord rec;
+    rec.time_us = loop_.now();
+    rec.orig_len = static_cast<std::uint32_t>(wire.size());
+    rec.annotation = static_cast<std::uint8_t>(reason);
+    rec.bytes = wire;
+    captures_[i].sink->records.push_back(std::move(rec));
+  }
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0 && pending_removal_) sweep_tombstones();
+  if (!wire.empty()) cd::BufferPool::release(std::move(wire));
+}
+
 void Network::send(Packet packet, Asn origin_asn) {
   ++stats_.sent;
   Host* host = nullptr;
   const DropReason reason = classify(packet, origin_asn, &host);
 
-  for (const Tap& tap : taps_) tap(packet, reason, loop_.now());
+  ++dispatch_depth_;
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    if (taps_[i].fn) taps_[i].fn(packet, reason, loop_.now());
+  }
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0 && pending_removal_) sweep_tombstones();
 
   switch (reason) {
     case DropReason::kOsav: ++stats_.dropped_osav; break;
@@ -146,22 +190,67 @@ void Network::send(Packet packet, Asn origin_asn) {
     case DropReason::kNone: {
       ++stats_.delivered;
       const SimTime delay = latency(origin_asn, host->asn(), packet);
-      loop_.schedule_in(delay, [host, pkt = std::move(packet)]() mutable {
-        host->deliver(pkt);
-        // The packet dies here; recycle its payload capacity for the next
-        // encode on this shard's thread.
-        cd::BufferPool::release(std::move(pkt.payload));
-      });
+      loop_.schedule_in(
+          delay, [this, host, origin_asn, pkt = std::move(packet)]() mutable {
+            // Capture at the wire in front of the destination: records land
+            // in exact delivery order, stamped with the arrival time.
+            if (!captures_.empty()) {
+              record_capture(pkt, DropReason::kNone, origin_asn);
+            }
+            host->deliver(pkt);
+            // The packet dies here; recycle its payload capacity for the
+            // next encode on this shard's thread.
+            cd::BufferPool::release(std::move(pkt.payload));
+          });
       return;
     }
   }
-  // Dropped at a border or the host stack: the payload buffer is dead —
-  // recycle it instead of freeing.
+  // Dropped at a border or the host stack: record for drop-captures, then
+  // the payload buffer is dead — recycle it instead of freeing.
+  if (!captures_.empty()) record_capture(packet, reason, origin_asn);
   cd::BufferPool::release(std::move(packet.payload));
 }
 
-void Network::add_tap(Tap tap) {
-  taps_.push_back(std::move(tap));
+Network::TapId Network::add_tap(Tap tap) {
+  const TapId id = next_tap_id_++;
+  taps_.push_back({id, std::move(tap)});
+  return id;
+}
+
+Network::TapId Network::attach_capture(cd::pcap::Capture& sink,
+                                       CaptureOptions options) {
+  const TapId id = next_tap_id_++;
+  captures_.push_back({id, &sink, std::move(options)});
+  return id;
+}
+
+Network::TapId Network::attach_capture(cd::pcap::Capture& sink) {
+  return attach_capture(sink, CaptureOptions{});
+}
+
+void Network::remove_tap(TapId id) {
+  const auto tap = std::find_if(taps_.begin(), taps_.end(),
+                                [id](const TapEntry& t) { return t.id == id; });
+  const auto cap =
+      std::find_if(captures_.begin(), captures_.end(),
+                   [id](const CaptureEntry& c) { return c.id == id; });
+  if (dispatch_depth_ > 0) {
+    // Mid-dispatch (a tap removing itself or a sibling): tombstone now,
+    // erase when the dispatch loop unwinds.
+    if (tap != taps_.end()) tap->fn = nullptr;
+    if (cap != captures_.end()) cap->sink = nullptr;
+    pending_removal_ = tap != taps_.end() || cap != captures_.end() ||
+                       pending_removal_;
+    return;
+  }
+  if (tap != taps_.end()) taps_.erase(tap);
+  if (cap != captures_.end()) captures_.erase(cap);
+}
+
+void Network::sweep_tombstones() {
+  std::erase_if(taps_, [](const TapEntry& t) { return !t.fn; });
+  std::erase_if(captures_, [](const CaptureEntry& c) { return !c.sink; });
+  pending_removal_ = false;
 }
 
 }  // namespace cd::sim

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "net/packet.h"
 #include "sim/event_loop.h"
 #include "sim/topology.h"
+#include "util/pcap.h"
 #include "util/rng.h"
 
 namespace cd::sim {
@@ -68,6 +70,24 @@ struct NetworkStats {
 class Network {
  public:
   using Tap = std::function<void(const cd::net::Packet&, DropReason, SimTime)>;
+  using TapId = std::uint64_t;
+
+  /// Selects the traffic a capture tap records. The predicate (when set)
+  /// sees the packet, its filtering outcome, and the AS the packet
+  /// physically originated in — enough to isolate e.g. the scanner's probe
+  /// plane (origin == vantage AS).
+  struct CaptureOptions {
+    /// Record packets the network dropped (annotated with the DropReason in
+    /// the capture's sidecar index), not just delivered ones.
+    bool include_drops = false;
+    /// When set, only packets to or from this address are recorded
+    /// (per-host capture; unset = global).
+    std::optional<cd::net::IpAddr> host;
+    /// Extra predicate; a capture tap records a packet only if every
+    /// configured filter accepts it.
+    std::function<bool(const cd::net::Packet&, DropReason, Asn origin_asn)>
+        filter;
+  };
 
   Network(Topology& topology, EventLoop& loop, cd::Rng rng);
 
@@ -91,20 +111,59 @@ class Network {
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
 
-  /// Taps observe every send attempt with its filtering outcome.
-  void add_tap(Tap tap);
+  /// Taps observe every send attempt with its filtering outcome, at send
+  /// time (the IDS-at-the-border viewpoint). Returns an id for remove_tap.
+  TapId add_tap(Tap tap);
+
+  /// Installs a wire capture: delivered packets are recorded — full
+  /// serialized wire bytes — when the event loop hands them to the
+  /// destination host, so records land in exact delivery order with the
+  /// arrival timestamp; drops (when enabled) are recorded at the border at
+  /// send time, annotated with their DropReason. `sink` must outlive the
+  /// tap (remove it first, or after the loop drains). Returns an id for
+  /// remove_tap.
+  TapId attach_capture(cd::pcap::Capture& sink, CaptureOptions options);
+  TapId attach_capture(cd::pcap::Capture& sink);
+
+  /// Uninstalls a tap or capture by id. Safe mid-campaign — packets already
+  /// scheduled for delivery are simply no longer recorded — and safe from
+  /// inside a tap callback (removal is deferred until dispatch finishes).
+  /// Unknown ids are ignored.
+  void remove_tap(TapId id);
 
  private:
+  struct TapEntry {
+    TapId id;
+    Tap fn;  // empty = tombstoned during dispatch
+  };
+  struct CaptureEntry {
+    TapId id;
+    cd::pcap::Capture* sink;  // null = tombstoned during dispatch
+    CaptureOptions options;
+  };
+
   [[nodiscard]] DropReason classify(const cd::net::Packet& packet,
                                     Asn origin_asn, Host** out_host);
   [[nodiscard]] SimTime latency(Asn from, Asn to,
                                 const cd::net::Packet& packet) const;
+  [[nodiscard]] bool capture_wants(const CaptureEntry& entry,
+                                   const cd::net::Packet& packet,
+                                   DropReason reason, Asn origin_asn) const;
+  /// Serializes `packet` once and appends it to every capture that wants
+  /// it. `reason` is kNone at delivery time, the drop reason otherwise.
+  void record_capture(const cd::net::Packet& packet, DropReason reason,
+                      Asn origin_asn);
+  void sweep_tombstones();
 
   Topology& topology_;
   EventLoop& loop_;
   std::uint64_t jitter_seed_;
   std::unordered_map<cd::net::IpAddr, Host*, cd::net::IpAddrHash> hosts_;
-  std::vector<Tap> taps_;
+  TapId next_tap_id_ = 1;
+  std::vector<TapEntry> taps_;
+  std::vector<CaptureEntry> captures_;
+  int dispatch_depth_ = 0;
+  bool pending_removal_ = false;
   NetworkStats stats_;
 };
 

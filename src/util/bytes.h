@@ -1,7 +1,9 @@
-// Unified zero-copy wire codec: a bounds-checked big-endian cursor pair
+// Unified zero-copy wire codec: a bounds-checked cursor pair
 // (ByteReader/ByteWriter) shared by every layer that touches wire bytes
-// (net/headers, net/packet, dns/name, dns/message), plus a thread-local
-// BufferPool that recycles vector capacity across packets.
+// (net/headers, net/packet, dns/name, dns/message, util/pcap), plus a
+// thread-local BufferPool that recycles vector capacity across packets.
+// Network byte order (u16/u32) is the default; the *le variants serve
+// little-endian file formats (pcap).
 //
 // Invariants:
 //  - All ByteReader failures throw cd::ParseError; it never over-reads.
@@ -55,6 +57,24 @@ class ByteReader {
   std::uint32_t u32() {
     const std::uint32_t hi = u16();
     return (hi << 16) | u16();
+  }
+
+  std::uint16_t u16le() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>(data_[pos_] |
+                                              (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32le() {
+    const std::uint32_t lo = u16le();
+    return lo | (static_cast<std::uint32_t>(u16le()) << 16);
+  }
+
+  std::uint64_t u64le() {
+    const std::uint64_t lo = u32le();
+    return lo | (static_cast<std::uint64_t>(u32le()) << 32);
   }
 
   /// Consumes and returns the next `n` bytes as a subspan (zero-copy).
@@ -121,6 +141,21 @@ class ByteWriter {
   void u32(std::uint32_t v) {
     u16(static_cast<std::uint16_t>(v >> 16));
     u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u16le(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32le(std::uint32_t v) {
+    u16le(static_cast<std::uint16_t>(v));
+    u16le(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64le(std::uint64_t v) {
+    u32le(static_cast<std::uint32_t>(v));
+    u32le(static_cast<std::uint32_t>(v >> 32));
   }
 
   void bytes(std::span<const std::uint8_t> data) {

@@ -159,6 +159,46 @@ TEST_F(ParallelEquivalence, ShardsPartitionTargetsByAs) {
   EXPECT_EQ(assigned, world->targets.size());
 }
 
+TEST_F(ParallelEquivalence, ProbePlaneCaptureIsByteIdenticalAcrossShards) {
+  // The wire-level analogue of the digest guarantee: a probe-plane capture
+  // (packets physically originating in the vantage AS) merged from N shards
+  // must serialize to exactly the bytes of the serial campaign's capture.
+  // Follow-ups are disabled because their *timing* keys off first-hit
+  // arrival, which shared-cache warmness (and therefore sharding) perturbs;
+  // the probe schedule itself is a pure function of the global target index.
+  auto config = [](std::size_t shards, std::size_t threads) {
+    ExperimentConfig c = test_config(shards, threads);
+    c.analyst.reset();
+    c.followups = false;
+    cd::core::CaptureSpec capture;
+    capture.include_drops = true;
+    capture.probes_only = true;
+    c.capture = capture;
+    return c;
+  };
+
+  const ShardedResults serial =
+      run_sharded_experiment(test_spec(42), config(1, 1));
+  ASSERT_FALSE(serial.merged.capture.records.empty())
+      << "campaign captured no probes";
+  const auto serial_pcap = serial.merged.capture.to_pcap();
+  const auto serial_index = serial.merged.capture.to_index();
+  const std::uint64_t serial_digest =
+      cd::core::capture_digest(serial.merged.capture);
+
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{2, 1}, {4, 2}}) {
+    const ShardedResults sharded =
+        run_sharded_experiment(test_spec(42), config(shards, threads));
+    EXPECT_EQ(cd::core::capture_digest(sharded.merged.capture), serial_digest)
+        << "shards=" << shards << " threads=" << threads;
+    EXPECT_EQ(sharded.merged.capture.to_pcap(), serial_pcap)
+        << "shards=" << shards << " threads=" << threads;
+    EXPECT_EQ(sharded.merged.capture.to_index(), serial_index)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
 TEST(ParallelDeterminism, SameSeedSameDigestAcrossRuns) {
   const auto first =
       run_sharded_experiment(test_spec(42), test_config(4, 2));

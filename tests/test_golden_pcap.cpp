@@ -1,0 +1,115 @@
+// Golden wire-capture regression: a fixed-seed mini campaign must keep
+// producing, byte for byte, the pcap + sidecar index checked in under
+// tests/fixtures/. The fixture pins the *entire* wire surface of the
+// pipeline — every packet the campaign puts on the wire, its exact bytes,
+// its delivery timestamp, and its filtering fate — so any change to probing
+// order, source selection, wire encoding, latency, or border filtering
+// shows up as a fixture diff.
+//
+// An intentional behaviour change legitimately moves the fixture: rerun
+// with CD_GOLDEN_WRITE=1 to regenerate tests/fixtures/quickstart.pcap and
+// .idx, then eyeball the diff (tcpdump -r works on the .pcap) before
+// committing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "ditl/world.h"
+#include "util/pcap.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr int kAsns = 6;  // keeps the checked-in fixture small
+
+std::string fixture_path(const char* name) {
+  return std::string(CD_FIXTURE_DIR) + "/" + name;
+}
+
+cd::ditl::WorldSpec fixture_spec() {
+  cd::ditl::WorldSpec spec = cd::ditl::small_world_spec();
+  spec.n_asns = kAsns;
+  spec.seed = kSeed;
+  return spec;
+}
+
+cd::core::ExperimentConfig fixture_config() {
+  cd::core::ExperimentConfig config;
+  cd::core::CaptureSpec capture;
+  capture.include_drops = true;  // drops are half the paper's story
+  config.capture = capture;
+  return config;
+}
+
+/// The fixture campaign: serial, full capture with drop annotations.
+cd::pcap::Capture run_fixture_campaign() {
+  const auto sharded =
+      cd::core::run_sharded_experiment(fixture_spec(), fixture_config());
+  return sharded.merged.capture;
+}
+
+TEST(GoldenPcap, FixtureMatchesByteForByte) {
+  const cd::pcap::Capture capture = run_fixture_campaign();
+  ASSERT_FALSE(capture.records.empty()) << "campaign produced no traffic";
+  const std::vector<std::uint8_t> pcap_bytes = capture.to_pcap();
+  const std::vector<std::uint8_t> index_bytes = capture.to_index();
+
+  if (std::getenv("CD_GOLDEN_WRITE") != nullptr) {
+    cd::pcap::write_file(fixture_path("quickstart.pcap"), pcap_bytes);
+    cd::pcap::write_file(fixture_path("quickstart.pcap.idx"), index_bytes);
+    GTEST_SKIP() << "regenerated fixture (" << pcap_bytes.size()
+                 << " pcap bytes, " << capture.records.size() << " records)";
+  }
+
+  const auto golden_pcap =
+      cd::pcap::read_file(fixture_path("quickstart.pcap"));
+  const auto golden_index =
+      cd::pcap::read_file(fixture_path("quickstart.pcap.idx"));
+  // EXPECT_EQ on the vectors would dump kilobytes of bytes on mismatch;
+  // compare sizes first and report only the first differing offset.
+  ASSERT_EQ(pcap_bytes.size(), golden_pcap.size());
+  ASSERT_EQ(index_bytes.size(), golden_index.size());
+  for (std::size_t i = 0; i < pcap_bytes.size(); ++i) {
+    ASSERT_EQ(pcap_bytes[i], golden_pcap[i]) << "pcap differs at offset " << i;
+  }
+  for (std::size_t i = 0; i < index_bytes.size(); ++i) {
+    ASSERT_EQ(index_bytes[i], golden_index[i])
+        << "index differs at offset " << i;
+  }
+}
+
+TEST(GoldenPcap, FixtureParsesAndCrossValidates) {
+  if (std::getenv("CD_GOLDEN_WRITE") != nullptr) {
+    GTEST_SKIP() << "fixture being regenerated";
+  }
+  const auto golden_pcap =
+      cd::pcap::read_file(fixture_path("quickstart.pcap"));
+  const auto golden_index =
+      cd::pcap::read_file(fixture_path("quickstart.pcap.idx"));
+  // The strict reader accepts the pair, and what it reads is exactly the
+  // capture the campaign produces — record contents and annotations, not
+  // just serialized bytes.
+  const cd::pcap::Capture parsed =
+      cd::pcap::Capture::parse(golden_pcap, golden_index);
+  const cd::pcap::Capture regenerated = run_fixture_campaign();
+  ASSERT_EQ(parsed.records.size(), regenerated.records.size());
+  EXPECT_TRUE(parsed == regenerated);
+  EXPECT_EQ(cd::core::capture_digest(parsed),
+            cd::core::capture_digest(regenerated));
+}
+
+TEST(GoldenPcap, RegenerationIsDeterministic) {
+  // Two independent runs (fresh world, fresh event loop) must serialize
+  // identically — the fixture is reproducible from the seed alone.
+  const cd::pcap::Capture first = run_fixture_campaign();
+  const cd::pcap::Capture second = run_fixture_campaign();
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(first.to_pcap(), second.to_pcap());
+  EXPECT_EQ(first.to_index(), second.to_index());
+}
+
+}  // namespace

@@ -1,0 +1,382 @@
+// Unit tests for the pcap subsystem: header/record encode-decode, the
+// writer→reader→writer byte-identity property under randomized input, a
+// truncation-prefix fuzzer (every strict prefix of a valid capture+index
+// pair must throw cd::ParseError — mirroring test_util_bytes), a bit-flip
+// fuzzer, malformed-input regressions, and canonical-merge properties.
+// Run under ASan by scripts/ci.sh (label "pcap").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/bytes.h"
+#include "util/error.h"
+#include "util/pcap.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+using net::IpAddr;
+using net::Packet;
+using pcap::Capture;
+using pcap::PcapRecord;
+
+PcapRecord record(std::int64_t time_us, std::vector<std::uint8_t> bytes,
+                  std::uint8_t annotation = 0) {
+  PcapRecord rec;
+  rec.time_us = time_us;
+  rec.orig_len = static_cast<std::uint32_t>(bytes.size());
+  rec.annotation = annotation;
+  rec.bytes = std::move(bytes);
+  return rec;
+}
+
+Capture random_capture(Rng& rng, std::size_t n_records) {
+  Capture capture;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n_records; ++i) {
+    t += static_cast<std::int64_t>(rng.uniform(2'000'000));
+    std::vector<std::uint8_t> bytes(20 + rng.uniform(200));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.u64());
+    capture.records.push_back(
+        record(t, std::move(bytes), static_cast<std::uint8_t>(rng.uniform(8))));
+  }
+  return capture;
+}
+
+// --- header/record encode-decode --------------------------------------------
+
+TEST(PcapHeader, EncodesClassicLittleEndianHeader) {
+  Capture capture;
+  capture.snaplen = 0x1234;
+  const auto bytes = capture.to_pcap();
+  ASSERT_EQ(bytes.size(), pcap::kFileHeaderSize);
+  // magic 0xA1B2C3D4 stored little-endian.
+  EXPECT_EQ(bytes[0], 0xD4);
+  EXPECT_EQ(bytes[1], 0xC3);
+  EXPECT_EQ(bytes[2], 0xB2);
+  EXPECT_EQ(bytes[3], 0xA1);
+  EXPECT_EQ(bytes[4], 2);  // version 2.4
+  EXPECT_EQ(bytes[6], 4);
+  EXPECT_EQ(bytes[16], 0x34);  // snaplen LE
+  EXPECT_EQ(bytes[17], 0x12);
+  EXPECT_EQ(bytes[20], 101);  // LINKTYPE_RAW
+}
+
+TEST(PcapHeader, RecordTimestampSplitsSimTime) {
+  Capture capture;
+  capture.records.push_back(record(3'000'042, {0xAB, 0xCD}));
+  const auto bytes = capture.to_pcap();
+  ASSERT_EQ(bytes.size(), pcap::kFileHeaderSize + pcap::kRecordHeaderSize + 2);
+  ByteReader r(std::span<const std::uint8_t>(bytes).subspan(
+                   pcap::kFileHeaderSize),
+               "test");
+  EXPECT_EQ(r.u32le(), 3u);       // ts_sec
+  EXPECT_EQ(r.u32le(), 42u);      // ts_usec
+  EXPECT_EQ(r.u32le(), 2u);       // incl_len
+  EXPECT_EQ(r.u32le(), 2u);       // orig_len
+  EXPECT_EQ(r.u8(), 0xAB);
+}
+
+TEST(PcapRoundTrip, EmptyCapture) {
+  Capture capture;
+  const Capture back =
+      Capture::parse(capture.to_pcap(), capture.to_index());
+  EXPECT_EQ(back, capture);
+}
+
+TEST(PcapRoundTrip, PreservesRecordsAndAnnotations) {
+  Capture capture;
+  capture.records.push_back(record(0, {1, 2, 3}, 0));
+  capture.records.push_back(record(1'500'000, {4, 5}, 6));
+  const Capture back = Capture::parse(capture.to_pcap(), capture.to_index());
+  EXPECT_EQ(back, capture);
+}
+
+TEST(PcapRoundTrip, SnaplenTruncatesButKeepsOrigLen) {
+  Capture capture;
+  capture.snaplen = 4;
+  capture.records.push_back(record(10, {1, 2, 3, 4, 5, 6, 7, 8}));
+  const auto wire = capture.to_pcap();
+  const Capture back = Capture::parse(wire, capture.to_index());
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].bytes, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(back.records[0].orig_len, 8u);
+  // Re-serializing the snapped capture is byte-identical: orig_len survives.
+  EXPECT_EQ(back.to_pcap(), wire);
+  EXPECT_EQ(back.to_index(), capture.to_index());
+}
+
+// --- writer→reader→writer fuzz ----------------------------------------------
+
+TEST(PcapFuzz, WriterReaderWriterIsByteIdentical) {
+  Rng rng(0x9CA9);
+  for (int i = 0; i < 100; ++i) {
+    const Capture capture = random_capture(rng, rng.uniform(20));
+    const auto wire = capture.to_pcap();
+    const auto index = capture.to_index();
+    const Capture back = Capture::parse(wire, index);
+    ASSERT_EQ(back.to_pcap(), wire) << "iteration " << i;
+    ASSERT_EQ(back.to_index(), index) << "iteration " << i;
+    ASSERT_EQ(back, capture) << "iteration " << i;
+  }
+}
+
+TEST(PcapFuzz, RealPacketsRoundTripThroughCapture) {
+  // Capture bytes are genuine LINKTYPE_RAW wire bytes: Packet::parse must
+  // reconstruct every record, and re-serialization must match the capture.
+  Rng rng(0xCAB7);
+  Capture capture;
+  for (int i = 0; i < 50; ++i) {
+    const bool v4 = rng.chance(0.5);
+    std::vector<std::uint8_t> payload(rng.uniform(64));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.u64());
+    const IpAddr src = v4 ? IpAddr::v4(static_cast<std::uint32_t>(rng.u64()))
+                          : IpAddr::v6(rng.u64(), rng.u64());
+    const IpAddr dst = v4 ? IpAddr::v4(static_cast<std::uint32_t>(rng.u64()))
+                          : IpAddr::v6(rng.u64(), rng.u64());
+    const Packet pkt = net::make_udp(
+        src, static_cast<std::uint16_t>(rng.u64()), dst,
+        static_cast<std::uint16_t>(rng.u64()), std::move(payload));
+    capture.records.push_back(record(i * 1000, pkt.serialize()));
+  }
+  const Capture back = Capture::parse(capture.to_pcap(), capture.to_index());
+  ASSERT_EQ(back.records.size(), capture.records.size());
+  for (std::size_t i = 0; i < back.records.size(); ++i) {
+    const Packet pkt = Packet::parse(back.records[i].bytes);
+    EXPECT_EQ(pkt.serialize(), capture.records[i].bytes) << "record " << i;
+  }
+}
+
+// --- truncation-prefix fuzz -------------------------------------------------
+
+TEST(PcapTruncationFuzz, EveryStrictPcapPrefixThrows) {
+  // With the sidecar index held fixed, a pcap cut at ANY byte — including
+  // exactly at a record boundary, where the bare format is self-consistent —
+  // must raise ParseError. This is the property that makes capture files
+  // auditable: corruption cannot silently shorten the evidence.
+  Rng rng(0x7C45);
+  for (int i = 0; i < 20; ++i) {
+    const Capture capture = random_capture(rng, 1 + rng.uniform(6));
+    const auto wire = capture.to_pcap();
+    const auto index = capture.to_index();
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      ASSERT_THROW(Capture::parse(std::span(wire).first(len), index),
+                   ParseError)
+          << "pcap prefix of length " << len << " of " << wire.size();
+    }
+  }
+}
+
+TEST(PcapTruncationFuzz, EveryStrictIndexPrefixThrows) {
+  Rng rng(0x1D39);
+  const Capture capture = random_capture(rng, 5);
+  const auto wire = capture.to_pcap();
+  const auto index = capture.to_index();
+  for (std::size_t len = 0; len < index.size(); ++len) {
+    ASSERT_THROW(Capture::parse(wire, std::span(index).first(len)), ParseError)
+        << "index prefix of length " << len << " of " << index.size();
+  }
+}
+
+TEST(PcapTruncationFuzz, BarePcapPrefixesThrowExceptAtRecordBoundaries) {
+  // The standard format carries no record count, so a prefix ending exactly
+  // where a record ends IS a valid (shorter) capture — document that, and
+  // require ParseError everywhere else. The sidecar index exists precisely
+  // to close this gap.
+  Rng rng(0xB0DA);
+  const Capture capture = random_capture(rng, 4);
+  const auto wire = capture.to_pcap();
+  std::vector<std::size_t> boundaries{pcap::kFileHeaderSize};
+  for (const PcapRecord& rec : capture.records) {
+    boundaries.push_back(boundaries.back() + pcap::kRecordHeaderSize +
+                         rec.bytes.size());
+  }
+  std::size_t parsed_ok = 0;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const bool boundary =
+        std::find(boundaries.begin(), boundaries.end(), len) !=
+        boundaries.end();
+    if (boundary) {
+      const Capture prefix = pcap::parse_pcap(std::span(wire).first(len));
+      EXPECT_LT(prefix.records.size(), capture.records.size());
+      ++parsed_ok;
+    } else {
+      ASSERT_THROW(pcap::parse_pcap(std::span(wire).first(len)), ParseError)
+          << "prefix of length " << len;
+    }
+  }
+  EXPECT_EQ(parsed_ok, capture.records.size());  // header + all but last
+}
+
+// --- bit-flip fuzz ----------------------------------------------------------
+
+TEST(PcapBitFlipFuzz, MutationsParseOrThrowParseError) {
+  // A flipped bit must never crash, over-read (ASan), or raise anything but
+  // ParseError.
+  Rng rng(0xF11F);
+  for (int i = 0; i < 300; ++i) {
+    const Capture capture = random_capture(rng, 1 + rng.uniform(4));
+    auto wire = capture.to_pcap();
+    auto index = capture.to_index();
+    const std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t j = 0; j < flips; ++j) {
+      if (rng.chance(0.7) && !wire.empty()) {
+        wire[rng.uniform(wire.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+      } else {
+        index[rng.uniform(index.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+      }
+    }
+    try {
+      (void)Capture::parse(wire, index);
+    } catch (const ParseError&) {
+      // expected for most mutations; anything else fails the test
+    }
+  }
+}
+
+// --- malformed-input regressions --------------------------------------------
+
+TEST(PcapMalformed, BadMagic) {
+  Capture capture;
+  auto wire = capture.to_pcap();
+  wire[3] = 0x00;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+}
+
+TEST(PcapMalformed, SwappedAndNanosecondMagicsRejected) {
+  Capture capture;
+  auto wire = capture.to_pcap();
+  // Byte-swapped classic magic (a big-endian writer's file).
+  wire[0] = 0xA1;
+  wire[1] = 0xB2;
+  wire[2] = 0xC3;
+  wire[3] = 0xD4;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+  // Nanosecond-resolution magic.
+  wire[0] = 0x4D;
+  wire[1] = 0x3C;
+  wire[2] = 0xB2;
+  wire[3] = 0xA1;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+}
+
+TEST(PcapMalformed, SnaplenZero) {
+  Capture capture;
+  auto wire = capture.to_pcap();
+  for (int i = 16; i < 20; ++i) wire[i] = 0;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+}
+
+TEST(PcapMalformed, RecordLengthPastEof) {
+  Capture capture;
+  capture.records.push_back(record(0, {1, 2, 3, 4}));
+  auto wire = capture.to_pcap();
+  // incl_len at offset 24+8: claim 200 bytes, only 4 follow.
+  wire[pcap::kFileHeaderSize + 8] = 200;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+}
+
+TEST(PcapMalformed, RecordLengthBeyondSnaplen) {
+  Capture capture;
+  capture.records.push_back(record(0, std::vector<std::uint8_t>(64, 7)));
+  auto wire = capture.to_pcap();
+  // Shrink the header snaplen below the record's incl_len.
+  wire[16] = 8;
+  wire[17] = 0;
+  wire[18] = 0;
+  wire[19] = 0;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+}
+
+TEST(PcapMalformed, InclLenExceedsOrigLen) {
+  Capture capture;
+  capture.records.push_back(record(0, {1, 2, 3, 4}));
+  auto wire = capture.to_pcap();
+  // orig_len at offset 24+12: claim the packet was shorter than captured.
+  wire[pcap::kFileHeaderSize + 12] = 2;
+  EXPECT_THROW(pcap::parse_pcap(wire), ParseError);
+}
+
+TEST(PcapMalformed, IndexCountMismatch) {
+  Capture capture;
+  capture.records.push_back(record(0, {1, 2}));
+  capture.records.push_back(record(5, {3, 4}));
+  const auto wire = capture.to_pcap();
+  Capture shorter = capture;
+  shorter.records.pop_back();
+  EXPECT_THROW(Capture::parse(wire, shorter.to_index()), ParseError);
+}
+
+TEST(PcapMalformed, IndexMetadataMismatch) {
+  Capture capture;
+  capture.records.push_back(record(7, {1, 2, 3}));
+  Capture skewed = capture;
+  skewed.records[0].time_us = 8;
+  EXPECT_THROW(Capture::parse(capture.to_pcap(), skewed.to_index()),
+               ParseError);
+}
+
+TEST(PcapMalformed, NonRawLinktypeRejectedByStrictParse) {
+  Capture capture;
+  capture.linktype = 1;  // LINKTYPE_ETHERNET
+  const auto wire = capture.to_pcap();
+  EXPECT_EQ(pcap::parse_pcap(wire).linktype, 1u);  // tolerant reader: fine
+  EXPECT_THROW(Capture::parse(wire, capture.to_index()), ParseError);
+}
+
+// --- canonical merge --------------------------------------------------------
+
+TEST(PcapMerge, CanonicalOrderIsPartitionInvariant) {
+  // Splitting a capture into arbitrary parts and merging must reproduce the
+  // canonicalized whole byte-for-byte — the property the sharded runner's
+  // capture equivalence rests on.
+  Rng rng(0x3E6E);
+  Capture whole = random_capture(rng, 40);
+  std::vector<Capture> parts(3);
+  for (PcapRecord& rec : whole.records) {
+    parts[rng.uniform(parts.size())].records.push_back(rec);
+  }
+  Capture canonical = whole;
+  pcap::canonicalize(canonical);
+  const Capture merged = pcap::merge_captures(std::move(parts));
+  EXPECT_EQ(merged.to_pcap(), canonical.to_pcap());
+  EXPECT_EQ(merged.to_index(), canonical.to_index());
+}
+
+TEST(PcapMerge, RejectsMismatchedSnaplen) {
+  Capture a, b;
+  b.snaplen = 128;
+  std::vector<Capture> parts;
+  parts.push_back(a);
+  parts.push_back(b);
+  EXPECT_THROW((void)pcap::merge_captures(std::move(parts)), Error);
+}
+
+// --- file I/O ---------------------------------------------------------------
+
+TEST(PcapFiles, WriteReadRoundTrip) {
+  Rng rng(0xF17E);
+  const Capture capture = random_capture(rng, 8);
+  const std::string path =
+      ::testing::TempDir() + "/cd_pcap_roundtrip_test.pcap";
+  pcap::write_capture(capture, path);
+  const Capture back =
+      Capture::parse(pcap::read_file(path), pcap::read_file(path + ".idx"));
+  EXPECT_EQ(back, capture);
+  std::remove(path.c_str());
+  std::remove((path + ".idx").c_str());
+}
+
+TEST(PcapFiles, MissingFileThrows) {
+  EXPECT_THROW((void)pcap::read_file("/nonexistent/cd-test.pcap"), Error);
+}
+
+}  // namespace

@@ -1,13 +1,45 @@
 // Microbenchmarks: simulator hot paths — longest-prefix routing, the event
-// loop, resolver cache, port allocators, and the Beta range model.
+// loop, resolver cache, port allocators, the Beta range model, and the
+// packet-delivery path batched vs per-packet (events/s + allocs/packet).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
 
 #include "analysis/beta.h"
 #include "dns/cache.h"
+#include "net/packet.h"
 #include "resolver/port_alloc.h"
 #include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "sim/os_model.h"
 #include "sim/topology.h"
 #include "util/rng.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// Count every heap allocation so the delivery benchmarks can report
+// allocs/packet. Relaxed atomic: benchmark threads only ever read deltas
+// they produced themselves.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -92,6 +124,73 @@ void BM_PortAllocators(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PortAllocators);
+
+// --- delivery path: batched vs per-packet ------------------------------------
+
+/// Two-AS world with one bound UDP host; the sender injects straight into
+/// the network (no source host needed).
+struct DeliveryFixture {
+  sim::EventLoop loop;
+  sim::Topology topo;
+  sim::Network network{topo, loop, Rng(7)};
+  std::optional<sim::Host> host;
+  std::uint64_t received = 0;
+
+  DeliveryFixture() {
+    topo.add_as(1);
+    topo.add_as(2);
+    topo.announce(1, net::Prefix::must_parse("21.0.0.0/16"));
+    topo.announce(2, net::Prefix::must_parse("22.0.0.0/16"));
+    host.emplace(network, 2, sim::os_profile(sim::OsId::kUbuntu1904),
+                 std::vector<net::IpAddr>{net::IpAddr::must_parse("22.0.0.1")},
+                 Rng(1));
+    host->bind_udp(53, [this](const net::Packet&) { ++received; });
+  }
+};
+
+/// Shared body: send `kBurst` packets, drain, report events/s (delivered
+/// packets) and allocs/packet. `vary_payload` breaks the content-hash tie so
+/// packets spread over distinct arrival ticks (singleton batches).
+void delivery_bench(benchmark::State& state, bool vary_payload) {
+  const bool batched = state.range(0) != 0;
+  constexpr int kBurst = 256;
+  DeliveryFixture f;
+  f.network.set_batched_delivery(batched);
+  const auto src = net::IpAddr::must_parse("21.0.0.5");
+  const auto dst = net::IpAddr::must_parse("22.0.0.1");
+  std::uint64_t packets = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < kBurst; ++i) {
+      const std::uint8_t lo = vary_payload ? static_cast<std::uint8_t>(i) : 0;
+      const std::uint8_t hi =
+          vary_payload ? static_cast<std::uint8_t>(i >> 8) : 0;
+      f.network.send(net::make_udp(src, 1000, dst, 53, {lo, hi, 3, 4}), 1);
+    }
+    f.loop.run();
+    allocs += g_allocs.load(std::memory_order_relaxed) - before;
+    packets += kBurst;
+  }
+  benchmark::DoNotOptimize(f.received);
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.counters["allocs/pkt"] =
+      benchmark::Counter(static_cast<double>(allocs) / packets);
+}
+
+/// Identical packets get identical content-hashed latency, so the whole
+/// burst lands on one tick: the batched path's best case (arg 1 = batched).
+void BM_DeliverySameTickBurst(benchmark::State& state) {
+  delivery_bench(state, /*vary_payload=*/false);
+}
+BENCHMARK(BM_DeliverySameTickBurst)->Arg(0)->Arg(1);
+
+/// Distinct payloads spread arrivals over distinct ticks — batches are
+/// almost all singletons, pinning the no-regression side of the ledger.
+void BM_DeliveryJitteredSingletons(benchmark::State& state) {
+  delivery_bench(state, /*vary_payload=*/true);
+}
+BENCHMARK(BM_DeliveryJitteredSingletons)->Arg(0)->Arg(1);
 
 void BM_BetaRangeCdf(benchmark::State& state) {
   double x = 100;

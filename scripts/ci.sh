@@ -2,12 +2,17 @@
 # CI entry point: plain build + full test suite, then three sanitizer
 # builds — ThreadSanitizer over the sharded-runner tests (label
 # "parallel") to catch data races the deterministic-equivalence tests
-# cannot, AddressSanitizer over the wire-codec round-trip/fuzz tests
-# (truncation fuzzing only proves "throws, never over-reads" when the
-# reads are instrumented), and UndefinedBehaviorSanitizer over the full
-# unit suite (shift/overflow/alignment UB in the byte codecs).
+# cannot, AddressSanitizer over the fuzz + pcap + batched-delivery labels
+# (bit-flip/truncation fuzzing only proves "throws, never over-reads"
+# when the reads are instrumented, and the batched differential harness
+# exercises the pooled-buffer recycling hardest), and
+# UndefinedBehaviorSanitizer over the same labels plus the full unit
+# suite (shift/overflow/alignment UB in the byte codecs).
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
+# Env:   CD_COVERAGE=1 adds a gcov-instrumented run reporting
+#        per-directory line coverage for src/ (skipped unless gcovr is
+#        installed).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,18 +28,45 @@ cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j --target test_core_parallel
 ctest --test-dir "${PREFIX}-tsan" -L parallel --output-on-failure
 
-echo "=== ASan build + codec/pcap round-trip/fuzz tests ==="
+echo "=== ASan build + fuzz/pcap/batched-label ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
-cmake --build "${PREFIX}-asan" -j --target test_util_bytes test_util_pcap test_golden_pcap
+cmake --build "${PREFIX}-asan" -j --target \
+  test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
+  test_sim_batched
 ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir "${PREFIX}-asan" -R test_util_bytes --output-on-failure
-ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir "${PREFIX}-asan" -L pcap --output-on-failure
+  ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched" --output-on-failure
 
-echo "=== UBSan build + unit/pcap-label ctest ==="
+echo "=== UBSan build + unit/pcap/batched-label ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
-ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap" --output-on-failure -j
+ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap|batched|fuzz" \
+  --output-on-failure -j
+
+if [[ "${CD_COVERAGE:-0}" == "1" ]]; then
+  if command -v gcovr >/dev/null 2>&1; then
+    echo "=== coverage build + per-directory report for src/ ==="
+    cmake -B "${PREFIX}-cov" -S . -DCD_COVERAGE=ON >/dev/null
+    cmake --build "${PREFIX}-cov" -j
+    ctest --test-dir "${PREFIX}-cov" --output-on-failure -j
+    # Default txt report (one row per file), folded into one line per src/
+    # subsystem (net, dns, sim, ...) plus gcovr's own TOTAL row.
+    gcovr --root . --filter 'src/' --object-directory "${PREFIX}-cov" \
+      | tee "${PREFIX}-cov/coverage.txt" \
+      | awk '
+          /^TOTAL/ { print; next }
+          match($1, /^src\/[^/]+\//) {
+            dir = substr($1, RSTART, RLENGTH)
+            lines[dir] += $2; cov[dir] += $3
+          }
+          END {
+            for (d in lines)
+              printf "%-16s %6d lines %6.1f%% covered\n",
+                     d, lines[d], lines[d] ? 100 * cov[d] / lines[d] : 0
+          }' | sort
+  else
+    echo "CD_COVERAGE=1 set but gcovr not installed; skipping coverage"
+  fi
+fi
 
 echo "=== golden capture readable by stock tooling ==="
 # The fixture claims to be a standard pcap; let an independent reader vouch

@@ -70,6 +70,10 @@ ExperimentResults merge_results(std::vector<ExperimentResults> parts) {
 const ExperimentResults& Experiment::run() {
   if (results_) return *results_;
 
+  // Delivery mode must be set before any traffic is scheduled: packets keep
+  // the mode they were sent under.
+  world_.network->set_batched_delivery(config_.batched_delivery);
+
   cd::pcap::Capture capture;
   std::optional<cd::sim::Network::TapId> capture_tap;
   if (config_.capture) {

@@ -57,6 +57,12 @@ struct ExperimentConfig {
   bool followups = true;
   /// Safety valve for the event loop (per shard).
   std::uint64_t max_events = 400'000'000;
+  /// Coalesce same-tick deliveries per destination host into one drain
+  /// event (sim::Network::set_batched_delivery). Semantically invisible —
+  /// results_digest, capture_digest and exported pcaps are byte-identical
+  /// either way (tests/test_sim_batched.cpp) — so this stays on; the off
+  /// switch exists for the differential harness and for bisecting.
+  bool batched_delivery = true;
 
   // --- sharding (core/parallel.h) -------------------------------------------
   /// Number of AS-partitioned shards the target list is split into. Each

@@ -12,7 +12,11 @@
 // are identical for ANY (num_shards, num_threads) combination — shards
 // merge in shard order, and every random decision a shard makes is derived
 // from stable identities (shard index, target address, packet content),
-// never from thread or arrival order. `results_digest` captures exactly
+// never from thread or arrival order. The contract is also independent of
+// ExperimentConfig::batched_delivery: each shard's event loop delivers
+// same-tick packets batched per destination host (or per packet with the
+// flag off) with identical observable order, so sharded campaigns get the
+// batching speedup for free. `results_digest` captures exactly
 // the shard-count-invariant portion of the results; see its comment for
 // the two documented exclusions.
 #pragma once

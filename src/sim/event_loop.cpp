@@ -16,22 +16,70 @@ EventId EventLoop::schedule_in(SimTime delay, std::function<void()> fn) {
   return schedule_at(now_ + std::max<SimTime>(0, delay), std::move(fn));
 }
 
-void EventLoop::cancel(EventId id) {
-  cancelled_.insert(id);
+EventId EventLoop::schedule_batched(SimTime at, BatchKey key,
+                                    std::function<void()> fn) {
+  const SimTime t = std::max(at, now_);
+  const auto [slot, inserted] = open_batches_.try_emplace(Slot{t, key}, 0);
+  if (!inserted) {
+    batches_.at(slot->second).items.push_back(std::move(fn));
+    return slot->second;
+  }
+  const EventId id = next_id_++;
+  slot->second = id;
+  Batch& batch = batches_[id];
+  batch.at = t;
+  batch.key = key;
+  batch.items.push_back(std::move(fn));
+  queue_.push(Event{t, id, {}});
+  return id;
 }
 
-bool EventLoop::pop_one() {
+void EventLoop::close_batch(SimTime at, BatchKey key, EventId id) {
+  const auto it = open_batches_.find(Slot{at, key});
+  if (it != open_batches_.end() && it->second == id) open_batches_.erase(it);
+}
+
+void EventLoop::cancel(EventId id) {
+  cancelled_.insert(id);
+  // A cancelled batch must also stop accepting appends: a later
+  // schedule_batched on the same slot opens a fresh, live batch.
+  const auto it = batches_.find(id);
+  if (it != batches_.end()) close_batch(it->second.at, it->second.key, id);
+}
+
+bool EventLoop::pop_one(std::uint64_t& n, std::uint64_t max_events,
+                        const char* what) {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
     const auto it = cancelled_.find(ev.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
+      batches_.erase(ev.id);  // cancelled batch: drop its items
       continue;
     }
     now_ = ev.at;
-    ++executed_;
-    ev.fn();
+
+    const auto bit = batches_.find(ev.id);
+    if (bit == batches_.end()) {
+      ++executed_;
+      ev.fn();
+      CD_ENSURE(++n <= max_events, what);
+      return true;
+    }
+
+    // Batch entry: close the slot before running so same-tick appends made
+    // by items (or after run_until) open a new batch, then drain in append
+    // order. An item cancelling the running batch skips the remainder.
+    Batch batch = std::move(bit->second);
+    batches_.erase(bit);
+    close_batch(batch.at, batch.key, ev.id);
+    for (std::function<void()>& item : batch.items) {
+      ++executed_;
+      item();
+      CD_ENSURE(++n <= max_events, what);
+      if (cancelled_.erase(ev.id) > 0) break;
+    }
     return true;
   }
   return false;
@@ -39,16 +87,16 @@ bool EventLoop::pop_one() {
 
 void EventLoop::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
-  while (pop_one()) {
-    CD_ENSURE(++n <= max_events, "EventLoop::run exceeded max_events");
+  while (pop_one(n, max_events, "EventLoop::run exceeded max_events")) {
   }
 }
 
 void EventLoop::run_until(SimTime until, std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.top().at <= until) {
-    if (!pop_one()) break;
-    CD_ENSURE(++n <= max_events, "EventLoop::run_until exceeded max_events");
+    if (!pop_one(n, max_events, "EventLoop::run_until exceeded max_events")) {
+      break;
+    }
   }
   now_ = std::max(now_, until);
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -16,8 +17,21 @@ using EventId = std::uint64_t;
 /// Single-threaded discrete event loop. Events scheduled for the same time
 /// run in scheduling order (stable). Cancellation is O(1) amortized via a
 /// tombstone set.
+///
+/// Besides singleton events, the loop supports *batched* scheduling
+/// (schedule_batched): every append to the same open (time, key) batch
+/// shares one priority-queue entry, so a caller fanning N callbacks into
+/// one tick pays one queue operation instead of N. Batch items run
+/// back-to-back, in append order, at the queue position of the batch's
+/// first append; each item counts as one executed event toward the
+/// max_events guard.
 class EventLoop {
  public:
+  /// Caller-chosen grouping key for schedule_batched (e.g. a destination
+  /// host identity). Only equality matters; the key never influences
+  /// ordering between different batches.
+  using BatchKey = std::uint64_t;
+
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at` (clamped to now). Returns an id
@@ -27,25 +41,40 @@ class EventLoop {
   /// Schedule `fn` after `delay` from now.
   EventId schedule_in(SimTime delay, std::function<void()> fn);
 
-  /// Prevent a pending event from running. Safe on already-run ids.
+  /// Appends `fn` to the batch identified by (at, key), creating the batch
+  /// — one priority-queue entry — on first use. `at` clamps to now like
+  /// schedule_at. All appends to one batch return the same EventId;
+  /// cancel(id) cancels the whole batch (from outside, or from inside a
+  /// running batch, in which case the remaining items are skipped). A batch
+  /// closes when it runs or is cancelled: later appends to the same
+  /// (at, key) open a fresh batch that runs at its own (later) queue
+  /// position, including appends made while the batch itself is draining.
+  EventId schedule_batched(SimTime at, BatchKey key, std::function<void()> fn);
+
+  /// Prevent a pending event (or whole batch) from running. Safe on
+  /// already-run ids.
   void cancel(EventId id);
 
   /// Runs events until the queue drains. `max_events` guards against
-  /// runaway self-scheduling loops (throws InvariantError when exceeded).
+  /// runaway self-scheduling loops (throws InvariantError when exceeded);
+  /// every batch item counts individually.
   void run(std::uint64_t max_events = UINT64_MAX);
 
   /// Runs events with time <= `until`; leaves later events queued and
-  /// advances now() to `until`.
+  /// advances now() to `until`. Batches due by `until` drain completely;
+  /// later batches stay open for further appends.
   void run_until(SimTime until, std::uint64_t max_events = UINT64_MAX);
 
+  /// Pending queue entries (a batch counts once, whatever its size).
   [[nodiscard]] std::size_t pending() const;
+  /// Events executed so far; each batch item counts as one.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
   struct Event {
     SimTime at;
     EventId id;
-    std::function<void()> fn;
+    std::function<void()> fn;  // empty for batch entries (see batches_)
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -53,14 +82,37 @@ class EventLoop {
       return a.id > b.id;
     }
   };
+  /// Out-of-line item storage for a batch entry (priority_queue elements
+  /// are immutable, so appends land here, keyed by the entry's id).
+  struct Batch {
+    SimTime at = 0;
+    BatchKey key = 0;
+    std::vector<std::function<void()>> items;
+  };
+  struct Slot {
+    SimTime at;
+    BatchKey key;
+    friend bool operator==(const Slot&, const Slot&) = default;
+  };
+  struct SlotHash {
+    std::size_t operator()(const Slot& s) const {
+      std::uint64_t h = static_cast<std::uint64_t>(s.at) * 0x9E3779B97F4A7C15ULL;
+      h ^= s.key + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
 
-  bool pop_one();
+  bool pop_one(std::uint64_t& n, std::uint64_t max_events, const char* what);
+  /// Closes the open batch for (at, key) if it is `id` (stops appends).
+  void close_batch(SimTime at, BatchKey key, EventId id);
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Batch> batches_;
+  std::unordered_map<Slot, EventId, SlotHash> open_batches_;
 };
 
 }  // namespace cd::sim

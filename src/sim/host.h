@@ -85,6 +85,13 @@ class Host {
   /// Entry point used by Network once a packet clears all filters.
   void deliver(const cd::net::Packet& packet);
 
+  /// Batched entry point: all packets that arrived at this host on one
+  /// simulated tick, in send order. Equivalent to calling deliver() per
+  /// packet (which is exactly what the default implementation does); exists
+  /// so the network hands a same-tick batch over in one call instead of
+  /// scheduling one event-loop closure per packet.
+  void deliver_batch(std::span<Delivery> batch);
+
   /// Draws an ephemeral port from the OS-designated range (used for TCP
   /// client connections; UDP query ports are the resolver's business).
   [[nodiscard]] std::uint16_t ephemeral_port();

@@ -190,18 +190,46 @@ void Network::send(Packet packet, Asn origin_asn) {
     case DropReason::kNone: {
       ++stats_.delivered;
       const SimTime delay = latency(origin_asn, host->asn(), packet);
-      loop_.schedule_in(
-          delay, [this, host, origin_asn, pkt = std::move(packet)]() mutable {
-            // Capture at the wire in front of the destination: records land
-            // in exact delivery order, stamped with the arrival time.
-            if (!captures_.empty()) {
-              record_capture(pkt, DropReason::kNone, origin_asn);
-            }
-            host->deliver(pkt);
-            // The packet dies here; recycle its payload capacity for the
-            // next encode on this shard's thread.
-            cd::BufferPool::release(std::move(pkt.payload));
-          });
+      if (!batched_) {
+        // Per-packet delivery: one closure per packet (the pre-batching
+        // reference semantics the differential tests compare against).
+        loop_.schedule_in(
+            delay, [this, host, origin_asn, pkt = std::move(packet)]() mutable {
+              // Capture at the wire in front of the destination: records land
+              // in exact delivery order, stamped with the arrival time.
+              if (!captures_.empty()) {
+                record_capture(pkt, DropReason::kNone, origin_asn);
+              }
+              host->deliver(pkt);
+              // The packet dies here; recycle its payload capacity for the
+              // next encode on this shard's thread.
+              cd::BufferPool::release(std::move(pkt.payload));
+            });
+        return;
+      }
+      // Batched delivery: coalesce into the (arrival time, host) slot. The
+      // first packet schedules the slot's single drain event — at exactly
+      // the queue position its per-packet closure would have had — and
+      // later same-slot packets ride along for the cost of a vector push.
+      const SimTime at = loop_.now() + delay;
+      const auto [slot, opened] = pending_.try_emplace(PendingSlot{at, host});
+      if (opened) {
+        if (!batch_pool_.empty()) {
+          slot->second = std::move(batch_pool_.back());
+          batch_pool_.pop_back();
+        }
+        ++stats_.delivery_batches;
+        // A plain schedule_at, not schedule_batched: this map already keys
+        // batches by (time, host), so the loop-level slot bookkeeping would
+        // only ever coalesce one drain per slot — pure overhead. The tiny
+        // [this, host] capture also stays inside std::function's inline
+        // storage (the per-packet closure above cannot: it carries the
+        // packet). The drain fires exactly at `at`, so now() recovers the
+        // slot key.
+        loop_.schedule_at(
+            at, [this, host] { drain_batch(loop_.now(), host); });
+      }
+      slot->second.push_back(Delivery{std::move(packet), origin_asn});
       return;
     }
   }
@@ -209,6 +237,40 @@ void Network::send(Packet packet, Asn origin_asn) {
   // the payload buffer is dead — recycle it instead of freeing.
   if (!captures_.empty()) record_capture(packet, reason, origin_asn);
   cd::BufferPool::release(std::move(packet.payload));
+}
+
+void Network::drain_batch(SimTime at, Host* host) {
+  const auto it = pending_.find(PendingSlot{at, host});
+  if (it == pending_.end()) return;
+  // Detach the vector before delivering: handlers that send new traffic
+  // (always >= 1ms out) must open fresh slots, never append to a running
+  // batch.
+  std::vector<Delivery> batch = std::move(it->second);
+  pending_.erase(it);
+
+  if (captures_.empty()) {
+    // Hot path: hand the host the whole batch in one call.
+    host->deliver_batch(batch);
+    for (Delivery& d : batch) {
+      cd::BufferPool::release(std::move(d.packet.payload));
+    }
+  } else {
+    // Capture at the wire in front of the destination, packet by packet, so
+    // records land in exact delivery order with the arrival timestamp.
+    for (Delivery& d : batch) {
+      record_capture(d.packet, DropReason::kNone, d.origin_asn);
+      host->deliver(d.packet);
+      cd::BufferPool::release(std::move(d.packet.payload));
+    }
+  }
+
+  batch.clear();
+  // Generous cap: a busy shard keeps hundreds of (tick, host) slots in
+  // flight at once, and a pooled vector is just a few dozen idle bytes.
+  constexpr std::size_t kBatchPoolCap = 1024;
+  if (batch_pool_.size() < kBatchPoolCap) {
+    batch_pool_.push_back(std::move(batch));
+  }
 }
 
 Network::TapId Network::add_tap(Tap tap) {

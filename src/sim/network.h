@@ -20,6 +20,13 @@ namespace cd::sim {
 
 class Host;
 
+/// One accepted packet waiting in a same-tick delivery batch, paired with
+/// the AS it physically originated in (capture filters see the origin).
+struct Delivery {
+  cd::net::Packet packet;
+  Asn origin_asn = 0;
+};
+
 /// Where (if anywhere) a packet was dropped.
 enum class DropReason : std::uint8_t {
   kNone,           // delivered
@@ -37,6 +44,10 @@ enum class DropReason : std::uint8_t {
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  /// Drain events scheduled by batched delivery: one per (arrival time,
+  /// destination host) slot. delivered / delivery_batches is the mean batch
+  /// size; equal counts mean every batch held a single packet.
+  std::uint64_t delivery_batches = 0;
   std::uint64_t dropped_osav = 0;
   std::uint64_t dropped_dsav = 0;
   std::uint64_t dropped_martian = 0;
@@ -49,6 +60,7 @@ struct NetworkStats {
   NetworkStats& operator+=(const NetworkStats& other) {
     sent += other.sent;
     delivered += other.delivered;
+    delivery_batches += other.delivery_batches;
     dropped_osav += other.dropped_osav;
     dropped_dsav += other.dropped_dsav;
     dropped_martian += other.dropped_martian;
@@ -105,6 +117,20 @@ class Network {
   /// event loop.
   void send(cd::net::Packet packet, Asn origin_asn);
 
+  /// Batched same-tick delivery (default on): accepted packets arriving at
+  /// the same (SimTime, destination host) coalesce into one pending vector
+  /// drained by a single event-loop entry, instead of one heap-allocated
+  /// closure per packet. Semantics are unchanged — within a batch packets
+  /// deliver in send order (exactly the per-packet schedule order), the
+  /// batch runs at its first packet's queue position, and taps/captures
+  /// observe packets one-by-one with their exact arrival timestamps — so
+  /// results_digest, capture_digest and exported pcaps are byte-identical
+  /// either way (pinned by tests/test_sim_batched.cpp). Toggle before
+  /// traffic is in flight; packets already scheduled keep the mode they
+  /// were sent under.
+  void set_batched_delivery(bool on) { batched_ = on; }
+  [[nodiscard]] bool batched_delivery() const { return batched_; }
+
   [[nodiscard]] Host* host_at(const cd::net::IpAddr& addr) const;
 
   [[nodiscard]] Topology& topology() { return topology_; }
@@ -146,6 +172,21 @@ class Network {
                                     Asn origin_asn, Host** out_host);
   [[nodiscard]] SimTime latency(Asn from, Asn to,
                                 const cd::net::Packet& packet) const;
+  struct PendingSlot {
+    SimTime at;
+    Host* host;
+    friend bool operator==(const PendingSlot&, const PendingSlot&) = default;
+  };
+  struct PendingSlotHash {
+    std::size_t operator()(const PendingSlot& s) const {
+      std::uint64_t h =
+          static_cast<std::uint64_t>(s.at) * 0x9E3779B97F4A7C15ULL;
+      h ^= reinterpret_cast<std::uintptr_t>(s.host) + 0x9E3779B97F4A7C15ULL +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   [[nodiscard]] bool capture_wants(const CaptureEntry& entry,
                                    const cd::net::Packet& packet,
                                    DropReason reason, Asn origin_asn) const;
@@ -154,6 +195,9 @@ class Network {
   void record_capture(const cd::net::Packet& packet, DropReason reason,
                       Asn origin_asn);
   void sweep_tombstones();
+  /// Runs when the event loop reaches a (time, host) slot: hands the
+  /// pending packets to the host in send order and recycles the vector.
+  void drain_batch(SimTime at, Host* host);
 
   Topology& topology_;
   EventLoop& loop_;
@@ -164,6 +208,12 @@ class Network {
   std::vector<CaptureEntry> captures_;
   int dispatch_depth_ = 0;
   bool pending_removal_ = false;
+  bool batched_ = true;
+  /// Same-tick pending deliveries, one vector per (arrival time, host).
+  std::unordered_map<PendingSlot, std::vector<Delivery>, PendingSlotHash>
+      pending_;
+  /// Retired batch vectors kept for capacity reuse (bounded free list).
+  std::vector<std::vector<Delivery>> batch_pool_;
   NetworkStats stats_;
 };
 

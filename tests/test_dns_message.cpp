@@ -1,8 +1,12 @@
 // Unit tests: DNS message wire codec across all record types and flags.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "dns/message.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -179,6 +183,148 @@ TEST(DnsMessage, RrToStringContainsFields) {
   EXPECT_NE(s.find("h.org."), std::string::npos);
   EXPECT_NE(s.find("77"), std::string::npos);
   EXPECT_NE(s.find("192.0.2.1"), std::string::npos);
+}
+
+// --- bit-flip fuzz ----------------------------------------------------------
+// Mirrors the test_util_pcap fuzzer: mutate valid wire messages and demand
+// that decode() either succeeds (and the result re-encodes without crashing)
+// or throws ParseError — never anything else, never an over-read (ASan runs
+// this under the "fuzz" CTest label).
+
+/// Seed corpus: one encoding of each interesting message shape.
+std::vector<std::vector<std::uint8_t>> fuzz_corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+
+  // Experiment-template query (the hot path: every probe decodes one).
+  corpus.push_back(
+      dns::make_query(0x1234,
+                      DnsName::must_parse(
+                          "1f2e3d.c0000201.c0000202.64.m1.x1.v4.dns-lab.org"),
+                      RrType::kA)
+          .encode());
+
+  // All-sections response over compression-friendly names (shared suffixes
+  // exercise pointer encoding; flips here hit the pointer decode paths).
+  {
+    const auto q = dns::make_query(7, DnsName::must_parse("a.b.example.org"),
+                                   RrType::kA);
+    DnsMessage r = dns::make_response(q, Rcode::kNoError);
+    r.answers.push_back(
+        dns::make_a(q.qname(), IpAddr::must_parse("192.0.2.1"), 60));
+    r.answers.push_back(dns::make_cname(
+        q.qname(), DnsName::must_parse("c.b.example.org"), 60));
+    r.authorities.push_back(
+        dns::make_ns(DnsName::must_parse("example.org"),
+                     DnsName::must_parse("ns1.example.org"), 300));
+    r.additionals.push_back(
+        dns::make_aaaa(DnsName::must_parse("ns1.example.org"),
+                       IpAddr::must_parse("2001:db8::53"), 300));
+    corpus.push_back(r.encode());
+  }
+
+  // Long TXT rdata (character-string length bytes to corrupt).
+  {
+    const auto q =
+        dns::make_query(8, DnsName::must_parse("t.example.org"), RrType::kTxt);
+    DnsMessage r = dns::make_response(q, Rcode::kNoError);
+    r.answers.push_back(
+        dns::make_txt(q.qname(), std::string(180, 'x'), 60));
+    corpus.push_back(r.encode());
+  }
+
+  // Unknown-type RR carried as raw rdata.
+  {
+    const auto q =
+        dns::make_query(9, DnsName::must_parse("raw.example.org"), RrType::kA);
+    DnsMessage r = dns::make_response(q, Rcode::kNoError);
+    DnsRr rr;
+    rr.name = q.qname();
+    rr.type = static_cast<RrType>(999);
+    rr.ttl = 1;
+    rr.rdata = dns::RawRdata{{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}};
+    r.answers.push_back(rr);
+    corpus.push_back(r.encode());
+  }
+  return corpus;
+}
+
+TEST(DnsBitFlipFuzz, MutationsDecodeOrThrowParseError) {
+  const auto corpus = fuzz_corpus();
+  Rng rng(0xD45F);
+  for (int i = 0; i < 400; ++i) {
+    auto wire = corpus[rng.uniform(corpus.size())];
+    const std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t j = 0; j < flips; ++j) {
+      wire[rng.uniform(wire.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(8));
+    }
+    try {
+      const DnsMessage msg = DnsMessage::decode(wire);
+      (void)msg.encode();  // a survivor must still round-trip sanely
+    } catch (const ParseError&) {
+      // expected for most mutations; anything else fails the test
+    }
+  }
+}
+
+// --- malformed-input regressions --------------------------------------------
+// Hand-crafted wire bytes for decoder edge cases a random flip rarely finds.
+
+/// A 12-byte header claiming `qdcount` questions and nothing else set.
+std::vector<std::uint8_t> header_only(std::uint16_t qdcount) {
+  std::vector<std::uint8_t> b(12, 0);
+  b[1] = 1;  // id
+  b[4] = static_cast<std::uint8_t>(qdcount >> 8);
+  b[5] = static_cast<std::uint8_t>(qdcount & 0xFF);
+  return b;
+}
+
+TEST(DnsMalformed, HeaderShorterThanTwelveBytesThrows) {
+  for (std::size_t n = 0; n < 12; ++n) {
+    const std::vector<std::uint8_t> wire(n, 0);
+    EXPECT_THROW((void)DnsMessage::decode(wire), ParseError) << n;
+  }
+}
+
+TEST(DnsMalformed, QdcountPastActualQuestionsThrows) {
+  EXPECT_THROW((void)DnsMessage::decode(header_only(3)), ParseError);
+}
+
+TEST(DnsMalformed, LabelLengthRunsPastEndThrows) {
+  auto wire = header_only(1);
+  wire.push_back(63);  // 63-byte label announced, one byte present
+  wire.push_back('a');
+  EXPECT_THROW((void)DnsMessage::decode(wire), ParseError);
+}
+
+TEST(DnsMalformed, CompressionPointerSelfLoopRejected) {
+  auto wire = header_only(1);
+  wire.push_back(0xC0);  // pointer to offset 12 — itself
+  wire.push_back(12);
+  wire.insert(wire.end(), {0, 1, 0, 1});  // qtype A, qclass IN
+  EXPECT_THROW((void)DnsMessage::decode(wire), ParseError);
+}
+
+TEST(DnsMalformed, CompressionPointerForwardChainRejected) {
+  auto wire = header_only(1);
+  wire.push_back(0xC0);  // offset 12 -> 14
+  wire.push_back(14);
+  wire.push_back(0xC0);  // offset 14 -> 12: a loop either way
+  wire.push_back(12);
+  wire.insert(wire.end(), {0, 1, 0, 1});
+  EXPECT_THROW((void)DnsMessage::decode(wire), ParseError);
+}
+
+TEST(DnsMalformed, RdlengthPastEndThrows) {
+  auto q = dns::make_query(1, DnsName::must_parse("r.org"), RrType::kA);
+  q.header.qr = true;
+  auto wire = q.encode();
+  // Claim one answer: root name, type A, class IN, ttl 0, rdlength 200,
+  // but only 4 rdata bytes follow.
+  wire[7] = 1;  // ancount
+  wire.insert(wire.end(), {0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00,
+                           0x00, 0x00, 200, 1, 2, 3, 4});
+  EXPECT_THROW((void)DnsMessage::decode(wire), ParseError);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// The batched-delivery equivalence guarantee: coalescing same-tick packet
+// deliveries per destination host (sim::Network batched mode, the default)
+// must be observably invisible. The differential harness runs the quickstart
+// campaign batched vs unbatched across seeds and shard counts and demands
+// identical results_digest and capture_digest — full captures, drops
+// included, follow-ups and analyst replays on — and re-verifies the golden
+// fixture (tests/fixtures/quickstart.pcap + .idx) byte-for-byte with
+// batching enabled AND disabled, so neither path can drift from the other
+// or from the checked-in wire surface.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "ditl/world.h"
+#include "util/pcap.h"
+
+namespace {
+
+using cd::core::CaptureSpec;
+using cd::core::ExperimentConfig;
+using cd::core::ShardedResults;
+using cd::core::capture_digest;
+using cd::core::results_digest;
+using cd::core::run_sharded_experiment;
+
+cd::ditl::WorldSpec spec_for(std::uint64_t seed) {
+  cd::ditl::WorldSpec spec = cd::ditl::small_world_spec();
+  spec.seed = seed;
+  return spec;
+}
+
+/// Full-fat campaign config: capture with drop annotations, follow-up
+/// batteries, IDS analyst replays — every delivery consumer in the tree.
+ExperimentConfig campaign_config(bool batched, std::size_t shards) {
+  ExperimentConfig config;
+  config.batched_delivery = batched;
+  config.num_shards = shards;
+  config.num_threads = shards > 1 ? 2 : 1;
+  config.analyst = cd::scanner::AnalystConfig{};
+  CaptureSpec capture;
+  capture.include_drops = true;
+  config.capture = capture;
+  return config;
+}
+
+TEST(BatchedDifferential, DigestsMatchUnbatchedAcrossSeedsAndShards) {
+  const std::vector<std::uint64_t> seeds{7, 42, 99, 1337, 2020};
+  for (const std::uint64_t seed : seeds) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      const ShardedResults batched = run_sharded_experiment(
+          spec_for(seed), campaign_config(true, shards));
+      const ShardedResults unbatched = run_sharded_experiment(
+          spec_for(seed), campaign_config(false, shards));
+
+      ASSERT_GT(batched.merged.records.size(), 0u)
+          << "seed=" << seed << ": campaign saw no targets";
+      EXPECT_EQ(results_digest(batched.merged),
+                results_digest(unbatched.merged))
+          << "seed=" << seed << " shards=" << shards;
+      ASSERT_FALSE(batched.merged.capture.records.empty())
+          << "seed=" << seed << ": campaign captured nothing";
+      EXPECT_EQ(capture_digest(batched.merged.capture),
+                capture_digest(unbatched.merged.capture))
+          << "seed=" << seed << " shards=" << shards;
+      // Digest collisions are astronomically unlikely, but the full byte
+      // comparison is nearly free on top of the runs themselves.
+      EXPECT_EQ(batched.merged.capture.to_pcap(),
+                unbatched.merged.capture.to_pcap())
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(batched.merged.capture.to_index(),
+                unbatched.merged.capture.to_index())
+          << "seed=" << seed << " shards=" << shards;
+
+      // Same campaign either way, and batching actually coalesced: fewer
+      // drain events than delivered packets, none with batching off.
+      EXPECT_EQ(batched.merged.queries_sent, unbatched.merged.queries_sent);
+      EXPECT_EQ(batched.merged.followup_batteries,
+                unbatched.merged.followup_batteries);
+      EXPECT_EQ(batched.merged.analyst_replays,
+                unbatched.merged.analyst_replays);
+      EXPECT_EQ(batched.merged.network_stats.delivered,
+                unbatched.merged.network_stats.delivered);
+      EXPECT_GT(batched.merged.network_stats.delivery_batches, 0u);
+      EXPECT_LE(batched.merged.network_stats.delivery_batches,
+                batched.merged.network_stats.delivered);
+      EXPECT_EQ(unbatched.merged.network_stats.delivery_batches, 0u);
+    }
+  }
+}
+
+TEST(BatchedDifferential, RecordsMatchFieldByFieldOnOneSeed) {
+  const ShardedResults batched =
+      run_sharded_experiment(spec_for(42), campaign_config(true, 4));
+  const ShardedResults unbatched =
+      run_sharded_experiment(spec_for(42), campaign_config(false, 4));
+  ASSERT_EQ(batched.merged.records.size(), unbatched.merged.records.size());
+  for (const auto& [addr, expect] : unbatched.merged.records) {
+    const auto it = batched.merged.records.find(addr);
+    ASSERT_NE(it, batched.merged.records.end()) << addr.to_string();
+    const auto& got = it->second;
+    EXPECT_EQ(got.sources_hit, expect.sources_hit) << addr.to_string();
+    EXPECT_EQ(got.categories_hit, expect.categories_hit) << addr.to_string();
+    // Batching preserves even the timing artifacts sharding is allowed to
+    // perturb: arrival times are identical per packet, not just per digest.
+    EXPECT_EQ(got.first_hit_time, expect.first_hit_time) << addr.to_string();
+    EXPECT_EQ(got.first_hit_source, expect.first_hit_source);
+    EXPECT_EQ(got.ports_v4, expect.ports_v4) << addr.to_string();
+    EXPECT_EQ(got.ports_v6, expect.ports_v6) << addr.to_string();
+    EXPECT_EQ(got.open_hit, expect.open_hit);
+    EXPECT_EQ(got.tcp_hit, expect.tcp_hit);
+  }
+  EXPECT_EQ(batched.merged.qmin_asns, unbatched.merged.qmin_asns);
+  EXPECT_EQ(batched.merged.lifetime_excluded_targets,
+            unbatched.merged.lifetime_excluded_targets);
+}
+
+// --- golden fixture re-verification ------------------------------------------
+
+std::string fixture_path(const char* name) {
+  return std::string(CD_FIXTURE_DIR) + "/" + name;
+}
+
+/// The exact campaign test_golden_pcap.cpp pins, parameterized by delivery
+/// mode (the fixture itself predates batching: it was generated by the
+/// per-packet path).
+cd::pcap::Capture golden_campaign(bool batched) {
+  cd::ditl::WorldSpec spec = cd::ditl::small_world_spec();
+  spec.n_asns = 6;
+  spec.seed = 42;
+  ExperimentConfig config;
+  config.batched_delivery = batched;
+  CaptureSpec capture;
+  capture.include_drops = true;
+  config.capture = capture;
+  return run_sharded_experiment(spec, config).merged.capture;
+}
+
+TEST(BatchedGoldenPcap, FixtureBytesIdenticalWithBatchingOnAndOff) {
+  if (std::getenv("CD_GOLDEN_WRITE") != nullptr) {
+    GTEST_SKIP() << "fixture being regenerated";
+  }
+  const auto golden_pcap = cd::pcap::read_file(fixture_path("quickstart.pcap"));
+  const auto golden_index =
+      cd::pcap::read_file(fixture_path("quickstart.pcap.idx"));
+
+  for (const bool batched : {true, false}) {
+    const cd::pcap::Capture capture = golden_campaign(batched);
+    ASSERT_FALSE(capture.records.empty());
+    const auto pcap_bytes = capture.to_pcap();
+    const auto index_bytes = capture.to_index();
+    ASSERT_EQ(pcap_bytes.size(), golden_pcap.size())
+        << "batched=" << batched;
+    ASSERT_EQ(index_bytes.size(), golden_index.size())
+        << "batched=" << batched;
+    for (std::size_t i = 0; i < pcap_bytes.size(); ++i) {
+      ASSERT_EQ(pcap_bytes[i], golden_pcap[i])
+          << "batched=" << batched << ": pcap differs at offset " << i;
+    }
+    for (std::size_t i = 0; i < index_bytes.size(); ++i) {
+      ASSERT_EQ(index_bytes[i], golden_index[i])
+          << "batched=" << batched << ": index differs at offset " << i;
+    }
+  }
+}
+
+}  // namespace

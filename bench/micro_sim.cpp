@@ -192,6 +192,70 @@ void BM_DeliveryJitteredSingletons(benchmark::State& state) {
 }
 BENCHMARK(BM_DeliveryJitteredSingletons)->Arg(0)->Arg(1);
 
+// --- TCP response path: bytes/s + allocs/response ---------------------------
+
+/// Client in AS1, DNS-over-TCP-style server in AS2 answering every request
+/// with a fixed response body of `resp_size` bytes.
+struct TcpFixture {
+  sim::EventLoop loop;
+  sim::Topology topo;
+  sim::Network network{topo, loop, Rng(7)};
+  std::optional<sim::Host> client;
+  std::optional<sim::Host> server;
+  std::vector<std::uint8_t> body;
+
+  explicit TcpFixture(std::size_t resp_size) : body(resp_size, 0xAB) {
+    topo.add_as(1);
+    topo.add_as(2);
+    topo.announce(1, net::Prefix::must_parse("21.0.0.0/16"));
+    topo.announce(2, net::Prefix::must_parse("22.0.0.0/16"));
+    client.emplace(network, 1, sim::os_profile(sim::OsId::kUbuntu1904),
+                   std::vector<net::IpAddr>{net::IpAddr::must_parse("21.0.0.5")},
+                   Rng(1));
+    server.emplace(network, 2, sim::os_profile(sim::OsId::kUbuntu1904),
+                   std::vector<net::IpAddr>{net::IpAddr::must_parse("22.0.0.1")},
+                   Rng(2));
+    server->tcp_listen(
+        53, [this](const sim::TcpConnInfo&, std::span<const std::uint8_t>) {
+          return body;
+        });
+  }
+};
+
+/// One full connect/request/response exchange per iteration; reports
+/// response bytes/s and heap allocs per response via the operator-new
+/// counter. Arg: response size in bytes.
+void BM_TcpResponse(benchmark::State& state) {
+  const auto resp_size = static_cast<std::size_t>(state.range(0));
+  TcpFixture f(resp_size);
+  const auto src = net::IpAddr::must_parse("21.0.0.5");
+  const auto dst = net::IpAddr::must_parse("22.0.0.1");
+  std::uint64_t responses = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    f.client->tcp_connect(src, dst, 53,
+                          std::vector<std::uint8_t>{0x00, 0x02, 0xde, 0xad},
+                          [&delivered](std::optional<std::vector<std::uint8_t>> r) {
+                            if (r) {
+                              delivered += r->size();
+                              // Consume, then recycle — what the resolver's
+                              // TCP-retry path does with its reply buffer.
+                              cd::BufferPool::release(std::move(*r));
+                            }
+                          });
+    f.loop.run();
+    allocs += g_allocs.load(std::memory_order_relaxed) - before;
+    ++responses;
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetBytesProcessed(static_cast<std::int64_t>(responses * resp_size));
+  state.counters["allocs/resp"] =
+      benchmark::Counter(static_cast<double>(allocs) / responses);
+}
+BENCHMARK(BM_TcpResponse)->Arg(512)->Arg(1400)->Arg(16 * 1024);
+
 void BM_BetaRangeCdf(benchmark::State& state) {
   double x = 100;
   for (auto _ : state) {

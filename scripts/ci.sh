@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: plain build + full test suite, then three sanitizer
 # builds — ThreadSanitizer over the sharded-runner tests (label
-# "parallel") to catch data races the deterministic-equivalence tests
-# cannot, AddressSanitizer over the fuzz + pcap + batched-delivery labels
+# "parallel") plus the streaming-TCP suite (label "tcp", whose
+# segmentation differential runs campaigns through the sharded runner),
+# AddressSanitizer over the fuzz + pcap + batched-delivery + tcp labels
 # (bit-flip/truncation fuzzing only proves "throws, never over-reads"
-# when the reads are instrumented, and the batched differential harness
-# exercises the pooled-buffer recycling hardest), and
+# when the reads are instrumented, and the TCP reassembly/segment paths
+# exercise the pooled-buffer recycling hardest), and
 # UndefinedBehaviorSanitizer over the same labels plus the full unit
 # suite (shift/overflow/alignment UB in the byte codecs).
 #
@@ -23,23 +24,24 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j
 ctest --test-dir "${PREFIX}" --output-on-failure -j
 
-echo "=== TSan build + parallel-label ctest ==="
+echo "=== TSan build + parallel/tcp-label ctest ==="
 cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
-cmake --build "${PREFIX}-tsan" -j --target test_core_parallel
-ctest --test-dir "${PREFIX}-tsan" -L parallel --output-on-failure
+cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp
+ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp" --output-on-failure
 
-echo "=== ASan build + fuzz/pcap/batched-label ctest ==="
+echo "=== ASan build + fuzz/pcap/batched/tcp-label ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
 cmake --build "${PREFIX}-asan" -j --target \
   test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
-  test_sim_batched
+  test_sim_batched test_sim_tcp
 ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched" --output-on-failure
+  ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched|tcp" \
+  --output-on-failure
 
-echo "=== UBSan build + unit/pcap/batched-label ctest ==="
+echo "=== UBSan build + unit/pcap/batched/tcp-label ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
-ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap|batched|fuzz" \
+ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap|batched|fuzz|tcp" \
   --output-on-failure -j
 
 if [[ "${CD_COVERAGE:-0}" == "1" ]]; then

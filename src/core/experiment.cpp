@@ -73,6 +73,7 @@ const ExperimentResults& Experiment::run() {
   // Delivery mode must be set before any traffic is scheduled: packets keep
   // the mode they were sent under.
   world_.network->set_batched_delivery(config_.batched_delivery);
+  world_.network->set_tcp_single_buffer(!config_.tcp_segmentation);
 
   cd::pcap::Capture capture;
   std::optional<cd::sim::Network::TapId> capture_tap;

@@ -63,6 +63,14 @@ struct ExperimentConfig {
   /// either way (tests/test_sim_batched.cpp) — so this stays on; the off
   /// switch exists for the differential harness and for bisecting.
   bool batched_delivery = true;
+  /// Stream DNS-over-TCP exchanges as MSS-capped segments
+  /// (sim::Network::set_tcp_single_buffer is the off switch). Off sends
+  /// each stream as one unsegmented payload — the pre-streaming baseline
+  /// the TCP differential tests (tests/test_sim_tcp.cpp) prove
+  /// reassembly-identical results against. Scan evidence is invariant
+  /// either way (results_digest omits timestamps and per-segment wire
+  /// artifacts), so this stays on.
+  bool tcp_segmentation = true;
 
   // --- sharding (core/parallel.h) -------------------------------------------
   /// Number of AS-partitioned shards the target list is split into. Each

@@ -16,12 +16,30 @@ void Checksum::add_written(const cd::ByteWriter& w, std::size_t from) {
   add(w.written(from));
 }
 
+void Checksum::add_stream(std::span<const std::uint8_t> data) {
+  if (pending_ >= 0 && !data.empty()) {
+    sum_ += (static_cast<std::uint32_t>(pending_) << 8) | data[0];
+    pending_ = -1;
+    data = data.subspan(1);
+  }
+  if (data.size() % 2 != 0) {
+    pending_ = data.back();
+    data = data.first(data.size() - 1);
+  }
+  add(data);
+}
+
+void Checksum::add_stream(const cd::ConstSpans& chain) {
+  for (std::size_t i = 0; i < chain.count(); ++i) add_stream(chain[i]);
+}
+
 void Checksum::add_word(std::uint16_t word) {
   sum_ += word;
 }
 
 std::uint16_t Checksum::finish() const {
   std::uint64_t s = sum_;
+  if (pending_ >= 0) s += static_cast<std::uint32_t>(pending_) << 8;
   while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
   return static_cast<std::uint16_t>(~s & 0xFFFF);
 }

@@ -14,6 +14,16 @@ class Checksum {
   /// Adds bytes; an odd trailing byte is padded as the high octet of a word.
   void add(std::span<const std::uint8_t> data);
 
+  /// Adds bytes that CONTINUE a logical stream split across spans: an odd
+  /// trailing byte is held pending and paired with the first byte of the
+  /// next add_stream() call, so summing a span chain piecewise equals
+  /// summing its concatenation. finish() pads any dangling pending byte.
+  /// Do not interleave with add()/add_word() while a byte is pending.
+  void add_stream(std::span<const std::uint8_t> data);
+
+  /// Adds every span of a chain via add_stream (single logical pass).
+  void add_stream(const cd::ConstSpans& chain);
+
   /// Adds the region written through `w` starting at writer-relative `from`
   /// (the ByteWriter's checksummable-region view).
   void add_written(const cd::ByteWriter& w, std::size_t from = 0);
@@ -21,11 +31,12 @@ class Checksum {
   /// Adds one 16-bit word in host order.
   void add_word(std::uint16_t word);
 
-  /// Final folded ones'-complement checksum.
+  /// Final folded ones'-complement checksum (pads a pending stream byte).
   [[nodiscard]] std::uint16_t finish() const;
 
  private:
   std::uint64_t sum_ = 0;
+  std::int16_t pending_ = -1;  // high octet awaiting its pair, or -1
 };
 
 /// One-shot checksum over a buffer.

@@ -132,19 +132,25 @@ Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> data) {
 
 void UdpHeader::serialize_into(cd::ByteWriter& w, const IpAddr& src,
                                const IpAddr& dst,
-                               std::span<const std::uint8_t> payload) const {
+                               const cd::ConstSpans& payload) const {
   const std::size_t start = w.size();
   w.u16(src_port);
   w.u16(dst_port);
   const std::uint16_t len =
-      length ? length : static_cast<std::uint16_t>(kSize + payload.size());
+      length ? length
+             : static_cast<std::uint16_t>(kSize + payload.size_bytes());
   w.u16(len);
   const std::size_t cks = w.reserve_u16();
-  w.bytes(payload);
 
   Checksum sum;
   add_pseudo_header(sum, src, dst, IpProto::kUdp, len);
-  sum.add(w.written(start));
+  sum.add(w.written(start));  // 8-byte header; checksum field still zero
+  // Single pass over the payload chain: each span is appended to the wire
+  // buffer and folded into the checksum once, never coalesced first.
+  for (std::size_t i = 0; i < payload.count(); ++i) {
+    w.bytes(payload[i]);
+    sum.add_stream(payload[i]);
+  }
   std::uint16_t cs = sum.finish();
   if (cs == 0) cs = 0xFFFF;  // RFC 768: zero transmitted as all-ones
   w.patch_u16(cks, cs);
@@ -201,7 +207,7 @@ std::size_t TcpHeader::size() const {
 
 void TcpHeader::serialize_into(cd::ByteWriter& w, const IpAddr& src,
                                const IpAddr& dst,
-                               std::span<const std::uint8_t> payload) const {
+                               const cd::ConstSpans& payload) const {
   const std::size_t start = w.size();
   const std::size_t hdr_size = size();
   w.u16(src_port);
@@ -252,11 +258,15 @@ void TcpHeader::serialize_into(cd::ByteWriter& w, const IpAddr& src,
     }
   }
   w.fill(hdr_size - (w.size() - start));  // EOL padding
-  w.bytes(payload);
 
   Checksum sum;
-  add_pseudo_header(sum, src, dst, IpProto::kTcp, w.size() - start);
-  sum.add(w.written(start));
+  add_pseudo_header(sum, src, dst, IpProto::kTcp,
+                    hdr_size + payload.size_bytes());
+  sum.add(w.written(start));  // header + options; checksum field still zero
+  for (std::size_t i = 0; i < payload.count(); ++i) {
+    w.bytes(payload[i]);
+    sum.add_stream(payload[i]);
+  }
   w.patch_u16(cks, sum.finish());
 }
 

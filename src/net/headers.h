@@ -69,8 +69,15 @@ struct UdpHeader {
   static constexpr std::size_t kSize = 8;
 
   /// Appends header + payload with the pseudo-header checksum filled in.
+  /// The chain overload gathers a scatter payload (e.g. length prefix +
+  /// pooled body) in one pass: each span is appended and checksummed once,
+  /// with no coalescing copy beforehand.
   void serialize_into(cd::ByteWriter& w, const IpAddr& src, const IpAddr& dst,
-                      std::span<const std::uint8_t> payload) const;
+                      const cd::ConstSpans& payload) const;
+  void serialize_into(cd::ByteWriter& w, const IpAddr& src, const IpAddr& dst,
+                      std::span<const std::uint8_t> payload) const {
+    serialize_into(w, src, dst, cd::ConstSpans(payload));
+  }
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       const IpAddr& src, const IpAddr& dst,
       std::span<const std::uint8_t> payload) const;
@@ -119,8 +126,14 @@ struct TcpHeader {
   [[nodiscard]] std::size_t size() const;
 
   /// Appends header + payload with the pseudo-header checksum filled in.
+  /// The chain overload gathers a scatter payload in one pass (see
+  /// UdpHeader::serialize_into).
   void serialize_into(cd::ByteWriter& w, const IpAddr& src, const IpAddr& dst,
-                      std::span<const std::uint8_t> payload) const;
+                      const cd::ConstSpans& payload) const;
+  void serialize_into(cd::ByteWriter& w, const IpAddr& src, const IpAddr& dst,
+                      std::span<const std::uint8_t> payload) const {
+    serialize_into(w, src, dst, cd::ConstSpans(payload));
+  }
   [[nodiscard]] std::vector<std::uint8_t> serialize(
       const IpAddr& src, const IpAddr& dst,
       std::span<const std::uint8_t> payload) const;

@@ -5,6 +5,11 @@
 namespace cd::net {
 
 void Packet::serialize_into(cd::ByteWriter& w) const {
+  serialize_into(w, cd::ConstSpans(payload));
+}
+
+void Packet::serialize_into(cd::ByteWriter& w,
+                            const cd::ConstSpans& payload_chain) const {
   CD_ENSURE(src.family() == dst.family(), "Packet: mixed address families");
 
   // The IP header carries the L4 length, so compute it up front and write
@@ -12,7 +17,7 @@ void Packet::serialize_into(cd::ByteWriter& w) const {
   std::size_t l4_size;
   TcpHeader tcp;
   if (proto == IpProto::kUdp) {
-    l4_size = UdpHeader::kSize + payload.size();
+    l4_size = UdpHeader::kSize + payload_chain.size_bytes();
   } else {
     tcp.src_port = src_port;
     tcp.dst_port = dst_port;
@@ -21,7 +26,7 @@ void Packet::serialize_into(cd::ByteWriter& w) const {
     tcp.flags = tcp_flags;
     tcp.window = tcp_window;
     tcp.options = tcp_options;
-    l4_size = tcp.size() + payload.size();
+    l4_size = tcp.size() + payload_chain.size_bytes();
   }
 
   if (is_v4()) {
@@ -48,9 +53,9 @@ void Packet::serialize_into(cd::ByteWriter& w) const {
     UdpHeader udp;
     udp.src_port = src_port;
     udp.dst_port = dst_port;
-    udp.serialize_into(w, src, dst, payload);
+    udp.serialize_into(w, src, dst, payload_chain);
   } else {
-    tcp.serialize_into(w, src, dst, payload);
+    tcp.serialize_into(w, src, dst, payload_chain);
   }
 }
 

@@ -39,6 +39,13 @@ struct Packet {
   /// through `w`. Requires src/dst in the same family.
   void serialize_into(cd::ByteWriter& w) const;
 
+  /// Same, but the L4 payload is the given span chain instead of `payload`
+  /// (which is ignored): a segment can be serialized straight from a
+  /// scatter-gather stream slice — framing header + pooled body — with one
+  /// combined copy+checksum pass and no coalesced intermediate.
+  void serialize_into(cd::ByteWriter& w,
+                      const cd::ConstSpans& payload_chain) const;
+
   /// serialize_into() into a buffer drawn from the thread-local
   /// cd::BufferPool (shim over the writer form).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;

@@ -1,5 +1,7 @@
 #include "resolver/auth.h"
 
+#include <array>
+
 #include "util/bytes.h"
 #include "util/error.h"
 
@@ -11,34 +13,30 @@ using cd::dns::LookupKind;
 using cd::dns::Rcode;
 using cd::net::Packet;
 
-std::vector<std::uint8_t> tcp_frame(const std::vector<std::uint8_t>& message) {
-  CD_ENSURE(message.size() <= 0xFFFF, "tcp_frame: message too large");
-  std::vector<std::uint8_t> out;
-  out.reserve(message.size() + 2);
-  out.push_back(static_cast<std::uint8_t>(message.size() >> 8));
-  out.push_back(static_cast<std::uint8_t>(message.size()));
-  out.insert(out.end(), message.begin(), message.end());
+cd::GatherBuf tcp_frame_pooled(const DnsMessage& message) {
+  // The message encodes into a pooled buffer of its own (compression
+  // offsets stay message-relative), and the 2-byte prefix rides in the
+  // GatherBuf's inline header — no coalescing copy, ever.
+  cd::GatherBuf out(cd::dns::encode_pooled(message));
+  CD_ENSURE(out.body.size() <= 0xFFFF, "tcp_frame: message too large");
+  const std::array<std::uint8_t, 2> prefix{
+      static_cast<std::uint8_t>(out.body.size() >> 8),
+      static_cast<std::uint8_t>(out.body.size())};
+  out.set_header(prefix);
   return out;
 }
 
-std::vector<std::uint8_t> tcp_frame_pooled(const DnsMessage& message) {
-  std::vector<std::uint8_t> out = cd::BufferPool::acquire();
-  cd::ByteWriter frame(out);
-  const std::size_t len_pos = frame.reserve_u16();
-  // A fresh writer bases the DNS message at its own start, keeping name
-  // compression offsets message-relative despite the 2-byte prefix.
-  cd::ByteWriter body(out);
-  message.encode_into(body);
-  CD_ENSURE(body.size() <= 0xFFFF, "tcp_frame: message too large");
-  frame.patch_u16(len_pos, static_cast<std::uint16_t>(body.size()));
-  return out;
-}
-
-std::vector<std::uint8_t> tcp_unframe(std::span<const std::uint8_t> framed) {
+std::span<const std::uint8_t> tcp_unframe_view(
+    std::span<const std::uint8_t> framed) {
   if (framed.size() < 2) throw cd::ParseError("tcp_unframe: short buffer");
   const std::size_t len = (static_cast<std::size_t>(framed[0]) << 8) | framed[1];
   if (framed.size() < 2 + len) throw cd::ParseError("tcp_unframe: truncated");
-  return {framed.begin() + 2, framed.begin() + 2 + static_cast<std::ptrdiff_t>(len)};
+  return framed.subspan(2, len);
+}
+
+std::vector<std::uint8_t> tcp_unframe(std::span<const std::uint8_t> framed) {
+  const auto body = tcp_unframe_view(framed);
+  return {body.begin(), body.end()};
 }
 
 AuthServer::AuthServer(cd::sim::Host& host, AuthConfig config)
@@ -158,11 +156,11 @@ void AuthServer::on_udp(const Packet& packet) {
                  cd::dns::encode_pooled(resp));
 }
 
-std::vector<std::uint8_t> AuthServer::on_tcp(
+cd::GatherBuf AuthServer::on_tcp(
     const cd::sim::TcpConnInfo& info, std::span<const std::uint8_t> request) {
   DnsMessage query;
   try {
-    query = DnsMessage::decode(tcp_unframe(request));
+    query = DnsMessage::decode(tcp_unframe_view(request));
   } catch (const cd::ParseError&) {
     return {};
   }

@@ -64,7 +64,7 @@ class AuthServer {
 
  private:
   void on_udp(const cd::net::Packet& packet);
-  [[nodiscard]] std::vector<std::uint8_t> on_tcp(
+  [[nodiscard]] cd::GatherBuf on_tcp(
       const cd::sim::TcpConnInfo& info, std::span<const std::uint8_t> request);
   void record(const cd::dns::DnsMessage& query, const cd::net::IpAddr& client,
               std::uint16_t client_port, const cd::net::IpAddr& server,
@@ -80,16 +80,20 @@ class AuthServer {
   std::uint64_t served_ = 0;
 };
 
-/// Frames a DNS message for TCP transport (RFC 7766 2-byte length prefix).
-[[nodiscard]] std::vector<std::uint8_t> tcp_frame(
-    const std::vector<std::uint8_t>& message);
+/// Frames a DNS message for TCP transport (RFC 7766): the 2-byte length
+/// prefix lives in the GatherBuf's inline header, chained in front of the
+/// pooled message encoding — a zero-copy gather view (prefix span, body
+/// span) that is never coalesced; the sim's TCP layer segments and
+/// serializes it straight from the span pair. This is the one framing
+/// implementation (the legacy copying `tcp_frame` was folded in).
+[[nodiscard]] cd::GatherBuf tcp_frame_pooled(const cd::dns::DnsMessage& message);
 
-/// Encodes `message` directly behind its TCP length prefix into a pooled
-/// buffer — one allocation-free pass instead of encode + copy-into-frame.
-[[nodiscard]] std::vector<std::uint8_t> tcp_frame_pooled(
-    const cd::dns::DnsMessage& message);
+/// Zero-copy view of the message behind the TCP length prefix; the returned
+/// span borrows `framed`. Throws cd::ParseError on bad framing.
+[[nodiscard]] std::span<const std::uint8_t> tcp_unframe_view(
+    std::span<const std::uint8_t> framed);
 
-/// Strips the TCP length prefix; throws cd::ParseError on bad framing.
+/// Owning variant of tcp_unframe_view (copies the body out).
 [[nodiscard]] std::vector<std::uint8_t> tcp_unframe(
     std::span<const std::uint8_t> framed);
 

@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "net/special.h"
-#include "resolver/auth.h"  // tcp_frame_pooled / tcp_unframe
+#include "resolver/auth.h"  // tcp_frame_pooled / tcp_unframe_view
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace cd::resolver {
@@ -354,11 +355,14 @@ void RecursiveResolver::retry_over_tcp(const TaskPtr& task,
         }
         DnsMessage msg;
         try {
-          msg = DnsMessage::decode(tcp_unframe(*reply));
+          msg = DnsMessage::decode(tcp_unframe_view(*reply));
         } catch (const cd::ParseError&) {
+          cd::BufferPool::release(std::move(*reply));
           next_server(task);
           return;
         }
+        // The reassembled stream was decoded; recycle its buffer.
+        cd::BufferPool::release(std::move(*reply));
         process_response(task, msg, server, /*was_tcp=*/true);
       });
 }

@@ -10,6 +10,89 @@ using cd::net::IpFamily;
 using cd::net::IpProto;
 using cd::net::Packet;
 using cd::net::TcpFlags;
+using cd::net::TcpOption;
+using cd::net::TcpOptionKind;
+
+namespace {
+
+/// The peer's advertised MSS from its SYN/SYN-ACK options, or the RFC 1122
+/// default when absent (a zero advertisement is treated as absent).
+std::uint16_t peer_mss_of(const Packet& packet) {
+  for (const TcpOption& o : packet.tcp_options) {
+    if (o.kind == TcpOptionKind::kMss && o.value != 0) {
+      return static_cast<std::uint16_t>(o.value);
+    }
+  }
+  return Host::kDefaultMss;
+}
+
+}  // namespace
+
+bool TcpReassembly::add(std::size_t offset, std::span<const std::uint8_t> data,
+                        bool last) {
+  const std::size_t end = offset + data.size();
+  if (end > kMaxStreamBytes) return false;
+  if (last) {
+    if (total_ != kNoTotal && total_ != end) return false;
+    total_ = end;
+  }
+  if (total_ != kNoTotal && end > total_) return false;
+  if (data.empty()) return true;
+
+  // Merge [offset, end) into the sorted disjoint range table first — if the
+  // table would overflow, the segment is dropped before any bytes land.
+  std::size_t i = 0;
+  while (i < n_ranges_ && ranges_[i].second < offset) ++i;
+  std::size_t begin = offset;
+  std::size_t finish = end;
+  std::size_t j = i;
+  while (j < n_ranges_ && ranges_[j].first <= finish) {
+    begin = std::min(begin, ranges_[j].first);
+    finish = std::max(finish, ranges_[j].second);
+    ++j;
+  }
+  if (i == j) {
+    // No overlap with any existing range: insert at position i.
+    if (n_ranges_ == kMaxRanges) return false;  // would overflow
+    for (std::size_t k = n_ranges_; k > i; --k) ranges_[k] = ranges_[k - 1];
+    ranges_[i] = {begin, finish};
+    ++n_ranges_;
+  } else {
+    // Collapse the overlapped/adjacent ranges [i, j) into one.
+    ranges_[i] = {begin, finish};
+    for (std::size_t k = j; k < n_ranges_; ++k) {
+      ranges_[i + 1 + (k - j)] = ranges_[k];
+    }
+    n_ranges_ -= (j - i - 1);
+  }
+
+  if (buf_.empty() && buf_.capacity() == 0) buf_ = cd::BufferPool::acquire();
+  if (buf_.size() < end) buf_.resize(end);
+  std::copy(data.begin(), data.end(),
+            buf_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+bool TcpReassembly::complete() const {
+  return total_ != kNoTotal &&
+         (total_ == 0 ||
+          (n_ranges_ == 1 && ranges_[0].first == 0 &&
+           ranges_[0].second == total_));
+}
+
+std::vector<std::uint8_t> TcpReassembly::take() {
+  buf_.resize(total_ == kNoTotal ? 0 : total_);
+  n_ranges_ = 0;
+  total_ = kNoTotal;
+  return std::move(buf_);
+}
+
+void TcpReassembly::discard() {
+  cd::BufferPool::release(std::move(buf_));
+  buf_ = {};
+  n_ranges_ = 0;
+  total_ = kNoTotal;
+}
 
 Host::Host(Network& network, Asn asn, const OsProfile& os,
            std::vector<IpAddr> addresses, cd::Rng rng, std::string label)
@@ -82,8 +165,7 @@ Packet Host::make_segment(const IpAddr& src, std::uint16_t sport,
 }
 
 void Host::tcp_connect(const IpAddr& src, const IpAddr& dst,
-                       std::uint16_t dst_port,
-                       std::vector<std::uint8_t> request,
+                       std::uint16_t dst_port, cd::GatherBuf request,
                        TcpResponseHandler on_response, SimTime timeout) {
   CD_ENSURE(has_address(src), "tcp_connect: src is not ours");
 
@@ -103,14 +185,46 @@ void Host::tcp_connect(const IpAddr& src, const IpAddr& dst,
     const auto it = connections_.find(key);
     if (it == connections_.end()) return;
     TcpResponseHandler handler = std::move(it->second.on_response);
+    it->second.rx.discard();
     connections_.erase(it);
     if (handler) handler(std::nullopt);
   });
-  connections_.emplace(key, std::move(conn));
 
   Packet syn = make_segment(src, sport, dst, dst_port, TcpFlags{.syn = true}, {});
   syn.tcp_seq = static_cast<std::uint32_t>(rng_.u64());
+  conn.iss = syn.tcp_seq;
+  connections_.emplace(key, std::move(conn));
   network_.send(std::move(syn), asn_);
+}
+
+void Host::send_stream(const IpAddr& src, std::uint16_t sport,
+                       const IpAddr& dst, std::uint16_t dport,
+                       std::uint32_t iss, std::uint32_t ack_no,
+                       std::uint16_t peer_mss, const cd::GatherBuf& data) {
+  const cd::ConstSpans stream = data.spans();
+  const std::size_t total = stream.size_bytes();
+  // Differential baseline: one unsegmented "segment" carrying the whole
+  // stream, the pre-streaming wire shape the byte-identity tests compare
+  // against.
+  const std::size_t cap = network_.tcp_single_buffer()
+                              ? std::max<std::size_t>(total, 1)
+                              : peer_mss;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(cap, total - off);
+    std::vector<std::uint8_t> payload = cd::BufferPool::acquire();
+    stream.subchain(off, n).append_to(payload);
+    const bool last = off + n == total;
+    Packet seg = make_segment(src, sport, dst, dport,
+                              TcpFlags{.ack = true, .psh = last},
+                              std::move(payload));
+    // SYN consumed one sequence number; data starts at iss + 1 and seq/ack
+    // advance by actual payload bytes.
+    seg.tcp_seq = iss + 1 + static_cast<std::uint32_t>(off);
+    seg.tcp_ack = ack_no;
+    network_.send(std::move(seg), asn_);
+    off += n;
+  } while (off < total);
 }
 
 bool Host::stack_accepts(const Packet& packet) const {
@@ -150,70 +264,90 @@ void Host::deliver_tcp(const Packet& packet) {
     Connection conn;
     conn.state = ConnState::kServerEstablished;
     conn.local = packet.dst;
+    conn.peer_mss = peer_mss_of(packet);
+    conn.irs = packet.tcp_seq;
     conn.info = TcpConnInfo{packet.src, packet.src_port, packet.dst,
                             packet.dst_port, packet};
     // Reap abandoned half-open connections after a while.
     conn.timeout_event =
         network_.loop().schedule_in(30 * kSecond, [this, key] {
-          connections_.erase(key);
+          const auto it = connections_.find(key);
+          if (it == connections_.end()) return;
+          it->second.rx.discard();
+          connections_.erase(it);
         });
-    connections_[key] = std::move(conn);
 
     Packet synack = make_segment(packet.dst, packet.dst_port, packet.src,
                                  packet.src_port, TcpFlags{.syn = true, .ack = true}, {});
     synack.tcp_seq = static_cast<std::uint32_t>(rng_.u64());
     synack.tcp_ack = packet.tcp_seq + 1;
+    conn.iss = synack.tcp_seq;
+    connections_[key] = std::move(conn);
     network_.send(std::move(synack), asn_);
     return;
   }
 
   if (f.syn && f.ack) {
-    // Our SYN was answered: ship the request.
+    // Our SYN was answered: stream the request at the server's MSS.
     const ConnKey key{packet.src, packet.src_port, packet.dst_port};
     const auto it = connections_.find(key);
     if (it == connections_.end() || it->second.state != ConnState::kSynSent) {
       return;
     }
-    it->second.state = ConnState::kAwaitResponse;
-    Packet data =
-        make_segment(packet.dst, packet.dst_port, packet.src, packet.src_port,
-                     TcpFlags{.ack = true, .psh = true},
-                     std::move(it->second.request));
-    data.tcp_ack = packet.tcp_seq + 1;
-    network_.send(std::move(data), asn_);
+    Connection& conn = it->second;
+    conn.state = ConnState::kClientEstablished;
+    conn.peer_mss = peer_mss_of(packet);
+    conn.irs = packet.tcp_seq;
+    send_stream(conn.local, key.local_port, key.peer, key.peer_port, conn.iss,
+                conn.irs + 1, conn.peer_mss, conn.request);
+    // The request stream is on the wire; recycle its body now.
+    cd::BufferPool::release(std::move(conn.request.body));
+    conn.request = {};
     return;
   }
 
-  if (f.psh && !packet.payload.empty()) {
+  if (!f.syn && !packet.payload.empty()) {
+    // Data segment: feed the reassembly for this direction. PSH marks the
+    // sender's end of stream; segments may arrive in any order.
     const ConnKey key{packet.src, packet.src_port, packet.dst_port};
     const auto it = connections_.find(key);
     if (it == connections_.end()) return;
     Connection& conn = it->second;
+    if (conn.state == ConnState::kSynSent) return;  // no stream basis yet
+
+    // Stream offset relative to the peer's ISN + 1 (u32 wraparound safe).
+    const std::uint32_t rel = packet.tcp_seq - (conn.irs + 1);
+    conn.rx.add(rel, packet.payload, f.psh);
+    if (!conn.rx.complete()) return;
 
     if (conn.state == ConnState::kServerEstablished) {
-      // Request arrived: serve it and send the response back.
+      // Full request stream arrived: serve it, tear the connection down,
+      // and stream the response back at the client's MSS.
       const auto lit = tcp_listeners_.find(packet.dst_port);
       if (lit == tcp_listeners_.end()) return;
-      std::vector<std::uint8_t> response =
-          lit->second(conn.info, packet.payload);
+      std::vector<std::uint8_t> request_bytes = conn.rx.take();
+      cd::GatherBuf response = lit->second(conn.info, request_bytes);
       network_.loop().cancel(conn.timeout_event);
+      const std::uint32_t iss = conn.iss;
+      const std::uint32_t ack_no =
+          conn.irs + 1 + static_cast<std::uint32_t>(request_bytes.size());
+      const std::uint16_t peer_mss = conn.peer_mss;
       TcpConnInfo info = std::move(conn.info);  // retiring the connection
       connections_.erase(it);
-      Packet reply = make_segment(info.local, info.local_port, info.peer,
-                                  info.peer_port,
-                                  TcpFlags{.ack = true, .psh = true},
-                                  std::move(response));
-      network_.send(std::move(reply), asn_);
+      send_stream(info.local, info.local_port, info.peer, info.peer_port, iss,
+                  ack_no, peer_mss, response);
+      cd::BufferPool::release(std::move(request_bytes));
+      cd::BufferPool::release(std::move(response.body));
       return;
     }
 
-    if (conn.state == ConnState::kAwaitResponse) {
-      network_.loop().cancel(conn.timeout_event);
-      TcpResponseHandler handler = std::move(conn.on_response);
-      connections_.erase(it);
-      if (handler) handler(packet.payload);
-      return;
-    }
+    // Client side: the response stream is complete — deterministic
+    // teardown (timeout cancelled, entry erased) before the handler runs.
+    network_.loop().cancel(conn.timeout_event);
+    TcpResponseHandler handler = std::move(conn.on_response);
+    std::vector<std::uint8_t> response_bytes = conn.rx.take();
+    connections_.erase(it);
+    if (handler) handler(std::move(response_bytes));
   }
 }
 

@@ -1,19 +1,23 @@
 // A simulated end host: addresses, an OS stack model, UDP services, and a
-// minimal TCP implementation (handshake + one request/response exchange) that
-// carries real fingerprintable SYN metadata.
+// streaming TCP implementation (handshake + MSS-segmented request/response
+// byte streams with in-order reassembly) that carries real fingerprintable
+// SYN metadata.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/network.h"
 #include "sim/os_model.h"
+#include "util/bytes.h"
 #include "util/rng.h"
 
 namespace cd::sim {
@@ -28,15 +32,63 @@ struct TcpConnInfo {
   cd::net::Packet syn;
 };
 
+/// Reassembles one direction of a TCP byte stream from (possibly reordered)
+/// segments. Offsets are stream-relative: seq - (peer ISN + 1). The sender
+/// marks its last segment with PSH, which fixes the stream's total length;
+/// the stream is complete once [0, total) is covered. Backing storage is a
+/// pooled buffer; received-range bookkeeping is a small inline array, so a
+/// reassembly allocates nothing in steady state. Pathological interleavings
+/// that exceed the inline range capacity (or a sanity cap on stream size)
+/// drop the segment — the stream stalls into the connection-timeout path,
+/// which is also how real stacks shed garbage.
+class TcpReassembly {
+ public:
+  static constexpr std::size_t kMaxRanges = 8;
+  static constexpr std::size_t kMaxStreamBytes = 1 << 20;
+
+  /// Ingests a segment's payload at stream offset `offset`; `last` marks
+  /// the sender's stream end at offset + data.size(). Returns false if the
+  /// segment was dropped (range-table overflow, oversized, or inconsistent
+  /// with an already-fixed total).
+  bool add(std::size_t offset, std::span<const std::uint8_t> data, bool last);
+
+  /// True once every byte of the PSH-fixed total has arrived.
+  [[nodiscard]] bool complete() const;
+
+  /// Total stream length; only meaningful once complete().
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Moves the assembled stream out (call once, when complete()).
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  /// Returns the backing buffer to the pool (teardown without completion).
+  void discard();
+
+ private:
+  static constexpr std::size_t kNoTotal = ~static_cast<std::size_t>(0);
+
+  std::vector<std::uint8_t> buf_;
+  // Disjoint received [begin, end) ranges, sorted, merged on insert.
+  std::array<std::pair<std::size_t, std::size_t>, kMaxRanges> ranges_{};
+  std::size_t n_ranges_ = 0;
+  std::size_t total_ = kNoTotal;
+};
+
 class Host {
  public:
   using UdpHandler = std::function<void(const cd::net::Packet&)>;
-  /// Serves one request; the returned bytes are written back to the client.
-  using TcpServerHandler = std::function<std::vector<std::uint8_t>(
+  /// Serves one reassembled request stream; the returned payload (framing
+  /// header + body, or a plain vector) is streamed back to the client in
+  /// MSS-sized segments.
+  using TcpServerHandler = std::function<cd::GatherBuf(
       const TcpConnInfo&, std::span<const std::uint8_t>)>;
-  /// Receives the response bytes, or nullopt on connection timeout.
+  /// Receives the reassembled response stream, or nullopt on timeout.
   using TcpResponseHandler =
       std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+
+  /// MSS assumed for a peer that advertised none (RFC 1122 §4.2.2.6 / RFC
+  /// 9293 default; every OsProfile in the fingerprint table does advertise).
+  static constexpr std::uint16_t kDefaultMss = 536;
 
   /// The host registers itself with `network` and must outlive any packets
   /// in flight toward it (in practice: the whole simulation).
@@ -68,13 +120,15 @@ class Host {
                 const cd::net::IpAddr& dst, std::uint16_t dst_port,
                 std::vector<std::uint8_t> payload);
 
-  // --- TCP (one request/response per connection) ---
+  // --- TCP (one request/response stream exchange per connection) ---
   void tcp_listen(std::uint16_t port, TcpServerHandler handler);
-  /// Opens a connection from `src` (one of this host's addresses), sends
-  /// `request` once established, and invokes `on_response` with the reply or
-  /// with nullopt after `timeout`.
+  /// Opens a connection from `src` (one of this host's addresses), streams
+  /// `request` once established (segmented at the peer's SYN-advertised
+  /// MSS), and invokes `on_response` with the reassembled reply stream or
+  /// with nullopt after `timeout`. Connection state — including the timeout
+  /// event — is torn down as soon as the response completes.
   void tcp_connect(const cd::net::IpAddr& src, const cd::net::IpAddr& dst,
-                   std::uint16_t dst_port, std::vector<std::uint8_t> request,
+                   std::uint16_t dst_port, cd::GatherBuf request,
                    TcpResponseHandler on_response,
                    SimTime timeout = 5 * kSecond);
 
@@ -96,6 +150,12 @@ class Host {
   /// client connections; UDP query ports are the resolver's business).
   [[nodiscard]] std::uint16_t ephemeral_port();
 
+  /// Live TCP connection-table entries (tests assert deterministic
+  /// teardown: zero once every exchange has completed or timed out).
+  [[nodiscard]] std::size_t open_tcp_connections() const {
+    return connections_.size();
+  }
+
  private:
   struct ConnKey {
     cd::net::IpAddr peer;
@@ -107,14 +167,18 @@ class Host {
       return local_port < o.local_port;
     }
   };
-  enum class ConnState { kSynSent, kAwaitResponse, kServerEstablished };
+  enum class ConnState { kSynSent, kClientEstablished, kServerEstablished };
   struct Connection {
     ConnState state = ConnState::kSynSent;
     cd::net::IpAddr local;
-    std::vector<std::uint8_t> request;   // client: payload to send on SYN-ACK
+    cd::GatherBuf request;               // client: stream to send on SYN-ACK
     TcpResponseHandler on_response;      // client side
     TcpConnInfo info;                    // server side (includes SYN)
     EventId timeout_event = 0;
+    std::uint16_t peer_mss = kDefaultMss;  // from the peer's SYN / SYN-ACK
+    std::uint32_t iss = 0;               // our initial send sequence number
+    std::uint32_t irs = 0;               // peer's initial sequence number
+    TcpReassembly rx;                    // the peer's inbound byte stream
   };
 
   void deliver_tcp(const cd::net::Packet& packet);
@@ -122,6 +186,15 @@ class Host {
       const cd::net::IpAddr& src, std::uint16_t sport,
       const cd::net::IpAddr& dst, std::uint16_t dport, cd::net::TcpFlags flags,
       std::vector<std::uint8_t> payload) const;
+  /// Streams `data` from local (src, sport) to (dst, dport) as ACK segments
+  /// capped at `peer_mss` bytes of payload each (PSH marks the last), with
+  /// seq advancing from `iss + 1` by actual payload bytes and `ack_no`
+  /// acknowledging the peer's stream. Segment payloads are gather-copied
+  /// straight from the span chain into pooled buffers.
+  void send_stream(const cd::net::IpAddr& src, std::uint16_t sport,
+                   const cd::net::IpAddr& dst, std::uint16_t dport,
+                   std::uint32_t iss, std::uint32_t ack_no,
+                   std::uint16_t peer_mss, const cd::GatherBuf& data);
 
   Network& network_;
   Asn asn_;

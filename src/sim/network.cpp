@@ -212,11 +212,18 @@ void Network::send(Packet packet, Asn origin_asn) {
       // the queue position its per-packet closure would have had — and
       // later same-slot packets ride along for the cost of a vector push.
       const SimTime at = loop_.now() + delay;
-      const auto [slot, opened] = pending_.try_emplace(PendingSlot{at, host});
-      if (opened) {
-        if (!batch_pool_.empty()) {
-          slot->second = std::move(batch_pool_.back());
-          batch_pool_.pop_back();
+      const PendingSlot key{at, host};
+      auto slot = pending_.find(key);
+      if (slot == pending_.end()) {
+        if (!slot_pool_.empty()) {
+          // Reuse a retired node — map node and batch vector capacity both
+          // recycled, so opening a slot allocates nothing in steady state.
+          auto node = std::move(slot_pool_.back());
+          slot_pool_.pop_back();
+          node.key() = key;
+          slot = pending_.insert(std::move(node)).position;
+        } else {
+          slot = pending_.try_emplace(key).first;
         }
         ++stats_.delivery_batches;
         // A plain schedule_at, not schedule_batched: this map already keys
@@ -242,11 +249,12 @@ void Network::send(Packet packet, Asn origin_asn) {
 void Network::drain_batch(SimTime at, Host* host) {
   const auto it = pending_.find(PendingSlot{at, host});
   if (it == pending_.end()) return;
-  // Detach the vector before delivering: handlers that send new traffic
-  // (always >= 1ms out) must open fresh slots, never append to a running
-  // batch.
-  std::vector<Delivery> batch = std::move(it->second);
-  pending_.erase(it);
+  // Detach the whole map node before delivering: handlers that send new
+  // traffic (always >= 1ms out) must open fresh slots, never append to a
+  // running batch — and the extracted node goes back to the slot pool
+  // afterwards instead of being freed.
+  auto node = pending_.extract(it);
+  std::vector<Delivery>& batch = node.mapped();
 
   if (captures_.empty()) {
     // Hot path: hand the host the whole batch in one call.
@@ -266,10 +274,10 @@ void Network::drain_batch(SimTime at, Host* host) {
 
   batch.clear();
   // Generous cap: a busy shard keeps hundreds of (tick, host) slots in
-  // flight at once, and a pooled vector is just a few dozen idle bytes.
-  constexpr std::size_t kBatchPoolCap = 1024;
-  if (batch_pool_.size() < kBatchPoolCap) {
-    batch_pool_.push_back(std::move(batch));
+  // flight at once, and a pooled node is just a few dozen idle bytes.
+  constexpr std::size_t kSlotPoolCap = 1024;
+  if (slot_pool_.size() < kSlotPoolCap) {
+    slot_pool_.push_back(std::move(node));
   }
 }
 

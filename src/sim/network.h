@@ -131,6 +131,15 @@ class Network {
   void set_batched_delivery(bool on) { batched_ = on; }
   [[nodiscard]] bool batched_delivery() const { return batched_; }
 
+  /// Differential baseline for the streaming TCP path (default off): when
+  /// set, hosts send each TCP stream as one unsegmented payload instead of
+  /// MSS-capped segments. Exists so tests can prove the segmented path
+  /// reassembles byte-identical streams (and identical results_digest)
+  /// against the single-buffer reference. Toggle before traffic is in
+  /// flight.
+  void set_tcp_single_buffer(bool on) { tcp_single_buffer_ = on; }
+  [[nodiscard]] bool tcp_single_buffer() const { return tcp_single_buffer_; }
+
   [[nodiscard]] Host* host_at(const cd::net::IpAddr& addr) const;
 
   [[nodiscard]] Topology& topology() { return topology_; }
@@ -209,11 +218,16 @@ class Network {
   int dispatch_depth_ = 0;
   bool pending_removal_ = false;
   bool batched_ = true;
+  bool tcp_single_buffer_ = false;
   /// Same-tick pending deliveries, one vector per (arrival time, host).
-  std::unordered_map<PendingSlot, std::vector<Delivery>, PendingSlotHash>
-      pending_;
-  /// Retired batch vectors kept for capacity reuse (bounded free list).
-  std::vector<std::vector<Delivery>> batch_pool_;
+  using PendingMap =
+      std::unordered_map<PendingSlot, std::vector<Delivery>, PendingSlotHash>;
+  PendingMap pending_;
+  /// Retired slot nodes (map node + batch vector capacity) kept for reuse:
+  /// a segmented TCP stream opens one slot per segment, so recycling whole
+  /// nodes keeps the steady-state delivery path allocation-free (bounded
+  /// free list).
+  std::vector<PendingMap::node_type> slot_pool_;
   NetworkStats stats_;
 };
 

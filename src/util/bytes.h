@@ -15,6 +15,8 @@
 //    coupling (see DESIGN.md §5.8).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -112,6 +114,69 @@ class ByteReader {
   const char* what_;
 };
 
+/// A short chain of constant byte spans viewed as one logical buffer —
+/// the scatter-gather primitive behind streaming TCP framing. Wire payloads
+/// are at most a short framing header plus a message body (two links);
+/// the fixed inline capacity leaves headroom without ever allocating.
+/// Empty spans are dropped on add(), so count() only covers real bytes.
+class ConstSpans {
+ public:
+  static constexpr std::size_t kMaxSpans = 4;
+
+  ConstSpans() = default;
+  /*implicit*/ ConstSpans(std::span<const std::uint8_t> s) { add(s); }
+  /*implicit*/ ConstSpans(const std::vector<std::uint8_t>& v)
+      : ConstSpans(std::span<const std::uint8_t>(v)) {}
+
+  void add(std::span<const std::uint8_t> s) {
+    if (s.empty()) return;
+    CD_ENSURE(count_ < kMaxSpans, "ConstSpans: chain overflow");
+    spans_[count_++] = s;
+    total_ += s.size();
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::size_t size_bytes() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> operator[](std::size_t i) const {
+    return spans_[i];
+  }
+
+  /// The sub-chain covering logical bytes [offset, offset+len) — the TCP
+  /// segmentation primitive: slicing a stream never copies payload bytes.
+  /// Requires offset+len <= size_bytes().
+  [[nodiscard]] ConstSpans subchain(std::size_t offset, std::size_t len) const {
+    CD_ENSURE(offset + len <= total_, "ConstSpans: subchain out of range");
+    ConstSpans out;
+    for (std::size_t i = 0; i < count_ && len > 0; ++i) {
+      const std::span<const std::uint8_t> s = spans_[i];
+      if (offset >= s.size()) {
+        offset -= s.size();
+        continue;
+      }
+      const std::size_t n = std::min(len, s.size() - offset);
+      out.add(s.subspan(offset, n));
+      offset = 0;
+      len -= n;
+    }
+    return out;
+  }
+
+  /// Appends the chain's bytes to `out` — the single gather copy a consumer
+  /// that needs linear bytes pays, and the only place bytes are copied.
+  void append_to(std::vector<std::uint8_t>& out) const {
+    out.reserve(out.size() + total_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      out.insert(out.end(), spans_[i].begin(), spans_[i].end());
+    }
+  }
+
+ private:
+  std::array<std::span<const std::uint8_t>, kMaxSpans> spans_{};
+  std::size_t count_ = 0;
+  std::size_t total_ = 0;
+};
+
 /// Big-endian appending cursor over a caller-owned vector. All offsets
 /// (size(), patch positions, written()) are relative to the buffer length
 /// at construction, so a writer constructed mid-buffer behaves as if its
@@ -170,6 +235,12 @@ class ByteWriter {
     out_.insert(out_.end(), n, value);
   }
 
+  /// Gather-writes a span chain (one reserve, then per-span appends).
+  void gather(const ConstSpans& chain) {
+    reserve(size() + chain.size_bytes());
+    for (std::size_t i = 0; i < chain.count(); ++i) bytes(chain[i]);
+  }
+
   /// Writes a u16 placeholder and returns its writer-relative position for a
   /// later patch_u16 (checksum / length / RDLENGTH backfill).
   [[nodiscard]] std::size_t reserve_u16() {
@@ -195,6 +266,47 @@ class ByteWriter {
  private:
   std::vector<std::uint8_t>& out_;
   std::size_t base_;
+};
+
+/// An owned scatter-gather payload: a short inline framing header (e.g. the
+/// 2-byte DNS-over-TCP length prefix) chained in front of a (typically
+/// pooled) body buffer. spans() views both without copying; the single
+/// gather copy happens where the bytes hit the wire. Implicitly
+/// constructible from a plain vector so linear-payload call sites keep
+/// working unchanged.
+struct GatherBuf {
+  static constexpr std::size_t kMaxHeader = 4;
+
+  std::array<std::uint8_t, kMaxHeader> header{};
+  std::uint8_t header_len = 0;
+  std::vector<std::uint8_t> body;
+
+  GatherBuf() = default;
+  /*implicit*/ GatherBuf(std::vector<std::uint8_t> b) : body(std::move(b)) {}
+
+  void set_header(std::span<const std::uint8_t> h) {
+    CD_ENSURE(h.size() <= kMaxHeader, "GatherBuf: header too long");
+    std::copy(h.begin(), h.end(), header.begin());
+    header_len = static_cast<std::uint8_t>(h.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return header_len + body.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// A borrowed view of the full logical payload; valid while *this lives
+  /// unmodified.
+  [[nodiscard]] ConstSpans spans() const {
+    ConstSpans chain(std::span<const std::uint8_t>(header.data(), header_len));
+    chain.add(body);
+    return chain;
+  }
+
+  /// The gather copy: the full payload as one linear vector.
+  [[nodiscard]] std::vector<std::uint8_t> to_vector() const {
+    std::vector<std::uint8_t> out;
+    spans().append_to(out);
+    return out;
+  }
 };
 
 /// Thread-local recycling pool for wire buffers. acquire() returns an empty

@@ -2,6 +2,8 @@
 // forcing, logging, TCP framing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "resolver/auth.h"
 #include "sim/network.h"
 #include "util/error.h"
@@ -185,12 +187,21 @@ TEST(AuthServer, LogCapRotates) {
 }
 
 TEST(TcpFraming, RoundTrip) {
-  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
-  const auto framed = resolver::tcp_frame(msg);
-  ASSERT_EQ(framed.size(), 7u);
-  EXPECT_EQ(framed[0], 0);
-  EXPECT_EQ(framed[1], 5);
-  EXPECT_EQ(resolver::tcp_unframe(framed), msg);
+  const auto query = dns::make_query(7, DnsName::must_parse("a.test"),
+                                     dns::RrType::kA, false);
+  const cd::GatherBuf framed = resolver::tcp_frame_pooled(query);
+  const std::vector<std::uint8_t> body = query.encode();
+  // Zero-copy gather view: 2-byte BE length prefix inline, pooled body.
+  ASSERT_EQ(framed.header_len, 2u);
+  EXPECT_EQ(framed.header[0], static_cast<std::uint8_t>(body.size() >> 8));
+  EXPECT_EQ(framed.header[1], static_cast<std::uint8_t>(body.size()));
+  EXPECT_EQ(framed.body, body);
+  EXPECT_EQ(framed.size(), body.size() + 2);
+  // The coalesced wire form round-trips through both unframe flavours.
+  const std::vector<std::uint8_t> wire = framed.to_vector();
+  EXPECT_EQ(resolver::tcp_unframe(wire), body);
+  const auto view = resolver::tcp_unframe_view(wire);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), body.begin(), body.end()));
 }
 
 TEST(TcpFraming, RejectsBadInput) {
@@ -198,6 +209,9 @@ TEST(TcpFraming, RejectsBadInput) {
                ParseError);
   EXPECT_THROW((void)resolver::tcp_unframe(std::vector<std::uint8_t>{0, 9, 1}),
                ParseError);
+  EXPECT_THROW(
+      (void)resolver::tcp_unframe_view(std::vector<std::uint8_t>{0, 9, 1}),
+      ParseError);
 }
 
 }  // namespace

@@ -242,7 +242,8 @@ TEST(Tcp, RequestResponseExchange) {
 
   std::optional<std::vector<std::uint8_t>> reply;
   client.tcp_connect(IpAddr::must_parse("21.0.0.1"),
-                     IpAddr::must_parse("22.0.0.1"), 53, {1, 2, 3},
+                     IpAddr::must_parse("22.0.0.1"), 53,
+                     std::vector<std::uint8_t>{1, 2, 3},
                      [&](auto r) { reply = std::move(*r); });
   f.loop.run();
 
@@ -267,7 +268,8 @@ TEST(Tcp, TimeoutWhenNoListener) {
               {IpAddr::must_parse("21.0.0.1")}, Rng(2));
   bool failed = false;
   client.tcp_connect(IpAddr::must_parse("21.0.0.1"),
-                     IpAddr::must_parse("22.0.0.1"), 53, {1},
+                     IpAddr::must_parse("22.0.0.1"), 53,
+                     std::vector<std::uint8_t>{1},
                      [&](auto r) { failed = !r.has_value(); },
                      2 * sim::kSecond);
   f.loop.run();

@@ -1,0 +1,468 @@
+// Unit + integration tests: streaming MSS-segmented TCP — stream
+// reassembly, segmentation caps at the peer's SYN-advertised MSS,
+// deterministic connection teardown (no stray timeout events), the
+// truncated-mid-stream timeout path, and the differential proving
+// segmented exchanges byte-identical to the single-buffer baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "core/parallel.h"
+#include "ditl/world.h"
+#include "net/packet.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "util/pcap.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+using net::IpAddr;
+using net::Packet;
+using sim::Host;
+using sim::Network;
+using sim::TcpReassembly;
+
+/// Every OS profile used below advertises this MSS in its SYN options
+/// (asserted in the first segmentation test so a table change is loud).
+constexpr std::uint16_t kMss = 1460;
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t salt = 0) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(salt + i * 7 + (i >> 8));
+  }
+  return v;
+}
+
+std::span<const std::uint8_t> sub(const std::vector<std::uint8_t>& v,
+                                  std::size_t off, std::size_t len) {
+  return std::span<const std::uint8_t>(v).subspan(off, len);
+}
+
+/// A 2-byte big-endian length prefix over `body`, gather-framed the way the
+/// resolver frames DNS-over-TCP messages.
+cd::GatherBuf framed(std::vector<std::uint8_t> body) {
+  cd::GatherBuf g(std::move(body));
+  const std::uint8_t prefix[2] = {
+      static_cast<std::uint8_t>(g.body.size() >> 8),
+      static_cast<std::uint8_t>(g.body.size())};
+  g.set_header(prefix);
+  return g;
+}
+
+// --- TcpReassembly ---------------------------------------------------------
+
+TEST(TcpReassemblyTest, InOrderCompletes) {
+  TcpReassembly rx;
+  const auto data = pattern(10);
+  EXPECT_TRUE(rx.add(0, sub(data, 0, 4), false));
+  EXPECT_FALSE(rx.complete());
+  EXPECT_TRUE(rx.add(4, sub(data, 4, 6), true));
+  ASSERT_TRUE(rx.complete());
+  EXPECT_EQ(rx.total(), 10u);
+  EXPECT_EQ(rx.take(), data);
+}
+
+TEST(TcpReassemblyTest, OutOfOrderOverlapAndDuplicates) {
+  const auto data = pattern(9, 3);
+  TcpReassembly rx;
+  // Tail first (fixes the total), then a middle duplicate pair, then a head
+  // segment overlapping the middle — the assembled stream is still exact.
+  EXPECT_TRUE(rx.add(6, sub(data, 6, 3), true));
+  EXPECT_FALSE(rx.complete());
+  EXPECT_TRUE(rx.add(3, sub(data, 3, 3), false));
+  EXPECT_TRUE(rx.add(3, sub(data, 3, 3), false));
+  EXPECT_FALSE(rx.complete());
+  EXPECT_TRUE(rx.add(0, sub(data, 0, 5), false));
+  ASSERT_TRUE(rx.complete());
+  EXPECT_EQ(rx.take(), data);
+}
+
+TEST(TcpReassemblyTest, RangeTableOverflowDropsSegment) {
+  TcpReassembly rx;
+  const auto data = pattern(64);
+  // kMaxRanges disjoint one-byte islands fill the inline table...
+  for (std::size_t i = 0; i < TcpReassembly::kMaxRanges; ++i) {
+    EXPECT_TRUE(rx.add(i * 4, sub(data, i * 4, 1), false));
+  }
+  // ...a further disjoint island is dropped (stream will stall into the
+  // connection timeout), but a segment that merges into an existing range
+  // still lands.
+  EXPECT_FALSE(rx.add(60, sub(data, 60, 1), false));
+  EXPECT_TRUE(rx.add(0, sub(data, 0, 2), false));
+  rx.discard();
+}
+
+TEST(TcpReassemblyTest, RejectsOversizedAndInconsistentSegments) {
+  TcpReassembly rx;
+  const auto data = pattern(4);
+  EXPECT_FALSE(
+      rx.add(TcpReassembly::kMaxStreamBytes, sub(data, 0, 4), false));
+  EXPECT_TRUE(rx.add(0, sub(data, 0, 4), true));  // total fixed at 4
+  EXPECT_FALSE(rx.add(4, sub(data, 0, 4), false));  // beyond the total
+  EXPECT_FALSE(rx.add(0, sub(data, 0, 3), true));   // conflicting total
+  ASSERT_TRUE(rx.complete());
+  EXPECT_EQ(rx.take(), data);
+}
+
+// --- segmentation against a live host pair ---------------------------------
+
+struct TcpFixture {
+  sim::EventLoop loop;
+  sim::Topology topology;
+  Network network;
+  std::optional<Host> client;
+  std::optional<Host> server;
+  IpAddr caddr = IpAddr::must_parse("21.0.0.5");
+  IpAddr saddr = IpAddr::must_parse("22.0.0.1");
+
+  explicit TcpFixture(std::uint64_t seed = 7)
+      : network(topology, loop, Rng(seed)) {
+    topology.add_as(1);
+    topology.add_as(2);
+    topology.announce(1, net::Prefix::must_parse("21.0.0.0/16"));
+    topology.announce(2, net::Prefix::must_parse("22.0.0.0/16"));
+    client.emplace(network, 1, sim::os_profile(sim::OsId::kUbuntu1904),
+                   std::vector<IpAddr>{caddr}, Rng(seed + 1));
+    server.emplace(network, 2, sim::os_profile(sim::OsId::kUbuntu1904),
+                   std::vector<IpAddr>{saddr}, Rng(seed + 2));
+  }
+};
+
+struct Seg {
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Data segments (TCP, non-SYN, non-empty payload) from `from` to `to`,
+/// sorted by sequence number.
+std::vector<Seg> data_segments(const pcap::Capture& capture,
+                               const IpAddr& from, const IpAddr& to) {
+  std::vector<Seg> segs;
+  for (const auto& rec : capture.records) {
+    const Packet pkt = Packet::parse(rec.bytes);
+    if (pkt.proto != net::IpProto::kTcp || pkt.payload.empty()) continue;
+    if (!(pkt.src == from) || !(pkt.dst == to)) continue;
+    if (pkt.tcp_flags.syn) continue;
+    segs.push_back({pkt.tcp_seq, pkt.payload});
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const Seg& a, const Seg& b) { return a.seq < b.seq; });
+  return segs;
+}
+
+/// One exchange where the server answers with `resp_size` patterned bytes;
+/// returns the captured server->client data segments and the client's
+/// reassembled reply.
+void exchange_sized(std::size_t resp_size, std::vector<Seg>& segs,
+                    std::vector<std::uint8_t>& reply) {
+  TcpFixture f;
+  const auto body = pattern(resp_size, 0x5A);
+  f.server->tcp_listen(
+      53, [&body](const sim::TcpConnInfo&, std::span<const std::uint8_t>) {
+        return cd::GatherBuf(body);
+      });
+  pcap::Capture capture;
+  f.network.attach_capture(capture);
+  std::optional<std::vector<std::uint8_t>> r;
+  f.client->tcp_connect(f.caddr, f.saddr, 53,
+                        std::vector<std::uint8_t>{1, 2, 3},
+                        [&r](auto x) { r = std::move(x); });
+  f.loop.run();
+  ASSERT_TRUE(r.has_value());
+  reply = std::move(*r);
+  segs = data_segments(capture, f.saddr, f.caddr);
+  EXPECT_EQ(f.client->open_tcp_connections(), 0u);
+  EXPECT_EQ(f.server->open_tcp_connections(), 0u);
+}
+
+TEST(TcpSegmentation, ResponseExactlyAtMssIsOneSegment) {
+  // The segmentation cap is the *client's* SYN-advertised MSS.
+  ASSERT_EQ(sim::os_profile(sim::OsId::kUbuntu1904).fp.mss, kMss);
+  std::vector<Seg> segs;
+  std::vector<std::uint8_t> reply;
+  exchange_sized(kMss, segs, reply);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].payload.size(), kMss);
+  EXPECT_EQ(reply, pattern(kMss, 0x5A));
+}
+
+TEST(TcpSegmentation, ResponseOneByteOverMssSplitsInTwo) {
+  std::vector<Seg> segs;
+  std::vector<std::uint8_t> reply;
+  exchange_sized(kMss + 1, segs, reply);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].payload.size(), kMss);
+  EXPECT_EQ(segs[1].payload.size(), 1u);
+  // Sequence numbers advance by actual payload bytes.
+  EXPECT_EQ(segs[1].seq, segs[0].seq + kMss);
+  EXPECT_EQ(reply, pattern(kMss + 1, 0x5A));
+}
+
+TEST(TcpSegmentation, MultiSegmentStreamConcatenatesToFramedResponse) {
+  TcpFixture f;
+  const cd::GatherBuf resp = framed(pattern(8000, 0x11));
+  const std::vector<std::uint8_t> expected = resp.to_vector();
+  f.server->tcp_listen(
+      53, [&resp](const sim::TcpConnInfo&, std::span<const std::uint8_t>) {
+        return resp;
+      });
+  pcap::Capture capture;
+  f.network.attach_capture(capture);
+  std::optional<std::vector<std::uint8_t>> r;
+  f.client->tcp_connect(f.caddr, f.saddr, 53,
+                        std::vector<std::uint8_t>{0, 2, 0xAB, 0xCD},
+                        [&r](auto x) { r = std::move(x); });
+  f.loop.run();
+
+  // The client's reassembled stream is byte-identical to the framed
+  // response (length prefix + body crossing six segment boundaries).
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, expected);
+
+  // On the wire: every segment's payload is capped at the advertised MSS,
+  // sequence numbers are contiguous, and concatenating the captured
+  // payloads in sequence order reproduces the stream exactly.
+  const auto segs = data_segments(capture, f.saddr, f.caddr);
+  ASSERT_EQ(segs.size(), (expected.size() + kMss - 1) / kMss);
+  std::vector<std::uint8_t> concat;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_LE(segs[i].payload.size(), kMss);
+    if (i > 0) {
+      EXPECT_EQ(segs[i].seq,
+                segs[i - 1].seq +
+                    static_cast<std::uint32_t>(segs[i - 1].payload.size()));
+    }
+    concat.insert(concat.end(), segs[i].payload.begin(),
+                  segs[i].payload.end());
+  }
+  EXPECT_EQ(concat, expected);
+}
+
+// --- deterministic teardown / timeout accounting ----------------------------
+
+struct ExchangeOutcome {
+  std::uint64_t executed = 0;
+  int replies = 0;
+};
+
+/// One full exchange with the given client timeout; asserts clean teardown
+/// and returns the event-loop accounting for cross-run comparison.
+ExchangeOutcome run_exchange_with_timeout(sim::SimTime timeout,
+                                          std::uint64_t budget = UINT64_MAX) {
+  TcpFixture f(11);
+  f.server->tcp_listen(
+      53, [](const sim::TcpConnInfo&, std::span<const std::uint8_t> req) {
+        return cd::GatherBuf(
+            std::vector<std::uint8_t>(req.begin(), req.end()));
+      });
+  ExchangeOutcome out;
+  f.client->tcp_connect(f.caddr, f.saddr, 53,
+                        std::vector<std::uint8_t>{9, 9, 9},
+                        [&out](auto r) {
+                          if (r.has_value()) ++out.replies;
+                        },
+                        timeout);
+  f.loop.run(budget);
+  EXPECT_EQ(out.replies, 1);
+  EXPECT_EQ(f.client->open_tcp_connections(), 0u);
+  EXPECT_EQ(f.server->open_tcp_connections(), 0u);
+  EXPECT_EQ(f.loop.pending(), 0u);
+  out.executed = f.loop.executed();
+  return out;
+}
+
+TEST(TcpTeardown, NoStrayTimeoutAndStableEventAccounting) {
+  // A successful exchange cancels the client's timeout and erases the
+  // connection entry on the spot: the executed-event count must not depend
+  // on the timeout value (the cancelled timer never runs, never counts).
+  const ExchangeOutcome a = run_exchange_with_timeout(5 * sim::kSecond);
+  const ExchangeOutcome b = run_exchange_with_timeout(3600 * sim::kSecond);
+  EXPECT_EQ(a.executed, b.executed);
+  // And the exchange fits in exactly that many events: a stray timeout
+  // would exceed the budget and throw InvariantError.
+  EXPECT_NO_THROW(run_exchange_with_timeout(5 * sim::kSecond, a.executed));
+}
+
+TEST(TcpTimeout, TruncatedMidStreamTimesOut) {
+  TcpFixture f(13);
+  // Nobody owns 22.0.0.9 — the test plays that server by hand, injecting a
+  // handshake and then a deliberately truncated response stream.
+  const IpAddr fake = IpAddr::must_parse("22.0.0.9");
+
+  std::optional<Packet> syn;
+  bool injected = false;
+  f.network.add_tap([&](const Packet& pkt, sim::DropReason, sim::SimTime now) {
+    if (!(pkt.src == f.caddr) || pkt.proto != net::IpProto::kTcp) return;
+    if (pkt.tcp_flags.syn) {
+      syn = pkt;
+      return;
+    }
+    if (!pkt.payload.empty() && pkt.tcp_flags.psh && !injected) {
+      injected = true;
+      // The client finished streaming its request: answer with the first
+      // and last kilobyte of a 3000-byte stream — the middle never comes.
+      f.loop.schedule_at(
+          now + 50 * sim::kMillisecond, [&f, &fake, sport = pkt.src_port] {
+            const auto chunk = pattern(1000, 0x77);
+            Packet head = net::make_tcp(fake, 53, f.caddr, sport,
+                                        net::TcpFlags{.ack = true}, chunk);
+            head.tcp_seq = 5000 + 1;
+            f.network.send(std::move(head), 2);
+            Packet tail =
+                net::make_tcp(fake, 53, f.caddr, sport,
+                              net::TcpFlags{.ack = true, .psh = true}, chunk);
+            tail.tcp_seq = 5000 + 1 + 2000;
+            f.network.send(std::move(tail), 2);
+          });
+    }
+  });
+
+  std::optional<std::optional<std::vector<std::uint8_t>>> result;
+  f.client->tcp_connect(f.caddr, fake, 53, std::vector<std::uint8_t>{1, 2, 3},
+                        [&result](auto r) { result = std::move(r); },
+                        2 * sim::kSecond);
+  // The SYN went out synchronously; complete the handshake so the client
+  // streams its request and waits on the (truncated) reply.
+  ASSERT_TRUE(syn.has_value());
+  Packet synack = net::make_tcp(fake, 53, f.caddr, syn->src_port,
+                                net::TcpFlags{.syn = true, .ack = true});
+  synack.tcp_seq = 5000;
+  synack.tcp_ack = syn->tcp_seq + 1;
+  synack.tcp_options = {{net::TcpOptionKind::kMss, 1400}};
+  f.network.send(std::move(synack), 2);
+  f.loop.run();
+
+  EXPECT_TRUE(injected);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value()) << "partial stream must time out";
+  EXPECT_EQ(f.client->open_tcp_connections(), 0u);
+}
+
+// --- differential: segmented vs single-buffer baseline ----------------------
+
+struct DiffOutcome {
+  std::vector<std::uint8_t> reply;
+  std::vector<std::uint8_t> concat;
+  std::vector<std::uint8_t> expected;
+};
+
+DiffOutcome run_framed_exchange(std::uint64_t seed, bool single_buffer) {
+  TcpFixture f(seed);
+  f.network.set_tcp_single_buffer(single_buffer);
+  const cd::GatherBuf resp =
+      framed(pattern(4000 + seed % 700, static_cast<std::uint8_t>(seed)));
+  DiffOutcome out;
+  out.expected = resp.to_vector();
+  f.server->tcp_listen(
+      53, [&resp](const sim::TcpConnInfo&, std::span<const std::uint8_t>) {
+        return resp;
+      });
+  pcap::Capture capture;
+  f.network.attach_capture(capture);
+  std::optional<std::vector<std::uint8_t>> r;
+  f.client->tcp_connect(f.caddr, f.saddr, 53,
+                        std::vector<std::uint8_t>{0, 2, 0xAB, 0xCD},
+                        [&r](auto x) { r = std::move(x); });
+  f.loop.run();
+  EXPECT_TRUE(r.has_value());
+  if (r.has_value()) out.reply = std::move(*r);
+  for (const Seg& s : data_segments(capture, f.saddr, f.caddr)) {
+    EXPECT_LE(s.payload.size(), single_buffer ? out.expected.size() : kMss);
+    out.concat.insert(out.concat.end(), s.payload.begin(), s.payload.end());
+  }
+  return out;
+}
+
+TEST(TcpDifferential, SegmentedMatchesSingleBufferAcrossSeeds) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const DiffOutcome seg = run_framed_exchange(seed, /*single_buffer=*/false);
+    const DiffOutcome one = run_framed_exchange(seed, /*single_buffer=*/true);
+    // Both modes reassemble to the exact framed response, and the captured
+    // payload bytes concatenate to the same stream either way.
+    EXPECT_EQ(seg.reply, seg.expected) << "seed " << seed;
+    EXPECT_EQ(one.reply, one.expected) << "seed " << seed;
+    EXPECT_EQ(seg.concat, seg.expected) << "seed " << seed;
+    EXPECT_EQ(one.concat, one.expected) << "seed " << seed;
+  }
+}
+
+// --- campaign level ----------------------------------------------------------
+
+core::ExperimentConfig diff_config(bool segmentation) {
+  core::ExperimentConfig config;
+  core::CaptureSpec capture;
+  capture.include_drops = true;
+  config.capture = capture;
+  config.tcp_segmentation = segmentation;
+  return config;
+}
+
+ditl::WorldSpec diff_spec(std::uint64_t seed) {
+  ditl::WorldSpec spec = ditl::small_world_spec();
+  spec.n_asns = 6;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(TcpDifferential, CampaignEvidenceInvariantAcrossSegmentationModes) {
+  // Scan evidence must not depend on how DNS-over-TCP responses are cut
+  // into segments: results_digest (which ignores timestamps and wire
+  // artifacts) is equal with segmentation on and off, seed by seed.
+  for (const std::uint64_t seed : {7ULL, 42ULL, 99ULL}) {
+    const auto on = core::run_sharded_experiment(diff_spec(seed),
+                                                 diff_config(true));
+    const auto off = core::run_sharded_experiment(diff_spec(seed),
+                                                  diff_config(false));
+    EXPECT_EQ(core::results_digest(on.merged),
+              core::results_digest(off.merged))
+        << "seed " << seed;
+  }
+}
+
+TEST(TcpSegmentation, NoCampaignSegmentExceedsAdvertisedMss) {
+  // Over a full captured campaign (TC=1 elicitation drives real
+  // DNS-over-TCP): every TCP data segment from A to B is capped at the MSS
+  // that B advertised on that connection's SYN or SYN-ACK.
+  const auto sharded =
+      core::run_sharded_experiment(diff_spec(42), diff_config(true));
+  const pcap::Capture& capture = sharded.merged.capture;
+
+  using FlowKey = std::tuple<IpAddr, std::uint16_t, IpAddr, std::uint16_t>;
+  std::map<FlowKey, std::uint32_t> advertised;  // (advertiser, peer) -> MSS
+  for (const auto& rec : capture.records) {
+    const Packet pkt = Packet::parse(rec.bytes);
+    if (pkt.proto != net::IpProto::kTcp || !pkt.tcp_flags.syn) continue;
+    for (const net::TcpOption& o : pkt.tcp_options) {
+      if (o.kind == net::TcpOptionKind::kMss && o.value != 0) {
+        advertised[{pkt.src, pkt.src_port, pkt.dst, pkt.dst_port}] = o.value;
+      }
+    }
+  }
+
+  std::size_t data_records = 0;
+  for (const auto& rec : capture.records) {
+    const Packet pkt = Packet::parse(rec.bytes);
+    if (pkt.proto != net::IpProto::kTcp || pkt.tcp_flags.syn ||
+        pkt.payload.empty()) {
+      continue;
+    }
+    ++data_records;
+    const auto it = advertised.find(
+        {pkt.dst, pkt.dst_port, pkt.src, pkt.src_port});
+    ASSERT_NE(it, advertised.end())
+        << "TCP data segment with no reverse SYN in the capture";
+    EXPECT_LE(pkt.payload.size(), it->second);
+  }
+  EXPECT_GT(data_records, 0u) << "campaign produced no DNS-over-TCP data";
+}
+
+}  // namespace

@@ -17,6 +17,7 @@
 #include "sim/network.h"
 #include "sim/os_model.h"
 #include "sim/topology.h"
+#include "util/bytes.h"
 #include "util/rng.h"
 
 namespace {
@@ -91,6 +92,38 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopScheduleRun);
 
+/// Engine head-to-head on a persistent loop (the pools reach steady state,
+/// unlike BM_EventLoopScheduleRun's cold loop-per-iteration): a jittered
+/// 4096-event schedule/run cycle, reporting events/s and allocs/event.
+/// Arg 0 = retired priority-queue oracle, arg 1 = timing wheel.
+void BM_EventLoopEngine(benchmark::State& state) {
+  sim::EventLoop loop(state.range(0) != 0 ? sim::EventEngine::kWheel
+                                          : sim::EventEngine::kPriorityQueue);
+  constexpr int kEvents = 4096;
+  Rng rng(42);
+  std::vector<sim::SimTime> delays;
+  for (int i = 0; i < kEvents; ++i) {
+    delays.push_back(static_cast<sim::SimTime>(rng.u64() % 100'000));
+  }
+  std::uint64_t sum = 0;
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < kEvents; ++i) {
+      loop.schedule_in(delays[static_cast<std::size_t>(i)], [&sum] { ++sum; });
+    }
+    loop.run();
+    allocs += g_allocs.load(std::memory_order_relaxed) - before;
+    events += kEvents;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs/event"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(events));
+}
+BENCHMARK(BM_EventLoopEngine)->Arg(0)->Arg(1);
+
 void BM_CacheInsertLookup(benchmark::State& state) {
   dns::Cache cache;
   const auto name = dns::DnsName::must_parse("host.example.org");
@@ -152,9 +185,15 @@ struct DeliveryFixture {
 /// packets) and allocs/packet. `vary_payload` breaks the content-hash tie so
 /// packets spread over distinct arrival ticks (singleton batches).
 void delivery_bench(benchmark::State& state, bool vary_payload) {
+  // arg 0: 0 = per-packet, 1 = batched (wheel engine, the default),
+  //        2 = batched on the retired priority-queue oracle — the PR 5
+  //        event core, isolating the wheel's contribution end-to-end.
   const bool batched = state.range(0) != 0;
   constexpr int kBurst = 256;
   DeliveryFixture f;
+  if (state.range(0) == 2) {
+    f.loop.set_engine(sim::EventEngine::kPriorityQueue);
+  }
   f.network.set_batched_delivery(batched);
   const auto src = net::IpAddr::must_parse("21.0.0.5");
   const auto dst = net::IpAddr::must_parse("22.0.0.1");
@@ -166,7 +205,11 @@ void delivery_bench(benchmark::State& state, bool vary_payload) {
       const std::uint8_t lo = vary_payload ? static_cast<std::uint8_t>(i) : 0;
       const std::uint8_t hi =
           vary_payload ? static_cast<std::uint8_t>(i >> 8) : 0;
-      f.network.send(net::make_udp(src, 1000, dst, 53, {lo, hi, 3, 4}), 1);
+      // Pool-recycled payload: the delivery path releases it on receipt, so
+      // in steady state the whole send->deliver cycle allocates nothing.
+      auto payload = cd::BufferPool::acquire();
+      payload.assign({lo, hi, 3, 4});
+      f.network.send(net::make_udp(src, 1000, dst, 53, std::move(payload)), 1);
     }
     f.loop.run();
     allocs += g_allocs.load(std::memory_order_relaxed) - before;
@@ -183,14 +226,14 @@ void delivery_bench(benchmark::State& state, bool vary_payload) {
 void BM_DeliverySameTickBurst(benchmark::State& state) {
   delivery_bench(state, /*vary_payload=*/false);
 }
-BENCHMARK(BM_DeliverySameTickBurst)->Arg(0)->Arg(1);
+BENCHMARK(BM_DeliverySameTickBurst)->Arg(0)->Arg(1)->Arg(2);
 
 /// Distinct payloads spread arrivals over distinct ticks — batches are
 /// almost all singletons, pinning the no-regression side of the ledger.
 void BM_DeliveryJitteredSingletons(benchmark::State& state) {
   delivery_bench(state, /*vary_payload=*/true);
 }
-BENCHMARK(BM_DeliveryJitteredSingletons)->Arg(0)->Arg(1);
+BENCHMARK(BM_DeliveryJitteredSingletons)->Arg(0)->Arg(1)->Arg(2);
 
 // --- TCP response path: bytes/s + allocs/response ---------------------------
 

@@ -24,16 +24,21 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j
 ctest --test-dir "${PREFIX}" --output-on-failure -j
 
-echo "=== TSan build + parallel/tcp-label ctest ==="
+echo "=== TSan build + parallel/tcp/eventcore-label ctest ==="
+# The eventcore label covers the sharded wheel-vs-oracle campaign: each
+# worker thread drives its own timing wheel, so the node pools and slot
+# arrays must be provably unshared under TSan.
 cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
-cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp
-ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp" --output-on-failure
+cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp \
+  test_sim_event_core
+ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp|eventcore" \
+  --output-on-failure
 
 echo "=== ASan build + fuzz/pcap/batched/tcp-label ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
 cmake --build "${PREFIX}-asan" -j --target \
   test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
-  test_sim_batched test_sim_tcp
+  test_sim_batched test_sim_tcp test_net_checksum
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched|tcp" \
   --output-on-failure

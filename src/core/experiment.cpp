@@ -74,6 +74,9 @@ const ExperimentResults& Experiment::run() {
   // the mode they were sent under.
   world_.network->set_batched_delivery(config_.batched_delivery);
   world_.network->set_tcp_single_buffer(!config_.tcp_segmentation);
+  world_.loop.set_engine(config_.wheel_event_core
+                             ? cd::sim::EventEngine::kWheel
+                             : cd::sim::EventEngine::kPriorityQueue);
 
   cd::pcap::Capture capture;
   std::optional<cd::sim::Network::TapId> capture_tap;

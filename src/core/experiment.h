@@ -71,6 +71,13 @@ struct ExperimentConfig {
   /// either way (results_digest omits timestamps and per-segment wire
   /// artifacts), so this stays on.
   bool tcp_segmentation = true;
+  /// Run each shard's event loop on the hierarchical timing wheel
+  /// (sim::EventEngine::kWheel) instead of the retired priority-queue
+  /// oracle. Both engines are observably identical — execution order,
+  /// results_digest, capture_digest and exported pcaps are byte-for-byte
+  /// the same (tests/test_sim_event_core.cpp) — so this stays on; the off
+  /// switch exists for the differential harness and for bisecting.
+  bool wheel_event_core = true;
 
   // --- sharding (core/parallel.h) -------------------------------------------
   /// Number of AS-partitioned shards the target list is split into. Each

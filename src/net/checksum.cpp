@@ -1,14 +1,77 @@
 #include "net/checksum.h"
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace cd::net {
+namespace detail {
+namespace {
+
+#if defined(__x86_64__)
+
+bool have_avx2() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+
+/// Sum of the little-endian 32-bit dwords of `bytes` (a multiple of 32)
+/// starting at `p`, widened into 64-bit lanes so nothing can wrap. Because
+/// 2^16 = 1 (mod 0xFFFF), the dword sum is congruent to the 16-bit word sum
+/// — the fold doesn't care that we added pairs of words at once.
+__attribute__((target("avx2"))) std::uint64_t le_dword_sum_avx2(
+    const std::uint8_t* p, std::size_t bytes) {
+  __m256i acc_lo = _mm256_setzero_si256();
+  __m256i acc_hi = _mm256_setzero_si256();
+  for (std::size_t i = 0; i < bytes; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    acc_lo = _mm256_add_epi64(acc_lo,
+                              _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v)));
+    acc_hi = _mm256_add_epi64(
+        acc_hi, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1)));
+  }
+  const __m256i acc = _mm256_add_epi64(acc_lo, acc_hi);
+  alignas(32) std::uint64_t lane[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), acc);
+  return lane[0] + lane[1] + lane[2] + lane[3];
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+std::uint64_t be_word_sum_scalar(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  return sum;
+}
+
+std::uint64_t be_word_sum(std::span<const std::uint8_t> data) {
+  const std::size_t even = data.size() & ~std::size_t{1};
+#if defined(__x86_64__)
+  if (even >= 64 && have_avx2()) {
+    const std::size_t vec = even & ~std::size_t{31};
+    // The vector path sums native (little-endian) words; ones'-complement
+    // sums are byte-order independent, so byte-swapping the folded value
+    // converts it to the big-endian word sum's fold class (RFC 1071 §1B).
+    const std::uint16_t le_fold = fold16(le_dword_sum_avx2(data.data(), vec));
+    const auto be_fold = static_cast<std::uint16_t>(
+        (le_fold << 8) | (le_fold >> 8));
+    return be_fold + be_word_sum_scalar(data.subspan(vec, even - vec));
+  }
+#endif
+  return be_word_sum_scalar(data.first(even));
+}
+
+}  // namespace detail
 
 void Checksum::add(std::span<const std::uint8_t> data) {
-  std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
-  }
-  if (i < data.size()) {
-    sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+  sum_ += detail::be_word_sum(data);
+  if (data.size() % 2 != 0) {
+    sum_ += static_cast<std::uint32_t>(data.back()) << 8;
   }
 }
 
@@ -40,8 +103,7 @@ void Checksum::add_word(std::uint16_t word) {
 std::uint16_t Checksum::finish() const {
   std::uint64_t s = sum_;
   if (pending_ >= 0) s += static_cast<std::uint32_t>(pending_) << 8;
-  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
-  return static_cast<std::uint16_t>(~s & 0xFFFF);
+  return static_cast<std::uint16_t>(~detail::fold16(s) & 0xFFFF);
 }
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {

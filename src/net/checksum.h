@@ -8,6 +8,29 @@
 
 namespace cd::net {
 
+namespace detail {
+
+/// Sum of the big-endian 16-bit words in the even-length prefix of `data`
+/// (a trailing odd byte is ignored — callers pad it). Reference scalar loop.
+[[nodiscard]] std::uint64_t be_word_sum_scalar(
+    std::span<const std::uint8_t> data);
+
+/// Same contract as be_word_sum_scalar, but routed through the widest SIMD
+/// path the CPU supports (AVX2 on x86-64) for large spans. The returned
+/// 64-bit value may differ from the scalar sum, but is always congruent to
+/// it mod 0xFFFF and zero exactly when it is zero — i.e. fold16() of both
+/// agrees, which is all the ones'-complement checksum observes.
+[[nodiscard]] std::uint64_t be_word_sum(std::span<const std::uint8_t> data);
+
+/// RFC 1071 fold of a 64-bit partial sum to 16 bits (result in [0, 0xFFFF];
+/// 0 only for a zero sum).
+[[nodiscard]] constexpr std::uint16_t fold16(std::uint64_t s) {
+  while ((s >> 16) != 0) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(s);
+}
+
+}  // namespace detail
+
 /// Incremental ones'-complement sum accumulator. Fold with finish().
 class Checksum {
  public:

@@ -1,67 +1,488 @@
 #include "sim/event_loop.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/error.h"
 
 namespace cd::sim {
+namespace {
 
-EventId EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
+// --- 256-bit occupancy bitmap helpers (4 x u64 per wheel level) --------------
+
+void bit_set(std::uint64_t bm[4], int i) { bm[i >> 6] |= 1ull << (i & 63); }
+void bit_clear(std::uint64_t bm[4], int i) { bm[i >> 6] &= ~(1ull << (i & 63)); }
+bool bit_test(const std::uint64_t bm[4], int i) {
+  return (bm[i >> 6] >> (i & 63)) & 1u;
+}
+
+/// Lowest set bit with index >= `from` (from may be 256), or -1.
+int next_bit(const std::uint64_t bm[4], int from) {
+  for (int w = from >> 6; w < 4; ++w) {
+    std::uint64_t word = bm[w];
+    if (w == (from >> 6)) word &= ~std::uint64_t{0} << (from & 63);
+    if (word != 0) return w * 64 + std::countr_zero(word);
+  }
+  return -1;
+}
+
+/// Any set bit with index <= `upto` (upto in [0, 255]).
+bool any_bit_le(const std::uint64_t bm[4], int upto) {
+  for (int w = 0; w <= (upto >> 6); ++w) {
+    std::uint64_t word = bm[w];
+    if (w == (upto >> 6) && (upto & 63) != 63) {
+      word &= (std::uint64_t{1} << ((upto & 63) + 1)) - 1;
+    }
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+/// Restores the running_ flag even when a callback or the max_events guard
+/// throws out of run()/run_until().
+struct RunningGuard {
+  bool& flag;
+  ~RunningGuard() { flag = false; }
+};
+
+}  // namespace
+
+EventLoop::EventLoop(EventEngine engine) : engine_(engine) {}
+
+EventLoop::~EventLoop() {
+  for (Node* chunk : chunks_) delete[] chunk;
+}
+
+void EventLoop::set_engine(EventEngine engine) {
+  CD_ENSURE(!running_ && pending() == 0 && open_batches_.empty() &&
+                oracle_.open_batches.empty(),
+            "EventLoop::set_engine: loop must be idle");
+  engine_ = engine;
+}
+
+SimTime EventLoop::clamp_at(SimTime at) const {
+  return std::min(std::max(at, now_), kSimTimeMax);
+}
+
+EventId EventLoop::schedule_at(SimTime at, Callback fn) {
+  if (engine_ == EventEngine::kWheel) {
+    return wheel_schedule_at(clamp_at(at), std::move(fn));
+  }
   const EventId id = next_id_++;
-  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
+  oracle_.queue.push(Event{clamp_at(at), id, std::move(fn)});
   return id;
 }
 
-EventId EventLoop::schedule_in(SimTime delay, std::function<void()> fn) {
-  return schedule_at(now_ + std::max<SimTime>(0, delay), std::move(fn));
+EventId EventLoop::schedule_in(SimTime delay, Callback fn) {
+  delay = std::max<SimTime>(0, delay);
+  // Saturating add: a sentinel-large delay must pin to the far future, not
+  // wrap SimTime negative and fire immediately.
+  const SimTime at =
+      delay > kSimTimeMax - now_ ? kSimTimeMax : now_ + delay;
+  return schedule_at(at, std::move(fn));
 }
 
-EventId EventLoop::schedule_batched(SimTime at, BatchKey key,
-                                    std::function<void()> fn) {
-  const SimTime t = std::max(at, now_);
-  const auto [slot, inserted] = open_batches_.try_emplace(Slot{t, key}, 0);
+EventId EventLoop::schedule_batched(SimTime at, BatchKey key, Callback fn) {
+  if (engine_ == EventEngine::kWheel) {
+    return wheel_schedule_batched(clamp_at(at), key, std::move(fn));
+  }
+  const SimTime t = clamp_at(at);
+  const auto [slot, inserted] = oracle_.open_batches.try_emplace(Slot{t, key}, 0);
   if (!inserted) {
-    batches_.at(slot->second).items.push_back(std::move(fn));
+    oracle_.batches.at(slot->second).items.push_back(std::move(fn));
     return slot->second;
   }
   const EventId id = next_id_++;
   slot->second = id;
-  Batch& batch = batches_[id];
+  Batch& batch = oracle_.batches[id];
   batch.at = t;
   batch.key = key;
   batch.items.push_back(std::move(fn));
-  queue_.push(Event{t, id, {}});
+  oracle_.queue.push(Event{t, id, {}});
   return id;
 }
 
-void EventLoop::close_batch(SimTime at, BatchKey key, EventId id) {
-  const auto it = open_batches_.find(Slot{at, key});
-  if (it != open_batches_.end() && it->second == id) open_batches_.erase(it);
-}
-
 void EventLoop::cancel(EventId id) {
-  cancelled_.insert(id);
+  if (engine_ == EventEngine::kWheel) {
+    wheel_cancel(id);
+    return;
+  }
+  oracle_.cancelled.insert(id);
   // A cancelled batch must also stop accepting appends: a later
   // schedule_batched on the same slot opens a fresh, live batch.
-  const auto it = batches_.find(id);
-  if (it != batches_.end()) close_batch(it->second.at, it->second.key, id);
+  const auto it = oracle_.batches.find(id);
+  if (it != oracle_.batches.end()) {
+    oracle_close_batch(it->second.at, it->second.key, id);
+  }
 }
 
-bool EventLoop::pop_one(std::uint64_t& n, std::uint64_t max_events,
-                        const char* what) {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    const auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      batches_.erase(ev.id);  // cancelled batch: drop its items
+void EventLoop::run(std::uint64_t max_events) {
+  run_impl(kSimTimeMax, /*advance_to_until=*/false, max_events,
+           "EventLoop::run exceeded max_events");
+}
+
+void EventLoop::run_until(SimTime until, std::uint64_t max_events) {
+  run_impl(std::min(until, kSimTimeMax), /*advance_to_until=*/true, max_events,
+           "EventLoop::run_until exceeded max_events");
+}
+
+void EventLoop::run_impl(SimTime until, bool advance_to_until,
+                         std::uint64_t max_events, const char* what) {
+  running_ = true;
+  RunningGuard guard{running_};
+  if (engine_ == EventEngine::kWheel) {
+    wheel_run(until, advance_to_until, max_events, what);
+    return;
+  }
+  std::uint64_t n = 0;
+  if (!advance_to_until) {
+    while (oracle_pop_one(n, max_events, what)) {
+    }
+    return;
+  }
+  while (!oracle_.queue.empty()) {
+    // Prune cancelled tombstones BEFORE the time guard: the retired engine
+    // historically tested `top().at <= until` against a tombstone and then
+    // let pop_one execute the next real event however far past `until` it
+    // lay. The wheel never had that defect, so the oracle carries the fix.
+    const Event& top = oracle_.queue.top();
+    const auto it = oracle_.cancelled.find(top.id);
+    if (it != oracle_.cancelled.end()) {
+      oracle_.cancelled.erase(it);
+      oracle_.batches.erase(top.id);
+      oracle_.queue.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    if (!oracle_pop_one(n, max_events, what)) break;
+  }
+  now_ = std::max(now_, until);
+}
+
+std::size_t EventLoop::pending() const {
+  if (engine_ == EventEngine::kWheel) return live_;
+  return oracle_.queue.size() -
+         std::min(oracle_.queue.size(), oracle_.cancelled.size());
+}
+
+// --- timing-wheel engine -----------------------------------------------------
+
+EventLoop::Node* EventLoop::alloc_node() {
+  if (free_nodes_ == nullptr) {
+    Node* chunk = new Node[kNodesPerChunk];
+    chunks_.push_back(chunk);
+    const auto base =
+        static_cast<std::uint32_t>((chunks_.size() - 1) * kNodesPerChunk);
+    for (std::size_t i = kNodesPerChunk; i-- > 0;) {
+      chunk[i].index = base + static_cast<std::uint32_t>(i);
+      chunk[i].next = free_nodes_;
+      free_nodes_ = &chunk[i];
+    }
+  }
+  Node* n = free_nodes_;
+  free_nodes_ = n->next;
+  n->next = nullptr;
+  return n;
+}
+
+void EventLoop::recycle_node(Node* n) {
+  n->fn.reset();
+  n->items.clear();  // destroys callbacks, keeps capacity for reuse
+  n->queued = n->draining = n->cancelled = n->is_batch = false;
+  ++n->gen;  // invalidates every EventId handed out for this incarnation
+  n->next = free_nodes_;
+  free_nodes_ = n;
+}
+
+EventLoop::Node* EventLoop::node_for(EventId id) {
+  const std::uint64_t low = id & 0xFFFFFFFFull;
+  if (low == 0) return nullptr;
+  const std::size_t index = static_cast<std::size_t>(low - 1);
+  if (index >= chunks_.size() * kNodesPerChunk) return nullptr;
+  Node* n = &chunks_[index / kNodesPerChunk][index % kNodesPerChunk];
+  if (n->gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  return n;
+}
+
+void EventLoop::wheel_place(Node* n) {
+  const auto at = static_cast<std::uint64_t>(n->at);
+  const auto delta = static_cast<std::uint64_t>(n->at - now_);
+  const int level =
+      delta == 0 ? 0 : (63 - std::countl_zero(delta)) >> 3;
+  const int slot = static_cast<int>((at >> (level * kSlotBits)) & 0xFF);
+  WheelSlot& s = slots_[level][slot];
+  n->next = nullptr;
+  if (s.tail != nullptr) {
+    s.tail->next = n;
+  } else {
+    s.head = n;
+  }
+  s.tail = n;
+  bit_set(bitmap_[level], slot);
+  n->queued = true;
+  ++live_;
+}
+
+void EventLoop::wheel_cascade(int level, int slot) {
+  WheelSlot& s = slots_[level][slot];
+  if (s.head == nullptr) return;
+  cascade_scratch_.clear();
+  for (Node* n = s.head; n != nullptr; n = n->next) {
+    cascade_scratch_.push_back(n);
+  }
+  s.head = s.tail = nullptr;
+  bit_clear(bitmap_[level], slot);
+  // Walk the (seq-ordered) slot list in REVERSE and prepend each node to its
+  // target slot: the group keeps its internal order, and it lands ahead of
+  // any same-`at` nodes already placed below — which were necessarily
+  // scheduled later (reaching a lower level requires a smaller delta, i.e. a
+  // later scheduling time for the same absolute time). That is exactly the
+  // oracle's same-tick FIFO.
+  for (auto it = cascade_scratch_.rbegin(); it != cascade_scratch_.rend();
+       ++it) {
+    Node* n = *it;
+    const auto at = static_cast<std::uint64_t>(n->at);
+    const auto delta = static_cast<std::uint64_t>(n->at - now_);
+    const int lv = delta == 0 ? 0 : (63 - std::countl_zero(delta)) >> 3;
+    const int sl = static_cast<int>((at >> (lv * kSlotBits)) & 0xFF);
+    WheelSlot& target = slots_[lv][sl];
+    n->next = target.head;
+    target.head = n;
+    if (target.tail == nullptr) target.tail = n;
+    bit_set(bitmap_[lv], sl);
+  }
+}
+
+bool EventLoop::wheel_advance(SimTime until) {
+  for (;;) {
+    const auto unow = static_cast<std::uint64_t>(now_);
+    const int pos0 = static_cast<int>(unow & 0xFF);
+    // Events due at exactly now_ (the current slot drains fully before the
+    // cursor moves, so anything here is due, not stale).
+    if (bit_test(bitmap_[0], pos0)) return true;
+
+    // Ahead in the current level-0 rotation: jump straight to the slot (no
+    // window boundary sits between, so nothing can cascade in front of it).
+    const int s0 = next_bit(bitmap_[0], pos0 + 1);
+    if (s0 >= 0) {
+      const auto t = static_cast<SimTime>((unow & ~std::uint64_t{0xFF}) |
+                                          static_cast<std::uint64_t>(s0));
+      if (t > until) {
+        now_ = until;  // same rotation: no boundary crossed, nothing to cascade
+        return false;
+      }
+      now_ = t;
+      return true;
+    }
+
+    // Earliest upcoming boundary that makes any occupied slot due: for each
+    // level, either the entry of an occupied slot ahead in its current
+    // rotation, or — for occupied slots at/behind the current position
+    // (content wrapped into the next rotation) — the level's rotation wrap.
+    SimTime best = INT64_MAX;
+    for (int level = 0; level < kLevels; ++level) {
+      const int shift = level * kSlotBits;
+      const int pos = static_cast<int>((unow >> shift) & 0xFF);
+      if (level >= 1) {
+        const int s = next_bit(bitmap_[level], pos + 1);
+        if (s >= 0) {
+          // Preserve the bytes above this level; at the top level there are
+          // none (a shift by shift+kSlotBits == 64 would be UB).
+          const int up = shift + kSlotBits;
+          const std::uint64_t high = up >= 64 ? 0 : (unow >> up) << up;
+          const auto t = static_cast<SimTime>(
+              high | (static_cast<std::uint64_t>(s) << shift));
+          best = std::min(best, t);
+        }
+      }
+      if (level + 1 < kLevels && any_bit_le(bitmap_[level], pos)) {
+        const int up = (level + 1) * kSlotBits;
+        const auto t = static_cast<SimTime>(((unow >> up) + 1) << up);
+        best = std::min(best, t);
+      }
+      // level == kLevels-1 wrapped content is impossible: top-level slot
+      // indices cover the full kSimTimeMax range without wrapping.
+    }
+    if (best == INT64_MAX) return false;  // wheel is empty; cursor untouched
+    if (best > until) {
+      // Every occupied slot becomes due past the bound. Jumping the cursor
+      // to `until` crosses only content-free windows, so no cascades.
+      now_ = until;
+      return false;
+    }
+    const auto old = static_cast<std::uint64_t>(now_);
+    now_ = best;
+    // Cascade every slot the cursor just entered, top-down. "Entered" means
+    // the position byte at that level (or any byte above it — a full wrap of
+    // this level) changed.
+    for (int level = kLevels - 1; level >= 1; --level) {
+      if (((old ^ static_cast<std::uint64_t>(now_)) >>
+           (level * kSlotBits)) != 0) {
+        wheel_cascade(level, static_cast<int>(
+                                 (static_cast<std::uint64_t>(now_) >>
+                                  (level * kSlotBits)) &
+                                 0xFF));
+      }
+    }
+  }
+}
+
+void EventLoop::wheel_close_batch(SimTime at, BatchKey key, const Node* node) {
+  const auto it = open_batches_.find(Slot{at, key});
+  if (it != open_batches_.end() && it->second == node) {
+    constexpr std::size_t kOpenPoolCap = 64;
+    auto handle = open_batches_.extract(it);
+    if (open_batch_pool_.size() < kOpenPoolCap) {
+      open_batch_pool_.push_back(std::move(handle));
+    }
+  }
+}
+
+EventId EventLoop::wheel_schedule_at(SimTime at, Callback fn) {
+  Node* n = alloc_node();
+  n->at = at;
+  n->seq = next_id_++;
+  n->fn = std::move(fn);
+  wheel_place(n);
+  return node_id(n);
+}
+
+EventId EventLoop::wheel_schedule_batched(SimTime at, BatchKey key,
+                                          Callback fn) {
+  const auto it = open_batches_.find(Slot{at, key});
+  if (it != open_batches_.end()) {
+    it->second->items.push_back(std::move(fn));
+    return node_id(it->second);
+  }
+  Node* n = alloc_node();
+  n->at = at;
+  n->seq = next_id_++;
+  n->is_batch = true;
+  n->key = key;
+  n->items.push_back(std::move(fn));
+  wheel_place(n);
+  if (!open_batch_pool_.empty()) {
+    auto handle = std::move(open_batch_pool_.back());
+    open_batch_pool_.pop_back();
+    handle.key() = Slot{at, key};
+    handle.mapped() = n;
+    open_batches_.insert(std::move(handle));
+  } else {
+    open_batches_.emplace(Slot{at, key}, n);
+  }
+  return node_id(n);
+}
+
+void EventLoop::wheel_cancel(EventId id) {
+  Node* n = node_for(id);
+  if (n == nullptr || n->cancelled) return;
+  if (n->queued) {
+    n->cancelled = true;
+    --live_;
+    if (n->is_batch) wheel_close_batch(n->at, n->key, n);
+  } else if (n->draining) {
+    // Cancel from inside the running batch: the drain loop checks the flag
+    // after every item and skips the remainder. The open slot was already
+    // closed when the drain started.
+    n->cancelled = true;
+  }
+  // Neither queued nor draining: a free-list node whose generation happens
+  // to match a guessed id — nothing to do (ids of executed events never
+  // match again; recycle bumped the generation).
+}
+
+bool EventLoop::wheel_pop_one(std::uint64_t& n, std::uint64_t max_events,
+                              const char* what, SimTime until,
+                              SimTime& last_exec) {
+  for (;;) {
+    if (!wheel_advance(until)) return false;
+    const int pos0 = static_cast<int>(static_cast<std::uint64_t>(now_) & 0xFF);
+    WheelSlot& slot = slots_[0][pos0];
+    Node* node = slot.head;
+    CD_ENSURE(node != nullptr && node->at == now_,
+              "EventLoop: wheel slot/time invariant violated");
+    slot.head = node->next;
+    if (slot.head == nullptr) {
+      slot.tail = nullptr;
+      bit_clear(bitmap_[0], pos0);
+    }
+    node->queued = false;
+    if (node->cancelled) {
+      // A cancelled node is pruned in place and — like the oracle, which
+      // skips tombstones without touching now_ — does not advance the
+      // observable clock (last_exec stays put; run_impl restores now_).
+      recycle_node(node);
+      continue;
+    }
+    --live_;
+    last_exec = now_;
+    if (!node->is_batch) {
+      Callback fn = std::move(node->fn);
+      // Recycle before invoking: the callback may schedule (reusing this
+      // node) or cancel its own id (generation bumped -> safe no-op).
+      recycle_node(node);
+      ++executed_;
+      fn();
+      CD_ENSURE(++n <= max_events, what);
+      return true;
+    }
+    // Batch entry: close the slot before running so same-tick appends made
+    // by items (or after run_until) open a new batch, then drain in append
+    // order. An item cancelling the running batch skips the remainder.
+    node->draining = true;
+    wheel_close_batch(node->at, node->key, node);
+    for (std::size_t i = 0; i < node->items.size(); ++i) {
+      ++executed_;
+      node->items[i]();
+      CD_ENSURE(++n <= max_events, what);
+      if (node->cancelled) break;
+    }
+    node->draining = false;
+    recycle_node(node);
+    return true;
+  }
+}
+
+void EventLoop::wheel_run(SimTime until, bool advance_to_until,
+                          std::uint64_t max_events, const char* what) {
+  SimTime last_exec = now_;
+  std::uint64_t n = 0;
+  if (until >= now_) {
+    while (wheel_pop_one(n, max_events, what, until, last_exec)) {
+    }
+  }
+  // The cursor may sit past the last *executed* event (it advanced through
+  // cancelled husks or up to the bound while searching). The observable
+  // clock matches the oracle: last executed event, or the run_until bound.
+  now_ = advance_to_until ? std::max(last_exec, until) : last_exec;
+}
+
+// --- legacy priority-queue engine (the oracle) -------------------------------
+
+void EventLoop::oracle_close_batch(SimTime at, BatchKey key, EventId id) {
+  const auto it = oracle_.open_batches.find(Slot{at, key});
+  if (it != oracle_.open_batches.end() && it->second == id) {
+    oracle_.open_batches.erase(it);
+  }
+}
+
+bool EventLoop::oracle_pop_one(std::uint64_t& n, std::uint64_t max_events,
+                               const char* what) {
+  while (!oracle_.queue.empty()) {
+    // priority_queue::top() is const; moving out before pop is safe because
+    // the element is removed immediately after.
+    Event ev = std::move(const_cast<Event&>(oracle_.queue.top()));
+    oracle_.queue.pop();
+    const auto it = oracle_.cancelled.find(ev.id);
+    if (it != oracle_.cancelled.end()) {
+      oracle_.cancelled.erase(it);
+      oracle_.batches.erase(ev.id);  // cancelled batch: drop its items
       continue;
     }
     now_ = ev.at;
 
-    const auto bit = batches_.find(ev.id);
-    if (bit == batches_.end()) {
+    const auto bit = oracle_.batches.find(ev.id);
+    if (bit == oracle_.batches.end()) {
       ++executed_;
       ev.fn();
       CD_ENSURE(++n <= max_events, what);
@@ -72,37 +493,17 @@ bool EventLoop::pop_one(std::uint64_t& n, std::uint64_t max_events,
     // by items (or after run_until) open a new batch, then drain in append
     // order. An item cancelling the running batch skips the remainder.
     Batch batch = std::move(bit->second);
-    batches_.erase(bit);
-    close_batch(batch.at, batch.key, ev.id);
-    for (std::function<void()>& item : batch.items) {
+    oracle_.batches.erase(bit);
+    oracle_close_batch(batch.at, batch.key, ev.id);
+    for (Callback& item : batch.items) {
       ++executed_;
       item();
       CD_ENSURE(++n <= max_events, what);
-      if (cancelled_.erase(ev.id) > 0) break;
+      if (oracle_.cancelled.erase(ev.id) > 0) break;
     }
     return true;
   }
   return false;
-}
-
-void EventLoop::run(std::uint64_t max_events) {
-  std::uint64_t n = 0;
-  while (pop_one(n, max_events, "EventLoop::run exceeded max_events")) {
-  }
-}
-
-void EventLoop::run_until(SimTime until, std::uint64_t max_events) {
-  std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    if (!pop_one(n, max_events, "EventLoop::run_until exceeded max_events")) {
-      break;
-    }
-  }
-  now_ = std::max(now_, until);
-}
-
-std::size_t EventLoop::pending() const {
-  return queue_.size() - std::min(queue_.size(), cancelled_.size());
 }
 
 }  // namespace cd::sim

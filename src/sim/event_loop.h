@@ -1,55 +1,89 @@
-// Discrete-event simulation core: a time-ordered queue of callbacks.
+// Discrete-event simulation core: a hierarchical timing wheel of intrusive,
+// pool-recycled event nodes (with the retired priority-queue engine kept as
+// a differential oracle).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace cd::sim {
 
 using EventId = std::uint64_t;
 
+/// Which scheduling engine an EventLoop runs on.
+enum class EventEngine : std::uint8_t {
+  /// Hierarchical timing wheel over discrete SimTime ticks: 8 levels x 256
+  /// slots with per-level occupancy bitmaps, intrusive pooled event nodes,
+  /// and small-buffer-optimized callbacks. Zero steady-state heap
+  /// allocations per scheduled event. The default.
+  kWheel,
+  /// The retired std::priority_queue implementation, kept verbatim as the
+  /// reference oracle for the wheel's differential tests
+  /// (tests/test_sim_event_core.cpp) and for bisecting.
+  kPriorityQueue,
+};
+
 /// Single-threaded discrete event loop. Events scheduled for the same time
-/// run in scheduling order (stable). Cancellation is O(1) amortized via a
-/// tombstone set.
+/// run in scheduling order (stable). Cancellation is O(1).
 ///
 /// Besides singleton events, the loop supports *batched* scheduling
 /// (schedule_batched): every append to the same open (time, key) batch
-/// shares one priority-queue entry, so a caller fanning N callbacks into
-/// one tick pays one queue operation instead of N. Batch items run
-/// back-to-back, in append order, at the queue position of the batch's
-/// first append; each item counts as one executed event toward the
-/// max_events guard.
+/// shares one queue position, so a caller fanning N callbacks into one tick
+/// pays one scheduling operation instead of N. Batch items run back-to-back,
+/// in append order, at the queue position of the batch's first append; each
+/// item counts as one executed event toward the max_events guard.
+///
+/// Both engines implement identical observable semantics — execution order,
+/// same-tick FIFO, cancel-from-inside-batch, now()/executed() trajectories —
+/// and the wheel is differentially tested against the oracle on randomized
+/// interleavings and whole campaigns.
 class EventLoop {
  public:
+  /// Scheduling callback. Move-only; callables up to SmallFn::kInlineSize
+  /// bytes are stored inline (no heap allocation on the scheduling path).
+  using Callback = SmallFn;
+
   /// Caller-chosen grouping key for schedule_batched (e.g. a destination
   /// host identity). Only equality matters; the key never influences
   /// ordering between different batches.
   using BatchKey = std::uint64_t;
 
+  explicit EventLoop(EventEngine engine = EventEngine::kWheel);
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
+
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `at` (clamped to now). Returns an id
-  /// usable with cancel().
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  [[nodiscard]] EventEngine engine() const { return engine_; }
 
-  /// Schedule `fn` after `delay` from now.
-  EventId schedule_in(SimTime delay, std::function<void()> fn);
+  /// Switches engines. Only legal while the loop is idle (nothing pending
+  /// and not inside run()/run_until()); throws InvariantError otherwise.
+  void set_engine(EventEngine engine);
+
+  /// Schedule `fn` at absolute time `at` (clamped to [now, kSimTimeMax]).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` after `delay` from now. Negative delays clamp to zero and
+  /// sentinel-large delays saturate at kSimTimeMax instead of wrapping.
+  EventId schedule_in(SimTime delay, Callback fn);
 
   /// Appends `fn` to the batch identified by (at, key), creating the batch
-  /// — one priority-queue entry — on first use. `at` clamps to now like
-  /// schedule_at. All appends to one batch return the same EventId;
-  /// cancel(id) cancels the whole batch (from outside, or from inside a
-  /// running batch, in which case the remaining items are skipped). A batch
-  /// closes when it runs or is cancelled: later appends to the same
-  /// (at, key) open a fresh batch that runs at its own (later) queue
-  /// position, including appends made while the batch itself is draining.
-  EventId schedule_batched(SimTime at, BatchKey key, std::function<void()> fn);
+  /// — one queue position — on first use. `at` clamps like schedule_at. All
+  /// appends to one batch return the same EventId; cancel(id) cancels the
+  /// whole batch (from outside, or from inside a running batch, in which
+  /// case the remaining items are skipped). A batch closes when it runs or
+  /// is cancelled: later appends to the same (at, key) open a fresh batch
+  /// that runs at its own (later) queue position, including appends made
+  /// while the batch itself is draining.
+  EventId schedule_batched(SimTime at, BatchKey key, Callback fn);
 
   /// Prevent a pending event (or whole batch) from running. Safe on
   /// already-run ids.
@@ -71,24 +105,8 @@ class EventLoop {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime at;
-    EventId id;
-    std::function<void()> fn;  // empty for batch entries (see batches_)
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
-  };
-  /// Out-of-line item storage for a batch entry (priority_queue elements
-  /// are immutable, so appends land here, keyed by the entry's id).
-  struct Batch {
-    SimTime at = 0;
-    BatchKey key = 0;
-    std::vector<std::function<void()>> items;
-  };
+  // --- shared ----------------------------------------------------------------
+
   struct Slot {
     SimTime at;
     BatchKey key;
@@ -102,17 +120,118 @@ class EventLoop {
     }
   };
 
-  bool pop_one(std::uint64_t& n, std::uint64_t max_events, const char* what);
-  /// Closes the open batch for (at, key) if it is `id` (stops appends).
-  void close_batch(SimTime at, BatchKey key, EventId id);
+  [[nodiscard]] SimTime clamp_at(SimTime at) const;
+  void run_impl(SimTime until, bool advance_to_until,
+                std::uint64_t max_events, const char* what);
 
+  // --- timing-wheel engine ---------------------------------------------------
+
+  static constexpr int kLevels = 8;      // 8 x 8 bits covers every SimTime
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlotsPerLevel = 1 << kSlotBits;  // 256
+  static constexpr std::size_t kNodesPerChunk = 64;
+
+  /// Intrusive event node: wheel-slot linkage, FIFO sequence number, the SBO
+  /// callback (singletons) or the pooled item vector (batches). Recycled
+  /// through a free list; `gen` invalidates stale EventIds on reuse.
+  struct Node {
+    SimTime at = 0;
+    std::uint64_t seq = 0;  // global scheduling order; FIFO tie-break
+    Node* next = nullptr;
+    std::uint32_t index = 0;  // position in the node pool (id encoding)
+    std::uint32_t gen = 0;
+    bool queued = false;     // linked into a wheel slot
+    bool draining = false;   // batch currently executing its items
+    bool cancelled = false;
+    bool is_batch = false;
+    BatchKey key = 0;
+    Callback fn;
+    std::vector<Callback> items;  // batch payload; capacity recycled
+  };
+
+  struct WheelSlot {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  [[nodiscard]] static EventId node_id(const Node* n) {
+    return (static_cast<EventId>(n->gen) << 32) |
+           static_cast<EventId>(n->index + 1);
+  }
+
+  Node* alloc_node();
+  void recycle_node(Node* n);
+  [[nodiscard]] Node* node_for(EventId id);
+
+  void wheel_place(Node* n);
+  void wheel_cascade(int level, int slot);
+  /// Advances now_ to the next due (non-empty level-0) slot at time
+  /// <= `until`, cascading along the way. Returns false when nothing is due
+  /// by `until` (now_ is then left at min(until, its previous value) — the
+  /// caller restores the observable clock).
+  bool wheel_advance(SimTime until);
+  bool wheel_pop_one(std::uint64_t& n, std::uint64_t max_events,
+                     const char* what, SimTime until, SimTime& last_exec);
+  void wheel_close_batch(SimTime at, BatchKey key, const Node* node);
+
+  EventId wheel_schedule_at(SimTime at, Callback fn);
+  EventId wheel_schedule_batched(SimTime at, BatchKey key, Callback fn);
+  void wheel_cancel(EventId id);
+  void wheel_run(SimTime until, bool advance_to_until,
+                 std::uint64_t max_events, const char* what);
+
+  // --- legacy priority-queue engine (the oracle) -----------------------------
+
+  struct Event {
+    SimTime at;
+    EventId id;
+    Callback fn;  // empty for batch entries (see Oracle::batches)
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+  /// Out-of-line item storage for a batch entry (priority_queue elements
+  /// are immutable, so appends land here, keyed by the entry's id).
+  struct Batch {
+    SimTime at = 0;
+    BatchKey key = 0;
+    std::vector<Callback> items;
+  };
+  struct Oracle {
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::unordered_set<EventId> cancelled;
+    std::unordered_map<EventId, Batch> batches;
+    std::unordered_map<Slot, EventId, SlotHash> open_batches;
+  };
+
+  bool oracle_pop_one(std::uint64_t& n, std::uint64_t max_events,
+                      const char* what);
+  void oracle_close_batch(SimTime at, BatchKey key, EventId id);
+
+  // --- state -----------------------------------------------------------------
+
+  EventEngine engine_;
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  EventId next_id_ = 1;        // oracle ids; the wheel's seq counter too
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, Batch> batches_;
-  std::unordered_map<Slot, EventId, SlotHash> open_batches_;
+  bool running_ = false;
+
+  // Wheel state. The slot array is ~32 KiB; everything else is pooled and
+  // reaches a steady state where scheduling allocates nothing.
+  WheelSlot slots_[kLevels][kSlotsPerLevel] = {};
+  std::uint64_t bitmap_[kLevels][kSlotsPerLevel / 64] = {};
+  std::size_t live_ = 0;  // queued, non-cancelled nodes
+  std::vector<Node*> chunks_;
+  Node* free_nodes_ = nullptr;
+  std::vector<Node*> cascade_scratch_;
+  using OpenBatchMap = std::unordered_map<Slot, Node*, SlotHash>;
+  OpenBatchMap open_batches_;
+  std::vector<OpenBatchMap::node_type> open_batch_pool_;
+
+  Oracle oracle_;
 };
 
 }  // namespace cd::sim

@@ -213,6 +213,10 @@ void Network::send(Packet packet, Asn origin_asn) {
       // later same-slot packets ride along for the cost of a vector push.
       const SimTime at = loop_.now() + delay;
       const PendingSlot key{at, host};
+      if (last_slot_batch_ != nullptr && last_slot_key_ == key) {
+        last_slot_batch_->push_back(Delivery{std::move(packet), origin_asn});
+        return;
+      }
       auto slot = pending_.find(key);
       if (slot == pending_.end()) {
         if (!slot_pool_.empty()) {
@@ -236,6 +240,8 @@ void Network::send(Packet packet, Asn origin_asn) {
         loop_.schedule_at(
             at, [this, host] { drain_batch(loop_.now(), host); });
       }
+      last_slot_key_ = key;
+      last_slot_batch_ = &slot->second;
       slot->second.push_back(Delivery{std::move(packet), origin_asn});
       return;
     }
@@ -254,6 +260,7 @@ void Network::drain_batch(SimTime at, Host* host) {
   // running batch — and the extracted node goes back to the slot pool
   // afterwards instead of being freed.
   auto node = pending_.extract(it);
+  last_slot_batch_ = nullptr;  // the memoized slot may be this node
   std::vector<Delivery>& batch = node.mapped();
 
   if (captures_.empty()) {
@@ -273,6 +280,14 @@ void Network::drain_batch(SimTime at, Host* host) {
   }
 
   batch.clear();
+  // Recycled vectors keep a small capacity floor so a steady-state slot
+  // never grows mid-burst: hash-jittered arrivals give small same-tick
+  // multiplicities, and node<->slot pairing shuffles between bursts, so
+  // without the floor an under-sized vector keeps meeting a bigger batch.
+  // The floor (not a high-water mark) keeps one giant batch from inflating
+  // every pooled node.
+  constexpr std::size_t kSlotReserveFloor = 16;
+  if (batch.capacity() < kSlotReserveFloor) batch.reserve(kSlotReserveFloor);
   // Generous cap: a busy shard keeps hundreds of (tick, host) slots in
   // flight at once, and a pooled node is just a few dozen idle bytes.
   constexpr std::size_t kSlotPoolCap = 1024;

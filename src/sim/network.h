@@ -223,6 +223,12 @@ class Network {
   using PendingMap =
       std::unordered_map<PendingSlot, std::vector<Delivery>, PendingSlotHash>;
   PendingMap pending_;
+  /// Memo of the slot the previous send landed in: a same-tick burst to one
+  /// host (the batched path's best case) resolves the slot once instead of
+  /// hashing per packet. Safe because unordered_map never moves nodes on
+  /// insert/rehash; drain_batch invalidates it when it extracts the node.
+  PendingSlot last_slot_key_{};
+  std::vector<Delivery>* last_slot_batch_ = nullptr;
   /// Retired slot nodes (map node + batch vector capacity) kept for reuse:
   /// a segmented TCP stream opens one slot per segment, so recycling whole
   /// nodes keeps the steady-state delivery path allocation-free (bounded

@@ -7,6 +7,11 @@ namespace cd::sim {
 
 using SimTime = std::int64_t;  // microseconds
 
+/// Largest schedulable instant (~146k simulated years). EventLoop clamps
+/// schedule times here so sentinel-large delays saturate instead of wrapping
+/// negative, and so timing-wheel slot arithmetic can never overflow SimTime.
+constexpr SimTime kSimTimeMax = SimTime{1} << 62;
+
 constexpr SimTime kMicrosecond = 1;
 constexpr SimTime kMillisecond = 1'000;
 constexpr SimTime kSecond = 1'000'000;

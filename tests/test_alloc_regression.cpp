@@ -1,0 +1,167 @@
+// Allocation-regression guard (ctest label: alloc): the zero-alloc claims of
+// the event core and the delivery path, asserted with a real operator-new
+// counter so they cannot silently regress. After a warmup that fills the
+// pools (event nodes, wire buffers, per-tick delivery slots), a steady-state
+// send->deliver cycle must perform ZERO heap allocations — same-tick bursts
+// and jittered singleton arrivals alike — and so must a steady-state
+// schedule/run cycle on the bare loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "sim/os_model.h"
+#include "sim/topology.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace cd;
+
+constexpr int kBurst = 256;
+
+/// Two-AS world with one bound UDP host (the bench fixture, verbatim).
+struct DeliveryFixture {
+  sim::EventLoop loop;
+  sim::Topology topo;
+  sim::Network network{topo, loop, Rng(7)};
+  std::optional<sim::Host> host;
+  std::uint64_t received = 0;
+
+  DeliveryFixture() {
+    topo.add_as(1);
+    topo.add_as(2);
+    topo.announce(1, net::Prefix::must_parse("21.0.0.0/16"));
+    topo.announce(2, net::Prefix::must_parse("22.0.0.0/16"));
+    host.emplace(network, 2, sim::os_profile(sim::OsId::kUbuntu1904),
+                 std::vector<net::IpAddr>{net::IpAddr::must_parse("22.0.0.1")},
+                 Rng(1));
+    host->bind_udp(53, [this](const net::Packet&) { ++received; });
+  }
+};
+
+/// Sends one burst (pool-recycled payloads), drains it, and returns the heap
+/// allocations the whole cycle performed. `vary_payload` spreads arrivals
+/// over distinct ticks (content-hashed latency); identical payloads land on
+/// one tick (the batched path's coalescing case).
+std::uint64_t burst_allocs(DeliveryFixture& f, bool vary_payload) {
+  const auto src = net::IpAddr::must_parse("21.0.0.5");
+  const auto dst = net::IpAddr::must_parse("22.0.0.1");
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBurst; ++i) {
+    const std::uint8_t lo = vary_payload ? static_cast<std::uint8_t>(i) : 0;
+    const std::uint8_t hi = vary_payload ? static_cast<std::uint8_t>(i >> 8) : 0;
+    auto payload = cd::BufferPool::acquire();
+    payload.assign({lo, hi, 3, 4});
+    f.network.send(net::make_udp(src, 1000, dst, 53, std::move(payload)), 1);
+  }
+  f.loop.run();
+  return g_allocs.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocRegression, SameTickDeliveryIsZeroAllocSteadyState) {
+  DeliveryFixture f;
+  for (int warm = 0; warm < 8; ++warm) burst_allocs(f, false);
+  std::uint64_t allocs = 0;
+  for (int round = 0; round < 4; ++round) allocs += burst_allocs(f, false);
+  EXPECT_EQ(allocs, 0u) << "per-packet: "
+                        << static_cast<double>(allocs) / (4.0 * kBurst);
+  EXPECT_EQ(f.received, 12u * kBurst);
+}
+
+TEST(AllocRegression, JitteredDeliveryIsZeroAllocSteadyState) {
+  DeliveryFixture f;
+  for (int warm = 0; warm < 8; ++warm) burst_allocs(f, true);
+  std::uint64_t allocs = 0;
+  for (int round = 0; round < 4; ++round) allocs += burst_allocs(f, true);
+  EXPECT_EQ(allocs, 0u) << "per-packet: "
+                        << static_cast<double>(allocs) / (4.0 * kBurst);
+  EXPECT_EQ(f.received, 12u * kBurst);
+}
+
+TEST(AllocRegression, UnbatchedDeliveryStaysAtBaseline) {
+  // The per-packet differential baseline keeps its documented cost (the
+  // whole-Packet closure takes SmallFn's heap fallback) but must not creep.
+  DeliveryFixture f;
+  f.network.set_batched_delivery(false);
+  for (int warm = 0; warm < 8; ++warm) burst_allocs(f, false);
+  std::uint64_t allocs = 0;
+  for (int round = 0; round < 4; ++round) allocs += burst_allocs(f, false);
+  EXPECT_LE(allocs, 4u * kBurst * 4u)
+      << "per-packet: " << static_cast<double>(allocs) / (4.0 * kBurst);
+}
+
+TEST(AllocRegression, EventLoopScheduleRunIsZeroAllocSteadyState) {
+  sim::EventLoop loop;
+  Rng rng(42);
+  std::vector<sim::SimTime> delays;
+  for (int i = 0; i < 4096; ++i) {
+    delays.push_back(static_cast<sim::SimTime>(rng.u64() % 100'000));
+  }
+  std::uint64_t sum = 0;
+  auto cycle = [&] {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (const sim::SimTime d : delays) {
+      loop.schedule_in(d, [&sum] { ++sum; });
+    }
+    loop.run();
+    return g_allocs.load(std::memory_order_relaxed) - before;
+  };
+  for (int warm = 0; warm < 4; ++warm) cycle();
+  std::uint64_t allocs = 0;
+  for (int round = 0; round < 4; ++round) allocs += cycle();
+  EXPECT_EQ(allocs, 0u) << "per-event: "
+                        << static_cast<double>(allocs) / (4.0 * 4096.0);
+  EXPECT_EQ(sum, 8u * 4096u);
+}
+
+TEST(AllocRegression, SmallFnStoresHotClosuresInline) {
+  // The closures the simulator schedules in steady state must fit SmallFn's
+  // inline buffer; a pointer-pair capture stays inline, a >48-byte capture
+  // documents the heap fallback.
+  struct TwoPtrs {
+    void* a;
+    void* b;
+    void operator()() const {}
+  };
+  static_assert(sim::SmallFn::fits_inline<TwoPtrs>());
+  sim::SmallFn small(TwoPtrs{nullptr, nullptr});
+  EXPECT_TRUE(small.is_inline());
+
+  struct Fat {
+    unsigned char blob[64];
+    void operator()() const {}
+  };
+  static_assert(!sim::SmallFn::fits_inline<Fat>());
+  sim::SmallFn fat(Fat{});
+  EXPECT_FALSE(fat.is_inline());
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Fuzz-style tests for the Internet checksum's SIMD widening: the vector
+// path (detail::be_word_sum, AVX2 where the CPU has it) must agree with the
+// scalar reference fold on every input — random buffers across the
+// dispatch-threshold sizes, streams split into chains at odd byte offsets,
+// and real captured wire bytes from the golden pcap fixture.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/checksum.h"
+#include "util/bytes.h"
+#include "util/pcap.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+using net::Checksum;
+using net::detail::be_word_sum;
+using net::detail::be_word_sum_scalar;
+using net::detail::fold16;
+
+/// Byte-at-a-time reference: completely independent of both production
+/// paths (no word loop, no SIMD) — RFC 1071's definition, literally.
+std::uint16_t naive_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t byte = data[i];
+    sum += (i % 2 == 0) ? byte << 8 : byte;
+  }
+  while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::vector<std::uint8_t> random_buffer(Rng& rng, std::size_t size) {
+  std::vector<std::uint8_t> buf(size);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return buf;
+}
+
+TEST(ChecksumSimd, VectorFoldMatchesScalarFoldOnRandomBuffers) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Sizes straddle the SIMD engagement threshold (64) and the 32-byte
+    // vector-width remainder handling, up to a few KiB.
+    const std::size_t size = trial < 130
+                                 ? static_cast<std::size_t>(trial)
+                                 : rng.uniform(8192);
+    const auto buf = random_buffer(rng, size);
+    EXPECT_EQ(fold16(be_word_sum(buf)), fold16(be_word_sum_scalar(buf)))
+        << "size=" << size << " trial=" << trial;
+    EXPECT_EQ(net::internet_checksum(buf), naive_checksum(buf))
+        << "size=" << size << " trial=" << trial;
+  }
+}
+
+TEST(ChecksumSimd, AllZerosAndAllOnesEdgeCases) {
+  // sum == 0 vs sum ≡ 0 (mod 0xFFFF) is the classic fold-representative
+  // trap: ~0 = 0xFFFF for the empty sum, 0x0000 for a wrapped-to-0xFFFF one.
+  for (const std::size_t size : {0u, 2u, 32u, 64u, 96u, 4096u}) {
+    const std::vector<std::uint8_t> zeros(size, 0x00);
+    EXPECT_EQ(net::internet_checksum(zeros), 0xFFFF) << "size=" << size;
+    const std::vector<std::uint8_t> ones(size, 0xFF);
+    EXPECT_EQ(net::internet_checksum(ones), size == 0 ? 0xFFFF : 0x0000)
+        << "size=" << size;
+  }
+}
+
+TEST(ChecksumStream, RandomChainSplitsMatchMonolithicSum) {
+  // A logical stream fed through add_stream in arbitrarily-split pieces —
+  // odd-length cuts force the pending-byte pairing across every boundary —
+  // must equal one add() over the concatenation.
+  Rng rng(0x5EED5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto buf = random_buffer(rng, 1 + rng.uniform(4096));
+    Checksum whole;
+    whole.add(buf);
+
+    Checksum pieces;
+    std::size_t offset = 0;
+    while (offset < buf.size()) {
+      // Bias towards small odd chunks; occasionally a big SIMD-width one.
+      const std::size_t remaining = buf.size() - offset;
+      const std::size_t chunk = std::min(
+          remaining,
+          rng.uniform(4) == 0 ? 1 + rng.uniform(512) : 1 + rng.uniform(7));
+      pieces.add_stream(std::span(buf).subspan(offset, chunk));
+      offset += chunk;
+    }
+    EXPECT_EQ(pieces.finish(), whole.finish()) << "trial=" << trial;
+  }
+}
+
+TEST(ChecksumStream, ConstSpansChainMatchesConcatenation) {
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Up to kMaxSpans pieces with odd sizes; sum via the chain overload.
+    std::vector<std::vector<std::uint8_t>> parts;
+    std::vector<std::uint8_t> concat;
+    ConstSpans chain;
+    const std::size_t n = 1 + rng.uniform(ConstSpans::kMaxSpans);
+    for (std::size_t i = 0; i < n; ++i) {
+      parts.push_back(random_buffer(rng, rng.uniform(600)));
+      concat.insert(concat.end(), parts.back().begin(), parts.back().end());
+    }
+    for (const auto& p : parts) chain.add(p);
+
+    Checksum chained;
+    chained.add_stream(chain);
+    Checksum whole;
+    whole.add(concat);
+    EXPECT_EQ(chained.finish(), whole.finish()) << "trial=" << trial;
+  }
+}
+
+TEST(ChecksumSimd, GoldenPcapBytesDifferential) {
+  // Real wire bytes (every quickstart campaign packet, headers included):
+  // slide windows of varying size and alignment over the capture and demand
+  // SIMD/scalar agreement on each.
+  const auto pcap =
+      cd::pcap::read_file(std::string(CD_FIXTURE_DIR) + "/quickstart.pcap");
+  ASSERT_GT(pcap.size(), 1024u);
+  const std::span<const std::uint8_t> bytes(pcap);
+  Rng rng(2020);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t offset = rng.uniform(pcap.size() - 1);
+    const std::size_t len =
+        std::min(pcap.size() - offset, 1 + rng.uniform(2048));
+    const auto window = bytes.subspan(offset, len);
+    EXPECT_EQ(fold16(be_word_sum(window)), fold16(be_word_sum_scalar(window)))
+        << "offset=" << offset << " len=" << len;
+    EXPECT_EQ(net::internet_checksum(window), naive_checksum(window))
+        << "offset=" << offset << " len=" << len;
+  }
+}
+
+}  // namespace

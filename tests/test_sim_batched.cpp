@@ -117,6 +117,40 @@ TEST(BatchedDifferential, RecordsMatchFieldByFieldOnOneSeed) {
             unbatched.merged.lifetime_excluded_targets);
 }
 
+TEST(BatchedDifferential, DigestsMatchOracleEventEngineAcrossSeedsAndShards) {
+  // The wheel-vs-oracle axis on the same full-fat harness: with batching on
+  // (the production configuration), the timing-wheel event core must be
+  // indistinguishable from the retired priority-queue engine — evidence,
+  // capture digests, and exported wire bytes — across seeds and shard
+  // counts.
+  for (const std::uint64_t seed : {7ULL, 42ULL, 99ULL, 1337ULL, 2020ULL}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      ExperimentConfig oracle_config = campaign_config(true, shards);
+      oracle_config.wheel_event_core = false;
+      const ShardedResults wheel = run_sharded_experiment(
+          spec_for(seed), campaign_config(true, shards));
+      const ShardedResults oracle =
+          run_sharded_experiment(spec_for(seed), oracle_config);
+
+      ASSERT_GT(wheel.merged.records.size(), 0u)
+          << "seed=" << seed << ": campaign saw no targets";
+      EXPECT_EQ(results_digest(wheel.merged), results_digest(oracle.merged))
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(capture_digest(wheel.merged.capture),
+                capture_digest(oracle.merged.capture))
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(wheel.merged.capture.to_pcap(),
+                oracle.merged.capture.to_pcap())
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(wheel.merged.capture.to_index(),
+                oracle.merged.capture.to_index())
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(wheel.merged.network_stats.delivered,
+                oracle.merged.network_stats.delivered);
+    }
+  }
+}
+
 // --- golden fixture re-verification ------------------------------------------
 
 std::string fixture_path(const char* name) {

@@ -1,0 +1,520 @@
+// The event-core equivalence guarantee: the hierarchical timing wheel
+// (sim::EventEngine::kWheel, the default) must be observably identical to
+// the retired priority-queue implementation it replaced, which is kept in
+// the tree as a reference oracle.
+//
+// Three layers of evidence:
+//  1. A property test interprets randomized schedule/cancel/batch/run
+//     programs (with nested scheduling and cancellation from inside
+//     callbacks) against both engines and demands the exact same execution
+//     trace — tags, firing times, clock trajectory. Failures greedily
+//     delta-debug themselves down to a minimal reproducing program.
+//  2. Targeted regressions for the wheel's hard edges: same-tick FIFO across
+//     cascade levels, far-future times spanning every wheel level,
+//     schedule_in overflow saturation, cancel of already-fired ids.
+//  3. Whole campaigns: the quickstart battery must produce byte-identical
+//     results_digest, capture_digest and pcap bytes under either engine
+//     (seeds x shard counts), and the golden fixture must re-verify under
+//     the oracle engine too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "ditl/world.h"
+#include "sim/event_loop.h"
+#include "util/error.h"
+#include "util/pcap.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cd;
+using sim::EventEngine;
+using sim::EventLoop;
+using sim::SimTime;
+
+// --- randomized differential interpreter -------------------------------------
+
+struct Op {
+  enum Kind : std::uint8_t {
+    kScheduleAt,
+    kScheduleIn,
+    kScheduleBatched,
+    kCancel,
+    kRunUntil,
+    kRun,
+  };
+  Kind kind = kScheduleAt;
+  SimTime t = 0;           // absolute time / delay / run_until bound
+  std::uint64_t key = 0;   // batch key
+  std::size_t ref = 0;     // cancel: index into the ids issued so far
+  std::uint32_t tag = 0;   // trace identity; also drives nested behavior
+};
+
+const char* kind_name(Op::Kind k) {
+  switch (k) {
+    case Op::kScheduleAt: return "schedule_at";
+    case Op::kScheduleIn: return "schedule_in";
+    case Op::kScheduleBatched: return "schedule_batched";
+    case Op::kCancel: return "cancel";
+    case Op::kRunUntil: return "run_until";
+    case Op::kRun: return "run";
+  }
+  return "?";
+}
+
+/// One trace entry per executed callback (tag + firing time); run/run_until
+/// ops append a sentinel entry carrying the post-run clock, pinning the
+/// run_until clock-advance rule as well.
+struct Trace {
+  std::vector<std::pair<std::uint32_t, SimTime>> entries;
+  std::uint64_t executed = 0;
+  std::size_t final_pending = 0;
+  SimTime final_now = 0;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+constexpr std::uint32_t kRunMarker = 0xFFFFFFFF;
+constexpr std::uint32_t kNestedBit = 0x80000000;
+
+/// Interprets `ops` on a fresh loop of the given engine. Callbacks with
+/// certain tags re-enter the loop (schedule a nested event, or cancel an
+/// earlier id) — behavior derived from the tag alone, so both engines see
+/// the same nested program iff their execution orders match.
+Trace interpret(EventEngine engine, const std::vector<Op>& ops) {
+  EventLoop loop(engine);
+  Trace trace;
+  std::vector<sim::EventId> ids;
+
+  struct Ctx {
+    EventLoop& loop;
+    Trace& trace;
+    std::vector<sim::EventId>& ids;
+  } ctx{loop, trace, ids};
+
+  // Shared callback body (value-captured ctx pointer: 16 bytes, inline in
+  // SmallFn). Declared as a struct so it can recurse via schedule.
+  struct Fire {
+    static void run(Ctx* c, std::uint32_t tag) {
+      c->trace.entries.emplace_back(tag, c->loop.now());
+      if ((tag & kNestedBit) == 0) {
+        if (tag % 7 == 3) {
+          const std::uint32_t nested = tag | kNestedBit;
+          const auto delay = static_cast<SimTime>(tag % 50);
+          c->ids.push_back(c->loop.schedule_in(
+              delay, [c, nested] { Fire::run(c, nested); }));
+        }
+        if (tag % 11 == 5 && !c->ids.empty()) {
+          c->loop.cancel(c->ids[tag % c->ids.size()]);
+        }
+      }
+    }
+  };
+
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kScheduleAt: {
+        const std::uint32_t tag = op.tag;
+        ids.push_back(
+            loop.schedule_at(op.t, [&ctx, tag] { Fire::run(&ctx, tag); }));
+        break;
+      }
+      case Op::kScheduleIn: {
+        const std::uint32_t tag = op.tag;
+        ids.push_back(
+            loop.schedule_in(op.t, [&ctx, tag] { Fire::run(&ctx, tag); }));
+        break;
+      }
+      case Op::kScheduleBatched: {
+        const std::uint32_t tag = op.tag;
+        ids.push_back(loop.schedule_batched(
+            op.t, op.key, [&ctx, tag] { Fire::run(&ctx, tag); }));
+        break;
+      }
+      case Op::kCancel:
+        if (!ids.empty()) loop.cancel(ids[op.ref % ids.size()]);
+        break;
+      case Op::kRunUntil:
+        loop.run_until(op.t, 1'000'000);
+        trace.entries.emplace_back(kRunMarker, loop.now());
+        break;
+      case Op::kRun:
+        loop.run(1'000'000);
+        trace.entries.emplace_back(kRunMarker, loop.now());
+        break;
+    }
+  }
+  loop.run(1'000'000);  // drain everything, however far in the future
+  trace.executed = loop.executed();
+  trace.final_pending = loop.pending();
+  trace.final_now = loop.now();
+  return trace;
+}
+
+/// Times drawn across every wheel level — same-tick collisions, the level-0
+/// rotation, mid-range cascades, and far-future instants near kSimTimeMax.
+SimTime gen_time(Rng& rng) {
+  switch (rng.uniform(8)) {
+    case 0: return static_cast<SimTime>(rng.uniform(4));        // dense ties
+    case 1: return static_cast<SimTime>(rng.uniform(256));      // level 0
+    case 2: return static_cast<SimTime>(rng.uniform(1 << 16));  // level 1
+    case 3: return static_cast<SimTime>(rng.uniform(1u << 24)); // level 2
+    case 4: return static_cast<SimTime>(rng.uniform(1ull << 40));
+    case 5: return static_cast<SimTime>(rng.uniform(1ull << 56));
+    case 6: return sim::kSimTimeMax - static_cast<SimTime>(rng.uniform(512));
+    default: return static_cast<SimTime>(rng.uniform(100'000));
+  }
+}
+
+std::vector<Op> gen_program(std::uint64_t seed, std::size_t n_ops) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    Op op;
+    op.tag = static_cast<std::uint32_t>(i) & ~kNestedBit;
+    const std::uint64_t pick = rng.uniform(100);
+    if (pick < 30) {
+      op.kind = Op::kScheduleAt;
+      op.t = gen_time(rng);
+    } else if (pick < 45) {
+      op.kind = Op::kScheduleIn;
+      // Includes schedule_in(0) and sentinel-huge delays that must saturate.
+      op.t = rng.uniform(10) == 0 ? 0 : gen_time(rng);
+      if (rng.uniform(50) == 0) op.t = INT64_MAX - 1;
+    } else if (pick < 75) {
+      op.kind = Op::kScheduleBatched;
+      op.t = gen_time(rng);
+      op.key = rng.uniform(4);
+    } else if (pick < 85) {
+      op.kind = Op::kCancel;  // may hit pending OR already-fired ids
+      op.ref = rng.uniform(1u << 16);
+    } else if (pick < 97) {
+      op.kind = Op::kRunUntil;
+      op.t = gen_time(rng);
+    } else {
+      op.kind = Op::kRun;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+bool diverges(const std::vector<Op>& ops) {
+  return !(interpret(EventEngine::kWheel, ops) ==
+           interpret(EventEngine::kPriorityQueue, ops));
+}
+
+/// Greedy delta-debugging: repeatedly drop chunks (halving the chunk size)
+/// while the program still diverges. Cancel ops index ids positionally, so
+/// any subsequence is still a valid program.
+std::vector<Op> shrink(std::vector<Op> ops) {
+  for (std::size_t chunk = ops.size() / 2; chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (std::size_t start = 0; start + chunk <= ops.size();) {
+        std::vector<Op> candidate;
+        candidate.reserve(ops.size() - chunk);
+        candidate.insert(candidate.end(), ops.begin(),
+                         ops.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(
+            candidate.end(),
+            ops.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+            ops.end());
+        if (diverges(candidate)) {
+          ops = std::move(candidate);
+          removed_any = true;
+        } else {
+          start += chunk;
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+std::string format_program(const std::vector<Op>& ops) {
+  std::ostringstream out;
+  for (const Op& op : ops) {
+    out << "  " << kind_name(op.kind) << " t=" << op.t << " key=" << op.key
+        << " ref=" << op.ref << " tag=" << op.tag << "\n";
+  }
+  return out.str();
+}
+
+TEST(EventCoreProperty, RandomProgramsMatchOracleExactly) {
+  // ~6 x 2500 ops x ~75% schedule ops (plus nested schedules) comfortably
+  // exceeds 10k differentially-checked events.
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 99ull, 1337ull, 2020ull}) {
+    std::vector<Op> ops = gen_program(seed, 2500);
+    if (diverges(ops)) {
+      const std::vector<Op> minimal = shrink(std::move(ops));
+      FAIL() << "wheel diverges from oracle; seed=" << seed
+             << "; minimal program (" << minimal.size() << " ops):\n"
+             << format_program(minimal);
+    }
+  }
+}
+
+TEST(EventCoreProperty, CancelHeavyProgramsMatchOracleExactly) {
+  // A second distribution: mostly cancels and run_until, catching clock
+  // advancement through cancelled-only stretches of the wheel.
+  for (const std::uint64_t seed : {3ull, 5ull, 11ull}) {
+    Rng rng(seed);
+    std::vector<Op> ops;
+    for (std::size_t i = 0; i < 1500; ++i) {
+      Op op;
+      op.tag = static_cast<std::uint32_t>(i) & ~kNestedBit;
+      const std::uint64_t pick = rng.uniform(10);
+      if (pick < 3) {
+        op.kind = Op::kScheduleAt;
+        op.t = gen_time(rng);
+      } else if (pick < 7) {
+        op.kind = Op::kCancel;
+        op.ref = rng.uniform(1u << 16);
+      } else {
+        op.kind = Op::kRunUntil;
+        op.t = gen_time(rng);
+      }
+      ops.push_back(op);
+    }
+    if (diverges(ops)) {
+      const std::vector<Op> minimal = shrink(std::move(ops));
+      FAIL() << "wheel diverges from oracle; seed=" << seed
+             << "; minimal program (" << minimal.size() << " ops):\n"
+             << format_program(minimal);
+    }
+  }
+}
+
+// --- targeted wheel edges -----------------------------------------------------
+
+TEST(EventCore, SameTickFifoAcrossCascadeLevels) {
+  // Ten events for one far-future tick, scheduled from progressively closer
+  // times so they enter the wheel at DIFFERENT levels and only meet in the
+  // level-0 slot after cascading. FIFO must still hold.
+  for (const EventEngine engine :
+       {EventEngine::kWheel, EventEngine::kPriorityQueue}) {
+    EventLoop loop(engine);
+    constexpr SimTime target = (SimTime{3} << 40) + 123;
+    std::vector<int> order;
+    int next = 0;
+    // Every 2^36 ticks, schedule one more callback for `target`.
+    std::function<void()> step = [&] {
+      loop.schedule_at(target, [&order, i = next] { order.push_back(i); });
+      ++next;
+      if (next < 10) loop.schedule_in(SimTime{1} << 36, step);
+    };
+    loop.schedule_at(0, step);
+    loop.run();
+    ASSERT_EQ(order.size(), 10u) << "engine=" << static_cast<int>(engine);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(order[static_cast<std::size_t>(i)], i)
+          << "engine=" << static_cast<int>(engine);
+    }
+    EXPECT_EQ(loop.now(), target);
+  }
+}
+
+TEST(EventCore, FarFutureTimesSpanEveryLevel) {
+  for (const EventEngine engine :
+       {EventEngine::kWheel, EventEngine::kPriorityQueue}) {
+    EventLoop loop(engine);
+    std::vector<SimTime> fired;
+    // One event per wheel level: delta = 2^(8k) + k.
+    for (int k = 0; k < 8; ++k) {
+      const SimTime at = (SimTime{1} << (8 * k)) + k;
+      loop.schedule_at(at, [&fired, &loop] { fired.push_back(loop.now()); });
+    }
+    loop.run();
+    ASSERT_EQ(fired.size(), 8u);
+    for (int k = 0; k < 8; ++k) {
+      EXPECT_EQ(fired[static_cast<std::size_t>(k)],
+                (SimTime{1} << (8 * k)) + k)
+          << "engine=" << static_cast<int>(engine);
+    }
+  }
+}
+
+TEST(EventCore, ScheduleInSaturatesInsteadOfWrapping) {
+  // Regression: now_ + delay used to wrap negative for sentinel-large
+  // delays, firing the "far future" event immediately.
+  for (const EventEngine engine :
+       {EventEngine::kWheel, EventEngine::kPriorityQueue}) {
+    EventLoop loop(engine);
+    bool far_ran = false;
+    bool near_ran = false;
+    loop.schedule_at(100, [&] {
+      loop.schedule_in(INT64_MAX, [&] { far_ran = true; });
+      loop.schedule_in(INT64_MAX - 50, [&] { far_ran = true; });
+    });
+    loop.schedule_at(200, [&] { near_ran = true; });
+    loop.run_until(1'000'000);
+    EXPECT_TRUE(near_ran) << "engine=" << static_cast<int>(engine);
+    EXPECT_FALSE(far_ran) << "engine=" << static_cast<int>(engine);
+    EXPECT_EQ(loop.pending(), 2u);
+    loop.run();
+    EXPECT_TRUE(far_ran);
+    EXPECT_EQ(loop.now(), sim::kSimTimeMax);
+  }
+}
+
+TEST(EventCore, ScheduleAtClampsToSimTimeMax) {
+  for (const EventEngine engine :
+       {EventEngine::kWheel, EventEngine::kPriorityQueue}) {
+    EventLoop loop(engine);
+    SimTime fired_at = -1;
+    loop.schedule_at(INT64_MAX, [&] { fired_at = loop.now(); });
+    loop.run();
+    EXPECT_EQ(fired_at, sim::kSimTimeMax)
+        << "engine=" << static_cast<int>(engine);
+  }
+}
+
+TEST(EventCore, CancelOfRecycledIdIsInert) {
+  // After an event fires, its id must never alias a later event — even
+  // though the wheel recycles the underlying node immediately.
+  EventLoop loop(EventEngine::kWheel);
+  const auto stale = loop.schedule_at(1, [] {});
+  loop.run();
+  bool ran = false;
+  loop.schedule_at(2, [&] { ran = true; });  // likely reuses the node
+  loop.cancel(stale);                        // must NOT cancel the new event
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.executed(), 2u);
+}
+
+TEST(EventCore, RunUntilNeverRunsPastBoundOverCancelledHead) {
+  // Regression for a defect in the retired engine (fixed in the oracle
+  // port): with a cancelled tombstone at the head of the queue, run_until
+  // tested the bound against the tombstone and then executed the next real
+  // event however far past `until` it lay. Both engines must stop at the
+  // bound and only discard the husk.
+  for (const auto engine : {EventEngine::kWheel, EventEngine::kPriorityQueue}) {
+    EventLoop loop(engine);
+    const auto head = loop.schedule_in(161, [] {});
+    loop.cancel(head);
+    bool far_ran = false;
+    loop.schedule_batched(SimTime{1} << 52, 2, [&] { far_ran = true; });
+    loop.run_until(61'333);
+    EXPECT_FALSE(far_ran);
+    EXPECT_EQ(loop.now(), 61'333);
+    EXPECT_EQ(loop.pending(), 1u);
+    loop.run();
+    EXPECT_TRUE(far_ran);
+  }
+}
+
+TEST(EventCore, SetEngineRequiresIdleLoop) {
+  EventLoop loop;
+  loop.schedule_at(5, [] {});
+  EXPECT_THROW(loop.set_engine(EventEngine::kPriorityQueue), InvariantError);
+  loop.run();
+  loop.set_engine(EventEngine::kPriorityQueue);
+  EXPECT_EQ(loop.engine(), EventEngine::kPriorityQueue);
+}
+
+// --- whole-campaign differential ---------------------------------------------
+
+using cd::core::CaptureSpec;
+using cd::core::ExperimentConfig;
+using cd::core::ShardedResults;
+using cd::core::capture_digest;
+using cd::core::results_digest;
+using cd::core::run_sharded_experiment;
+
+cd::ditl::WorldSpec spec_for(std::uint64_t seed) {
+  cd::ditl::WorldSpec spec = cd::ditl::small_world_spec();
+  spec.seed = seed;
+  return spec;
+}
+
+ExperimentConfig campaign_config(bool wheel, std::size_t shards) {
+  ExperimentConfig config;
+  config.wheel_event_core = wheel;
+  config.num_shards = shards;
+  config.num_threads = shards > 1 ? 2 : 1;
+  config.analyst = cd::scanner::AnalystConfig{};
+  CaptureSpec capture;
+  capture.include_drops = true;
+  config.capture = capture;
+  return config;
+}
+
+TEST(EventCoreCampaign, DigestsMatchOracleAcrossSeedsAndShards) {
+  // The full 5-seed battery lives in test_sim_batched/test_sim_tcp's
+  // engine axes; this covers both shard counts under the capture-everything
+  // config (and is the body TSan re-runs via the eventcore label).
+  for (const std::uint64_t seed : {7ull, 42ull}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      const ShardedResults wheel = run_sharded_experiment(
+          spec_for(seed), campaign_config(true, shards));
+      const ShardedResults oracle = run_sharded_experiment(
+          spec_for(seed), campaign_config(false, shards));
+
+      ASSERT_GT(wheel.merged.records.size(), 0u)
+          << "seed=" << seed << ": campaign saw no targets";
+      EXPECT_EQ(results_digest(wheel.merged), results_digest(oracle.merged))
+          << "seed=" << seed << " shards=" << shards;
+      ASSERT_FALSE(wheel.merged.capture.records.empty());
+      EXPECT_EQ(capture_digest(wheel.merged.capture),
+                capture_digest(oracle.merged.capture))
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(wheel.merged.capture.to_pcap(),
+                oracle.merged.capture.to_pcap())
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(wheel.merged.capture.to_index(),
+                oracle.merged.capture.to_index())
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(wheel.merged.queries_sent, oracle.merged.queries_sent);
+      EXPECT_EQ(wheel.merged.followup_batteries,
+                oracle.merged.followup_batteries);
+      EXPECT_EQ(wheel.merged.analyst_replays, oracle.merged.analyst_replays);
+      EXPECT_EQ(wheel.merged.network_stats.delivered,
+                oracle.merged.network_stats.delivered);
+    }
+  }
+}
+
+std::string fixture_path(const char* name) {
+  return std::string(CD_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(EventCoreGoldenPcap, FixtureBytesIdenticalUnderOracleEngine) {
+  // The checked-in golden capture predates the wheel (generated by the
+  // priority-queue engine); both engines must still reproduce it exactly.
+  if (std::getenv("CD_GOLDEN_WRITE") != nullptr) {
+    GTEST_SKIP() << "fixture being regenerated";
+  }
+  const auto golden_pcap = cd::pcap::read_file(fixture_path("quickstart.pcap"));
+  const auto golden_index =
+      cd::pcap::read_file(fixture_path("quickstart.pcap.idx"));
+
+  for (const bool wheel : {true, false}) {
+    cd::ditl::WorldSpec spec = cd::ditl::small_world_spec();
+    spec.n_asns = 6;
+    spec.seed = 42;
+    ExperimentConfig config;
+    config.wheel_event_core = wheel;
+    CaptureSpec capture;
+    capture.include_drops = true;
+    config.capture = capture;
+    const cd::pcap::Capture got =
+        run_sharded_experiment(spec, config).merged.capture;
+    ASSERT_FALSE(got.records.empty());
+    EXPECT_EQ(got.to_pcap(), golden_pcap) << "wheel=" << wheel;
+    EXPECT_EQ(got.to_index(), golden_index) << "wheel=" << wheel;
+  }
+}
+
+}  // namespace

@@ -1,8 +1,15 @@
-// Unit tests: discrete event loop.
+// Unit tests: discrete event loop. Every test runs against BOTH engines —
+// the hierarchical timing wheel and the retired priority-queue oracle — so
+// the semantic contract (time order, same-tick FIFO, batch lifecycle,
+// cancellation) is pinned identically for the pair.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/event_loop.h"
 #include "util/error.h"
@@ -12,8 +19,25 @@ namespace {
 using namespace cd;
 using sim::EventLoop;
 
-TEST(EventLoop, RunsInTimeOrder) {
-  EventLoop loop;
+class EventLoopTest : public ::testing::TestWithParam<sim::EventEngine> {};
+class EventLoopBatchTest : public ::testing::TestWithParam<sim::EventEngine> {};
+
+std::string engine_name(
+    const ::testing::TestParamInfo<sim::EventEngine>& info) {
+  return info.param == sim::EventEngine::kWheel ? "Wheel" : "PriorityQueue";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EventLoopTest,
+                         ::testing::Values(sim::EventEngine::kWheel,
+                                           sim::EventEngine::kPriorityQueue),
+                         engine_name);
+INSTANTIATE_TEST_SUITE_P(Engines, EventLoopBatchTest,
+                         ::testing::Values(sim::EventEngine::kWheel,
+                                           sim::EventEngine::kPriorityQueue),
+                         engine_name);
+
+TEST_P(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   loop.schedule_at(30, [&] { order.push_back(3); });
   loop.schedule_at(10, [&] { order.push_back(1); });
@@ -23,8 +47,8 @@ TEST(EventLoop, RunsInTimeOrder) {
   EXPECT_EQ(loop.now(), 30);
 }
 
-TEST(EventLoop, SameTimeIsFifo) {
-  EventLoop loop;
+TEST_P(EventLoopTest, SameTimeIsFifo) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     loop.schedule_at(5, [&order, i] { order.push_back(i); });
@@ -33,8 +57,8 @@ TEST(EventLoop, SameTimeIsFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
-TEST(EventLoop, ScheduleInIsRelative) {
-  EventLoop loop;
+TEST_P(EventLoopTest, ScheduleInIsRelative) {
+  EventLoop loop(GetParam());
   sim::SimTime fired_at = -1;
   loop.schedule_at(100, [&] {
     loop.schedule_in(50, [&] { fired_at = loop.now(); });
@@ -43,8 +67,8 @@ TEST(EventLoop, ScheduleInIsRelative) {
   EXPECT_EQ(fired_at, 150);
 }
 
-TEST(EventLoop, PastTimesClampToNow) {
-  EventLoop loop;
+TEST_P(EventLoopTest, PastTimesClampToNow) {
+  EventLoop loop(GetParam());
   sim::SimTime fired_at = -1;
   loop.schedule_at(100, [&] {
     loop.schedule_at(10, [&] { fired_at = loop.now(); });
@@ -53,8 +77,8 @@ TEST(EventLoop, PastTimesClampToNow) {
   EXPECT_EQ(fired_at, 100);
 }
 
-TEST(EventLoop, CancelPreventsExecution) {
-  EventLoop loop;
+TEST_P(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop(GetParam());
   bool ran = false;
   const auto id = loop.schedule_at(10, [&] { ran = true; });
   loop.cancel(id);
@@ -63,8 +87,8 @@ TEST(EventLoop, CancelPreventsExecution) {
   EXPECT_EQ(loop.executed(), 0u);
 }
 
-TEST(EventLoop, CancelAlreadyRunIsSafe) {
-  EventLoop loop;
+TEST_P(EventLoopTest, CancelAlreadyRunIsSafe) {
+  EventLoop loop(GetParam());
   const auto id = loop.schedule_at(1, [] {});
   loop.run();
   loop.cancel(id);  // no effect, no crash
@@ -73,8 +97,8 @@ TEST(EventLoop, CancelAlreadyRunIsSafe) {
   EXPECT_EQ(loop.executed(), 2u);
 }
 
-TEST(EventLoop, RunUntilLeavesLaterEvents) {
-  EventLoop loop;
+TEST_P(EventLoopTest, RunUntilLeavesLaterEvents) {
+  EventLoop loop(GetParam());
   int count = 0;
   loop.schedule_at(10, [&] { ++count; });
   loop.schedule_at(20, [&] { ++count; });
@@ -87,8 +111,8 @@ TEST(EventLoop, RunUntilLeavesLaterEvents) {
   EXPECT_EQ(count, 3);
 }
 
-TEST(EventLoop, MaxEventsGuardThrows) {
-  EventLoop loop;
+TEST_P(EventLoopTest, MaxEventsGuardThrows) {
+  EventLoop loop(GetParam());
   // A self-rescheduling event would run forever.
   std::function<void()> self = [&] { loop.schedule_in(1, self); };
   loop.schedule_at(0, self);
@@ -97,8 +121,8 @@ TEST(EventLoop, MaxEventsGuardThrows) {
 
 // --- batched scheduling ------------------------------------------------------
 
-TEST(EventLoopBatch, SameSlotCoalescesIntoOneQueueEntry) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, SameSlotCoalescesIntoOneQueueEntry) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   const auto id1 = loop.schedule_batched(10, 7, [&] { order.push_back(1); });
   const auto id2 = loop.schedule_batched(10, 7, [&] { order.push_back(2); });
@@ -111,10 +135,10 @@ TEST(EventLoopBatch, SameSlotCoalescesIntoOneQueueEntry) {
   EXPECT_EQ(loop.executed(), 3u);  // each item counts
 }
 
-TEST(EventLoopBatch, BatchRunsAtFirstAppendPosition) {
+TEST_P(EventLoopBatchTest, BatchRunsAtFirstAppendPosition) {
   // Interleaved with singleton events on the same tick, the whole batch
   // runs where its FIRST item was scheduled; later appends ride along.
-  EventLoop loop;
+  EventLoop loop(GetParam());
   std::vector<char> order;
   loop.schedule_at(10, [&] { order.push_back('a'); });
   loop.schedule_batched(10, 1, [&] { order.push_back('x'); });
@@ -125,8 +149,8 @@ TEST(EventLoopBatch, BatchRunsAtFirstAppendPosition) {
   EXPECT_EQ(order, (std::vector<char>{'a', 'x', 'y', 'b', 'c'}));
 }
 
-TEST(EventLoopBatch, DistinctKeysKeepDistinctBatchesInCreationOrder) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, DistinctKeysKeepDistinctBatchesInCreationOrder) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   loop.schedule_batched(5, 100, [&] { order.push_back(1); });
   loop.schedule_batched(5, 200, [&] { order.push_back(10); });
@@ -137,8 +161,8 @@ TEST(EventLoopBatch, DistinctKeysKeepDistinctBatchesInCreationOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 20}));
 }
 
-TEST(EventLoopBatch, SameKeyDifferentTimesAreDifferentBatches) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, SameKeyDifferentTimesAreDifferentBatches) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   loop.schedule_batched(20, 7, [&] { order.push_back(2); });
   loop.schedule_batched(10, 7, [&] { order.push_back(1); });
@@ -147,8 +171,8 @@ TEST(EventLoopBatch, SameKeyDifferentTimesAreDifferentBatches) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
-TEST(EventLoopBatch, PastTimesClampToNowLikeScheduleAt) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, PastTimesClampToNowLikeScheduleAt) {
+  EventLoop loop(GetParam());
   sim::SimTime fired_at = -1;
   loop.schedule_at(100, [&] {
     loop.schedule_batched(10, 3, [&] { fired_at = loop.now(); });
@@ -157,8 +181,8 @@ TEST(EventLoopBatch, PastTimesClampToNowLikeScheduleAt) {
   EXPECT_EQ(fired_at, 100);
 }
 
-TEST(EventLoopBatch, CancelDropsWholeBatch) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, CancelDropsWholeBatch) {
+  EventLoop loop(GetParam());
   int ran = 0;
   const auto id = loop.schedule_batched(10, 1, [&] { ++ran; });
   loop.schedule_batched(10, 1, [&] { ++ran; });
@@ -168,8 +192,8 @@ TEST(EventLoopBatch, CancelDropsWholeBatch) {
   EXPECT_EQ(loop.executed(), 0u);
 }
 
-TEST(EventLoopBatch, AppendAfterCancelOpensFreshLiveBatch) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, AppendAfterCancelOpensFreshLiveBatch) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   const auto dead = loop.schedule_batched(10, 1, [&] { order.push_back(1); });
   loop.cancel(dead);
@@ -179,8 +203,8 @@ TEST(EventLoopBatch, AppendAfterCancelOpensFreshLiveBatch) {
   EXPECT_EQ(order, (std::vector<int>{2}));
 }
 
-TEST(EventLoopBatch, CancelFromInsideRunningBatchSkipsRemainder) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, CancelFromInsideRunningBatchSkipsRemainder) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   sim::EventId id = 0;
   id = loop.schedule_batched(10, 1, [&] {
@@ -194,8 +218,8 @@ TEST(EventLoopBatch, CancelFromInsideRunningBatchSkipsRemainder) {
   EXPECT_EQ(loop.executed(), 1u);
 }
 
-TEST(EventLoopBatch, ItemCanCancelAnotherPendingBatch) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, ItemCanCancelAnotherPendingBatch) {
+  EventLoop loop(GetParam());
   bool later_ran = false;
   const auto later = loop.schedule_batched(20, 2, [&] { later_ran = true; });
   loop.schedule_batched(10, 1, [&] { loop.cancel(later); });
@@ -203,10 +227,10 @@ TEST(EventLoopBatch, ItemCanCancelAnotherPendingBatch) {
   EXPECT_FALSE(later_ran);
 }
 
-TEST(EventLoopBatch, AppendFromInsideDrainOpensSecondBatchSameTick) {
+TEST_P(EventLoopBatchTest, AppendFromInsideDrainOpensSecondBatchSameTick) {
   // A batch closes when it starts draining: same-slot appends made by its
   // own items form a NEW batch that still runs this tick, after the first.
-  EventLoop loop;
+  EventLoop loop(GetParam());
   std::vector<int> order;
   loop.schedule_batched(10, 1, [&] {
     order.push_back(1);
@@ -218,8 +242,8 @@ TEST(EventLoopBatch, AppendFromInsideDrainOpensSecondBatchSameTick) {
   EXPECT_EQ(loop.now(), 10);
 }
 
-TEST(EventLoopBatch, RunUntilDrainsDueBatchesAndSplitsLaterAppends) {
-  EventLoop loop;
+TEST_P(EventLoopBatchTest, RunUntilDrainsDueBatchesAndSplitsLaterAppends) {
+  EventLoop loop(GetParam());
   std::vector<int> order;
   loop.schedule_batched(10, 1, [&] { order.push_back(1); });
   loop.schedule_batched(10, 1, [&] { order.push_back(2); });
@@ -246,25 +270,25 @@ TEST(EventLoopBatch, RunUntilDrainsDueBatchesAndSplitsLaterAppends) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 9}));
 }
 
-TEST(EventLoopBatch, MaxEventsCountsEveryBatchItem) {
+TEST_P(EventLoopBatchTest, MaxEventsCountsEveryBatchItem) {
   {
-    EventLoop loop;
+    EventLoop loop(GetParam());
     for (int i = 0; i < 5; ++i) loop.schedule_batched(10, 1, [] {});
     EXPECT_THROW(loop.run(4), InvariantError);
   }
   {
-    EventLoop loop;
+    EventLoop loop(GetParam());
     for (int i = 0; i < 5; ++i) loop.schedule_batched(10, 1, [] {});
     loop.run(5);  // exactly enough
     EXPECT_EQ(loop.executed(), 5u);
   }
 }
 
-TEST(EventLoopBatch, StressMixedSingletonsAndBatchesKeepInvariants) {
+TEST_P(EventLoopBatchTest, StressMixedSingletonsAndBatchesKeepInvariants) {
   // Random mix of singleton and batched scheduling: time stays monotonic,
   // items within one (time, key) slot run in append order, and nothing is
   // lost or duplicated.
-  EventLoop loop;
+  EventLoop loop(GetParam());
   std::uint64_t scheduled = 0;
   std::uint64_t ran = 0;
   sim::SimTime last = -1;
@@ -311,8 +335,8 @@ TEST(EventLoopBatch, StressMixedSingletonsAndBatchesKeepInvariants) {
   EXPECT_EQ(loop.pending(), 0u);
 }
 
-TEST(EventLoop, NowMonotonicThroughChaos) {
-  EventLoop loop;
+TEST_P(EventLoopTest, NowMonotonicThroughChaos) {
+  EventLoop loop(GetParam());
   sim::SimTime last = -1;
   bool monotonic = true;
   for (int i = 0; i < 100; ++i) {

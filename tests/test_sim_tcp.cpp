@@ -428,6 +428,36 @@ TEST(TcpDifferential, CampaignEvidenceInvariantAcrossSegmentationModes) {
   }
 }
 
+TEST(TcpDifferential, CampaignEvidenceInvariantAcrossEventEngines) {
+  // The wheel-vs-oracle axis over the TCP-heavy campaign: with segmentation
+  // on (every TC=1 retry exercises handshake timers, per-segment delivery
+  // events and teardown cancellations), both event engines must produce
+  // byte-identical evidence AND wire bytes, across seeds and shard counts.
+  for (const std::uint64_t seed : {7ULL, 42ULL, 99ULL, 1337ULL, 2020ULL}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      core::ExperimentConfig wheel_config = diff_config(true);
+      wheel_config.num_shards = shards;
+      wheel_config.num_threads = shards > 1 ? 2 : 1;
+      core::ExperimentConfig oracle_config = wheel_config;
+      oracle_config.wheel_event_core = false;
+
+      const auto wheel =
+          core::run_sharded_experiment(diff_spec(seed), wheel_config);
+      const auto oracle =
+          core::run_sharded_experiment(diff_spec(seed), oracle_config);
+      EXPECT_EQ(core::results_digest(wheel.merged),
+                core::results_digest(oracle.merged))
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(core::capture_digest(wheel.merged.capture),
+                core::capture_digest(oracle.merged.capture))
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(wheel.merged.capture.to_pcap(),
+                oracle.merged.capture.to_pcap())
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
 TEST(TcpSegmentation, NoCampaignSegmentExceedsAdvertisedMss) {
   // Over a full captured campaign (TC=1 elicitation drives real
   // DNS-over-TCP): every TCP data segment from A to B is capped at the MSS

@@ -100,13 +100,16 @@ inline Run run_standard_experiment(const RunOptions& options) {
     std::printf("# shards: %zu on %zu threads\n", options.shards,
                 options.threads);
     for (const cd::core::ShardTiming& s : out.shards) {
-      std::printf("#   shard %zu: %zu targets, gen %.0fms, run %.0fms\n",
+      std::printf("#   shard %zu: %zu targets, gen %.0fms, run %.0fms",
                   s.shard, s.targets, s.gen_ms, s.run_ms);
+      if (s.spill_ms > 0) std::printf(", spill %.0fms", s.spill_ms);
+      std::printf(", peak RSS %zu KiB\n", s.peak_rss_kb);
     }
-    std::printf("# wall %.0fms, aggregate shard time %.0fms "
-                "(parallel speedup est. %.2fx)\n",
-                out.wall_ms, out.aggregate_ms(),
-                out.wall_ms > 0 ? out.aggregate_ms() / out.wall_ms : 0.0);
+    std::printf("# wall %.0fms, merge %.0fms, aggregate shard time %.0fms "
+                "(parallel speedup est. %.2fx), peak RSS %zu KiB\n",
+                out.wall_ms, out.merge_ms, out.aggregate_ms(),
+                out.wall_ms > 0 ? out.aggregate_ms() / out.wall_ms : 0.0,
+                out.peak_rss_kb);
     run.merged = std::move(out.merged);
     run.results = &run.merged;
   } else {

@@ -34,19 +34,23 @@ cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp \
 ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp|eventcore" \
   --output-on-failure
 
-echo "=== ASan build + fuzz/pcap/batched/tcp-label ctest ==="
+echo "=== ASan build + fuzz/pcap/batched/tcp/campaign-label ctest ==="
+# The campaign label covers the streamed-world + disk-spill battery: the
+# spill truncation fuzz only proves "throws, never over-reads" when the
+# reads are instrumented, and its RSS-budget test asserts the bounded-memory
+# claim under a sanitizer-scaled budget that stays fixed as targets grow.
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
 cmake --build "${PREFIX}-asan" -j --target \
   test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
-  test_sim_batched test_sim_tcp test_net_checksum
+  test_sim_batched test_sim_tcp test_net_checksum test_campaign_stream
 ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched|tcp" \
+  ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched|tcp|campaign" \
   --output-on-failure
 
-echo "=== UBSan build + unit/pcap/batched/tcp-label ctest ==="
+echo "=== UBSan build + unit/pcap/batched/tcp/campaign-label ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
-ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap|batched|fuzz|tcp" \
+ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap|batched|fuzz|tcp|campaign" \
   --output-on-failure -j
 
 if [[ "${CD_COVERAGE:-0}" == "1" ]]; then

@@ -40,30 +40,41 @@ Experiment::Experiment(cd::ditl::World& world, ExperimentConfig config)
   }
 }
 
+void merge_into(ExperimentResults& acc, ExperimentResults part, bool first) {
+  for (auto& [addr, record] : part.records) {
+    const bool inserted = acc.records.emplace(addr, std::move(record)).second;
+    CD_ENSURE(inserted, "merge_results: target present in two shards");
+  }
+  acc.collector_stats += part.collector_stats;
+  acc.qmin_asns.insert(part.qmin_asns.begin(), part.qmin_asns.end());
+  acc.lifetime_excluded_targets.insert(part.lifetime_excluded_targets.begin(),
+                                       part.lifetime_excluded_targets.end());
+  acc.network_stats += part.network_stats;
+  acc.queries_sent += part.queries_sent;
+  acc.followup_batteries += part.followup_batteries;
+  acc.analyst_replays += part.analyst_replays;
+
+  if (first) {
+    acc.capture = std::move(part.capture);
+  } else {
+    CD_ENSURE(part.capture.snaplen == acc.capture.snaplen &&
+                  part.capture.linktype == acc.capture.linktype,
+              "merge_results: mismatched capture parameters");
+    acc.capture.records.insert(
+        acc.capture.records.end(),
+        std::make_move_iterator(part.capture.records.begin()),
+        std::make_move_iterator(part.capture.records.end()));
+  }
+}
+
 ExperimentResults merge_results(std::vector<ExperimentResults> parts) {
   ExperimentResults merged;
+  bool first = true;
   for (ExperimentResults& part : parts) {
-    for (auto& [addr, record] : part.records) {
-      const bool inserted =
-          merged.records.emplace(addr, std::move(record)).second;
-      CD_ENSURE(inserted, "merge_results: target present in two shards");
-    }
-    merged.collector_stats += part.collector_stats;
-    merged.qmin_asns.insert(part.qmin_asns.begin(), part.qmin_asns.end());
-    merged.lifetime_excluded_targets.insert(
-        part.lifetime_excluded_targets.begin(),
-        part.lifetime_excluded_targets.end());
-    merged.network_stats += part.network_stats;
-    merged.queries_sent += part.queries_sent;
-    merged.followup_batteries += part.followup_batteries;
-    merged.analyst_replays += part.analyst_replays;
+    merge_into(merged, std::move(part), first);
+    first = false;
   }
-  std::vector<cd::pcap::Capture> captures;
-  captures.reserve(parts.size());
-  for (ExperimentResults& part : parts) {
-    captures.push_back(std::move(part.capture));
-  }
-  merged.capture = cd::pcap::merge_captures(std::move(captures));
+  cd::pcap::canonicalize(merged.capture);
   return merged;
 }
 

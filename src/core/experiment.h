@@ -90,6 +90,19 @@ struct ExperimentConfig {
   std::size_t num_threads = 1;
   /// Which shard this Experiment instance probes (set by the runner).
   std::size_t shard_index = 0;
+  /// Build each shard's world lazily from its slice of the target stream
+  /// (ditl::generate_world(spec, shard, num_shards)) instead of
+  /// materializing the full world per shard. Memory per shard becomes
+  /// O(shard), not O(world); evidence is bit-identical either way
+  /// (tests/test_campaign_stream.cpp), so this stays on. The off switch
+  /// exists for the differential tests and for bisecting.
+  bool stream_worlds = true;
+  /// When non-empty, each shard's results are spilled to
+  /// `<spill_dir>/shard_<N>.cdsp` (core/spill.h) as the shard finishes and
+  /// streamed back in shard order during the merge, bounding peak memory by
+  /// the largest single shard instead of the sum of all shards. The files
+  /// are deleted after merging.
+  std::string spill_dir;
 };
 
 struct ExperimentResults {
@@ -110,6 +123,15 @@ struct ExperimentResults {
 /// because shards partition targets by AS — are inserted shard by shard.
 [[nodiscard]] ExperimentResults merge_results(
     std::vector<ExperimentResults> parts);
+
+/// Incremental one-part step of merge_results: folds `part` into `acc`
+/// without needing every part in memory at once (the spill-merge path
+/// streams parts through this). `first` marks the first part (it donates the
+/// capture's snaplen/linktype; later parts must agree). Capture records are
+/// appended un-canonicalized — call cd::pcap::canonicalize(acc.capture) once
+/// after the last part, which is exactly what merge_results does, so the
+/// streamed fold is bit-identical to the all-at-once merge.
+void merge_into(ExperimentResults& acc, ExperimentResults part, bool first);
 
 /// Wires scanner components onto a World and runs the campaign to
 /// completion. The world must outlive the experiment.

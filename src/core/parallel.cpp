@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "core/spill.h"
 #include "ditl/world.h"
 #include "scanner/prober.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/rss.h"
 
 namespace cd::core {
 
@@ -53,6 +57,7 @@ class Digest {
 
 struct ShardOutcome {
   std::optional<ExperimentResults> results;
+  std::string spill_path;  // non-empty: results live on disk, not in memory
   ShardTiming timing;
   std::exception_ptr error;
 };
@@ -63,12 +68,22 @@ ShardOutcome run_one_shard(const cd::ditl::WorldSpec& spec,
   out.timing.shard = shard;
   try {
     const auto gen_start = Clock::now();
-    auto world = cd::ditl::generate_world(spec);
+    // Streamed mode builds only this shard's slice of the world from the
+    // target stream — O(shard) memory; the materialized fallback builds the
+    // full world and lets the prober's shard filter skip foreign targets.
+    auto world = config.stream_worlds
+                     ? cd::ditl::generate_world(spec, shard, config.num_shards)
+                     : cd::ditl::generate_world(spec);
     out.timing.gen_ms = ms_since(gen_start);
 
-    for (const cd::scanner::TargetInfo& target : world->targets) {
-      if (cd::scanner::shard_of(target.asn, config.num_shards) == shard) {
-        ++out.timing.targets;
+    if (config.stream_worlds) {
+      // A streamed world's target list is exactly this shard's slice.
+      out.timing.targets = world->targets.size();
+    } else {
+      for (const cd::scanner::TargetInfo& target : world->targets) {
+        if (cd::scanner::shard_of(target.asn, config.num_shards) == shard) {
+          ++out.timing.targets;
+        }
       }
     }
 
@@ -77,6 +92,17 @@ ShardOutcome run_one_shard(const cd::ditl::WorldSpec& spec,
     Experiment experiment(*world, config);
     out.results = experiment.run();
     out.timing.run_ms = ms_since(run_start);
+
+    if (!config.spill_dir.empty()) {
+      const auto spill_start = Clock::now();
+      out.spill_path = (std::filesystem::path(config.spill_dir) /
+                        ("shard_" + std::to_string(shard) + ".cdsp"))
+                           .string();
+      write_results(*out.results, out.spill_path);
+      out.results.reset();  // the whole point: free the shard's memory now
+      out.timing.spill_ms = ms_since(spill_start);
+    }
+    out.timing.peak_rss_kb = cd::peak_rss_kb();
   } catch (...) {
     out.error = std::current_exception();
   }
@@ -99,6 +125,9 @@ ShardedResults run_sharded_experiment(const cd::ditl::WorldSpec& spec,
 
   ExperimentConfig shard_config = config;
   shard_config.num_shards = n_shards;
+  if (!shard_config.spill_dir.empty()) {
+    std::filesystem::create_directories(shard_config.spill_dir);
+  }
 
   const auto wall_start = Clock::now();
   std::vector<ShardOutcome> outcomes(n_shards);
@@ -126,15 +155,30 @@ ShardedResults run_sharded_experiment(const cd::ditl::WorldSpec& spec,
   }
 
   ShardedResults sharded;
-  std::vector<ExperimentResults> parts;
-  parts.reserve(n_shards);
+  // Incremental fold in shard order: spilled shards are read back one at a
+  // time, so the merge phase holds the accumulator plus one part — never all
+  // parts — and produces bytes identical to the all-in-memory merge_results
+  // (merge_into appends raw; one canonicalize pass at the end).
+  const auto merge_start = Clock::now();
+  bool first = true;
   for (ShardOutcome& out : outcomes) {
     if (out.error) std::rethrow_exception(out.error);
-    CD_ENSURE(out.results.has_value(), "run_sharded_experiment: missing shard");
-    parts.push_back(std::move(*out.results));
+    ExperimentResults part;
+    if (!out.spill_path.empty()) {
+      part = read_results(out.spill_path);
+      std::remove(out.spill_path.c_str());
+    } else {
+      CD_ENSURE(out.results.has_value(),
+                "run_sharded_experiment: missing shard");
+      part = std::move(*out.results);
+    }
+    merge_into(sharded.merged, std::move(part), first);
+    first = false;
     sharded.shards.push_back(out.timing);
   }
-  sharded.merged = merge_results(std::move(parts));
+  cd::pcap::canonicalize(sharded.merged.capture);
+  sharded.merge_ms = ms_since(merge_start);
+  sharded.peak_rss_kb = cd::peak_rss_kb();
   sharded.wall_ms = ms_since(wall_start);
   return sharded;
 }

@@ -35,12 +35,21 @@ struct ShardTiming {
   std::size_t targets = 0;   // targets assigned to this shard
   double gen_ms = 0.0;       // world generation
   double run_ms = 0.0;       // campaign (schedule + event loop drain)
+  double spill_ms = 0.0;     // serialize + write of the shard spill (if any)
+  /// Process-wide peak RSS (VmHWM, util/rss.h) sampled as the shard
+  /// finished. The watermark is monotonic over the process lifetime, so
+  /// per-shard values record when memory peaked, not independent footprints.
+  std::size_t peak_rss_kb = 0;
 };
 
 struct ShardedResults {
   ExperimentResults merged;
   std::vector<ShardTiming> shards;  // indexed by shard
   double wall_ms = 0.0;             // end-to-end, including merge
+  double merge_ms = 0.0;            // merge phase (spill read-back included)
+  /// Process-wide peak RSS (VmHWM) after the merge — the campaign's
+  /// high-water memory mark, the number the campaign-scale bench budgets.
+  std::size_t peak_rss_kb = 0;
   /// Sum of per-shard gen+run time: what a 1-thread execution of the same
   /// sharding costs, so aggregate/wall estimates the parallel speedup even
   /// on machines where the pool cannot actually run concurrently.

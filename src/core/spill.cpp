@@ -1,0 +1,224 @@
+#include "core/spill.h"
+
+#include "net/packet.h"
+#include "util/bytes.h"
+#include "util/pcap.h"
+
+namespace cd::core {
+
+namespace {
+
+using cd::net::IpAddr;
+using cd::net::IpFamily;
+using cd::net::U128;
+using cd::scanner::SourceCategory;
+using cd::scanner::TargetRecord;
+
+void put_addr(cd::ByteWriter& w, const IpAddr& a) {
+  w.u8(a.is_v6() ? 6 : 4);
+  w.u64le(a.bits().hi);
+  w.u64le(a.bits().lo);
+}
+
+IpAddr get_addr(cd::ByteReader& r) {
+  const std::uint8_t family = r.u8();
+  if (family != 4 && family != 6) r.fail("bad address family");
+  const std::uint64_t hi = r.u64le();
+  const std::uint64_t lo = r.u64le();
+  return IpAddr::from_bits(family == 6 ? IpFamily::kV6 : IpFamily::kV4,
+                           U128{hi, lo});
+}
+
+void put_blob(cd::ByteWriter& w, std::span<const std::uint8_t> bytes) {
+  w.u64le(bytes.size());
+  w.bytes(bytes);
+}
+
+std::vector<std::uint8_t> get_blob(cd::ByteReader& r) {
+  const std::uint64_t n = r.u64le();
+  if (n > r.remaining()) r.fail("truncated blob");
+  const auto s = r.bytes(static_cast<std::size_t>(n));
+  return {s.begin(), s.end()};
+}
+
+void put_record(cd::ByteWriter& w, const TargetRecord& rec) {
+  put_addr(w, rec.target);
+  w.u64le(rec.asn);
+  w.u64le(rec.sources_hit.size());
+  for (const IpAddr& src : rec.sources_hit) put_addr(w, src);
+  w.u64le(rec.categories_hit.size());
+  for (const SourceCategory cat : rec.categories_hit) {
+    w.u8(static_cast<std::uint8_t>(cat));
+  }
+  w.u64le(static_cast<std::uint64_t>(rec.first_hit_time));
+  put_addr(w, rec.first_hit_source);
+  w.u8(static_cast<std::uint8_t>(
+      (rec.direct_seen ? 1 : 0) | (rec.forwarded_seen ? 2 : 0) |
+      (rec.client_in_target_as ? 4 : 0) | (rec.open_hit ? 8 : 0) |
+      (rec.tcp_hit ? 16 : 0) | (rec.tcp_syn ? 32 : 0)));
+  w.u64le(rec.forwarders_seen.size());
+  for (const IpAddr& fwd : rec.forwarders_seen) put_addr(w, fwd);
+  w.u64le(rec.ports_v4.size());
+  for (const std::uint16_t p : rec.ports_v4) w.u16le(p);
+  w.u64le(rec.ports_v6.size());
+  for (const std::uint16_t p : rec.ports_v6) w.u16le(p);
+  if (rec.tcp_syn) put_blob(w, rec.tcp_syn->serialize());
+}
+
+TargetRecord get_record(cd::ByteReader& r) {
+  TargetRecord rec;
+  rec.target = get_addr(r);
+  rec.asn = static_cast<cd::sim::Asn>(r.u64le());
+  const std::uint64_t n_sources = r.u64le();
+  for (std::uint64_t i = 0; i < n_sources; ++i) {
+    rec.sources_hit.insert(get_addr(r));
+  }
+  const std::uint64_t n_cats = r.u64le();
+  for (std::uint64_t i = 0; i < n_cats; ++i) {
+    rec.categories_hit.insert(static_cast<SourceCategory>(r.u8()));
+  }
+  rec.first_hit_time = static_cast<cd::sim::SimTime>(r.u64le());
+  rec.first_hit_source = get_addr(r);
+  const std::uint8_t flags = r.u8();
+  rec.direct_seen = (flags & 1) != 0;
+  rec.forwarded_seen = (flags & 2) != 0;
+  rec.client_in_target_as = (flags & 4) != 0;
+  rec.open_hit = (flags & 8) != 0;
+  rec.tcp_hit = (flags & 16) != 0;
+  const std::uint64_t n_fwd = r.u64le();
+  for (std::uint64_t i = 0; i < n_fwd; ++i) {
+    rec.forwarders_seen.insert(get_addr(r));
+  }
+  const std::uint64_t n_p4 = r.u64le();
+  for (std::uint64_t i = 0; i < n_p4; ++i) rec.ports_v4.push_back(r.u16le());
+  const std::uint64_t n_p6 = r.u64le();
+  for (std::uint64_t i = 0; i < n_p6; ++i) rec.ports_v6.push_back(r.u16le());
+  if ((flags & 32) != 0) {
+    rec.tcp_syn = cd::net::Packet::parse(get_blob(r));
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_results(const ExperimentResults& results) {
+  std::vector<std::uint8_t> out;
+  cd::ByteWriter w(out);
+  w.u32le(kSpillMagic);
+  w.u32le(kSpillVersion);
+
+  w.u64le(results.records.size());
+  for (const auto& [addr, rec] : results.records) put_record(w, rec);
+
+  w.u64le(results.collector_stats.entries_seen);
+  w.u64le(results.collector_stats.foreign);
+  w.u64le(results.collector_stats.excluded_lifetime);
+  w.u64le(results.collector_stats.qmin_partial);
+
+  w.u64le(results.qmin_asns.size());
+  for (const cd::sim::Asn asn : results.qmin_asns) w.u64le(asn);
+  w.u64le(results.lifetime_excluded_targets.size());
+  for (const IpAddr& addr : results.lifetime_excluded_targets) {
+    put_addr(w, addr);
+  }
+
+  const cd::sim::NetworkStats& ns = results.network_stats;
+  w.u64le(ns.sent);
+  w.u64le(ns.delivered);
+  w.u64le(ns.delivery_batches);
+  w.u64le(ns.dropped_osav);
+  w.u64le(ns.dropped_dsav);
+  w.u64le(ns.dropped_martian);
+  w.u64le(ns.dropped_urpf);
+  w.u64le(ns.dropped_unrouted);
+  w.u64le(ns.dropped_no_host);
+  w.u64le(ns.dropped_stack);
+
+  w.u64le(results.queries_sent);
+  w.u64le(results.followup_batteries);
+  w.u64le(results.analyst_replays);
+
+  // Capture records travel raw (time/annotation/bytes), not as a rendered
+  // pcap: merge re-canonicalizes, so rendering per shard would be waste.
+  w.u32le(results.capture.snaplen);
+  w.u32le(results.capture.linktype);
+  w.u64le(results.capture.records.size());
+  for (const cd::pcap::PcapRecord& rec : results.capture.records) {
+    w.u64le(static_cast<std::uint64_t>(rec.time_us));
+    w.u32le(rec.orig_len);
+    w.u8(rec.annotation);
+    put_blob(w, rec.bytes);
+  }
+  return out;
+}
+
+ExperimentResults parse_results(std::span<const std::uint8_t> bytes) {
+  cd::ByteReader r(bytes, "spill");
+  if (r.u32le() != kSpillMagic) r.fail("bad magic");
+  if (r.u32le() != kSpillVersion) r.fail("unsupported version");
+
+  ExperimentResults results;
+  const std::uint64_t n_records = r.u64le();
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    TargetRecord rec = get_record(r);
+    const IpAddr addr = rec.target;
+    if (!results.records.emplace(addr, std::move(rec)).second) {
+      r.fail("duplicate target record");
+    }
+  }
+
+  results.collector_stats.entries_seen = r.u64le();
+  results.collector_stats.foreign = r.u64le();
+  results.collector_stats.excluded_lifetime = r.u64le();
+  results.collector_stats.qmin_partial = r.u64le();
+
+  const std::uint64_t n_qmin = r.u64le();
+  for (std::uint64_t i = 0; i < n_qmin; ++i) {
+    results.qmin_asns.insert(static_cast<cd::sim::Asn>(r.u64le()));
+  }
+  const std::uint64_t n_excl = r.u64le();
+  for (std::uint64_t i = 0; i < n_excl; ++i) {
+    results.lifetime_excluded_targets.insert(get_addr(r));
+  }
+
+  cd::sim::NetworkStats& ns = results.network_stats;
+  ns.sent = r.u64le();
+  ns.delivered = r.u64le();
+  ns.delivery_batches = r.u64le();
+  ns.dropped_osav = r.u64le();
+  ns.dropped_dsav = r.u64le();
+  ns.dropped_martian = r.u64le();
+  ns.dropped_urpf = r.u64le();
+  ns.dropped_unrouted = r.u64le();
+  ns.dropped_no_host = r.u64le();
+  ns.dropped_stack = r.u64le();
+
+  results.queries_sent = r.u64le();
+  results.followup_batteries = r.u64le();
+  results.analyst_replays = r.u64le();
+
+  results.capture.snaplen = r.u32le();
+  results.capture.linktype = r.u32le();
+  const std::uint64_t n_pkts = r.u64le();
+  for (std::uint64_t i = 0; i < n_pkts; ++i) {
+    cd::pcap::PcapRecord rec;
+    rec.time_us = static_cast<std::int64_t>(r.u64le());
+    rec.orig_len = r.u32le();
+    rec.annotation = r.u8();
+    rec.bytes = get_blob(r);
+    results.capture.records.push_back(std::move(rec));
+  }
+
+  if (!r.done()) r.fail("trailing bytes");
+  return results;
+}
+
+void write_results(const ExperimentResults& results, const std::string& path) {
+  cd::pcap::write_file(path, serialize_results(results));
+}
+
+ExperimentResults read_results(const std::string& path) {
+  return parse_results(cd::pcap::read_file(path));
+}
+
+}  // namespace cd::core

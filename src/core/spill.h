@@ -1,0 +1,44 @@
+// On-disk spill codec for per-shard experiment results ("CDSP" v1).
+//
+// The sharded runner can run far more shards than fit in memory at once:
+// each shard's ExperimentResults is serialized to a compact binary file the
+// moment the shard finishes, freed, and streamed back in shard order during
+// the merge. The codec is a strict ByteReader/ByteWriter round-trip —
+// parse(serialize(r)) == r field-for-field — so spilling cannot change
+// results_digest or capture_digest: the merged evidence is bit-identical to
+// the all-in-memory path (tests/test_campaign_stream.cpp).
+//
+// Safety property: *every* strict byte prefix of a valid spill file fails to
+// parse with cd::ParseError, and so does trailing garbage (the reader
+// requires exact consumption). A truncated spill can therefore never merge
+// silently as partial results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace cd::core {
+
+inline constexpr std::uint32_t kSpillMagic = 0x50534443;  // "CDSP" LE
+inline constexpr std::uint32_t kSpillVersion = 1;
+
+/// Serializes `results` into the CDSP v1 byte format.
+[[nodiscard]] std::vector<std::uint8_t> serialize_results(
+    const ExperimentResults& results);
+
+/// Strict inverse of serialize_results(): throws cd::ParseError on bad
+/// magic/version, any truncation, or trailing bytes.
+[[nodiscard]] ExperimentResults parse_results(
+    std::span<const std::uint8_t> bytes);
+
+/// serialize_results() to a file (cd::Error on I/O failure).
+void write_results(const ExperimentResults& results, const std::string& path);
+
+/// Reads and parses a spill file written by write_results().
+[[nodiscard]] ExperimentResults read_results(const std::string& path);
+
+}  // namespace cd::core

@@ -1,6 +1,7 @@
 // The generated world: a complete simulated Internet ready for scanning.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <set>
@@ -31,6 +32,89 @@ struct ResolverTruth {
   bool forwards = false;
   bool qmin = false;
   int band = 0;  // index into the BandMix ordering (0=zero .. 5=full)
+
+  friend bool operator==(const ResolverTruth&, const ResolverTruth&) = default;
+};
+
+/// Flat SoA ground-truth table, sorted by address: one packed row per
+/// resolver address instead of an unordered_map node per heavyweight entry
+/// (a paper-scale world has ~1M rows). The lookup/iteration surface is
+/// map-compatible — find()/count()/size()/range-for yielding
+/// (address, truth) pairs — so analysis and test code reads it like the map
+/// it replaced.
+class ResolverTruthTable {
+ public:
+  struct value_type {
+    cd::net::IpAddr first;
+    ResolverTruth second;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator() = default;
+    const_iterator(const ResolverTruthTable* table, std::size_t idx)
+        : table_(table), idx_(idx) {}
+
+    const value_type& operator*() const {
+      cache_.first = table_->addrs_[idx_];
+      cache_.second = table_->truth_at(idx_);
+      return cache_;
+    }
+    const value_type* operator->() const { return &**this; }
+    const_iterator& operator++() {
+      ++idx_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.idx_ == b.idx_;
+    }
+
+   private:
+    const ResolverTruthTable* table_ = nullptr;
+    std::size_t idx_ = 0;
+    mutable value_type cache_;
+  };
+
+  void insert(const cd::net::IpAddr& addr, const ResolverTruth& truth) {
+    addrs_.push_back(addr);
+    os_.push_back(static_cast<std::uint8_t>(truth.os));
+    software_.push_back(static_cast<std::uint8_t>(truth.software));
+    band_.push_back(static_cast<std::uint8_t>(truth.band));
+    bits_.push_back(static_cast<std::uint8_t>((truth.open ? 1 : 0) |
+                                              (truth.forwards ? 2 : 0) |
+                                              (truth.qmin ? 4 : 0)));
+  }
+
+  /// Sorts the rows by address (binary-search lookups require it). The
+  /// world builder calls this once; addresses are unique by construction.
+  void freeze();
+
+  [[nodiscard]] std::size_t size() const { return addrs_.size(); }
+  [[nodiscard]] bool empty() const { return addrs_.empty(); }
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, addrs_.size()}; }
+  [[nodiscard]] const_iterator find(const cd::net::IpAddr& addr) const;
+  [[nodiscard]] std::size_t count(const cd::net::IpAddr& addr) const {
+    return find(addr) == end() ? 0 : 1;
+  }
+
+  [[nodiscard]] ResolverTruth truth_at(std::size_t idx) const {
+    ResolverTruth t;
+    t.os = static_cast<cd::sim::OsId>(os_[idx]);
+    t.software = static_cast<cd::resolver::DnsSoftware>(software_[idx]);
+    t.band = band_[idx];
+    t.open = (bits_[idx] & 1) != 0;
+    t.forwards = (bits_[idx] & 2) != 0;
+    t.qmin = (bits_[idx] & 4) != 0;
+    return t;
+  }
+
+ private:
+  std::vector<cd::net::IpAddr> addrs_;
+  std::vector<std::uint8_t> os_;
+  std::vector<std::uint8_t> software_;
+  std::vector<std::uint8_t> band_;
+  std::vector<std::uint8_t> bits_;  // open | forwards<<1 | qmin<<2
 };
 
 /// Owns every simulation object. Member order is destruction-order
@@ -38,12 +122,18 @@ struct ResolverTruth {
 /// network (and loop/topology) must be declared first.
 struct World {
   WorldSpec spec;
+  /// Shard scope this world was generated for: (0, 1) is the full world;
+  /// anything else materializes only the edge ASes of that shard (topology,
+  /// geo and the per-AS truth tables always cover every AS).
+  std::size_t shard_index = 0;
+  std::size_t num_shards = 1;
 
   cd::sim::EventLoop loop;
   cd::sim::Topology topology;
   std::unique_ptr<cd::sim::Network> network;
 
-  // Stable storage for hosts and customized OS profiles (deque: no moves).
+  // Stable storage for hosts and fingerprint-hidden OS profiles (deque: no
+  // moves). Hidden profiles are interned per OS id, not copied per resolver.
   std::deque<cd::sim::OsProfile> os_profiles;
   std::deque<cd::sim::Host> hosts;
 
@@ -62,8 +152,10 @@ struct World {
   cd::dns::DnsName base_zone;
   std::string keyword;
 
-  /// Raw DITL-style capture (resolver sources plus stale/special/unrouted
-  /// noise), and the post-exclusion target list actually probed.
+  /// Raw DITL-style capture (resolver sources plus stale noise; a full
+  /// world also carries the special/unrouted noise that pre-scan filtering
+  /// drops), and the post-exclusion target list actually probed. A shard
+  /// world's lists cover only its own ASes.
   std::vector<cd::net::IpAddr> ditl_raw;
   std::vector<cd::scanner::TargetInfo> targets;
   std::vector<cd::net::IpAddr> hitlist_v6;
@@ -76,16 +168,30 @@ struct World {
 
   // Ground truth for validation.
   std::unordered_map<cd::sim::Asn, bool> truth_dsav;  // true = deploys DSAV
-  std::unordered_map<cd::net::IpAddr, ResolverTruth, cd::net::IpAddrHash>
-      truth_resolvers;
+  ResolverTruthTable truth_resolvers;
 
   World() = default;
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 };
 
-/// Builds a world from `spec`. Deterministic: equal specs (including seed)
-/// produce identical worlds.
+/// Builds the full world for `spec`. Deterministic: equal specs (including
+/// seed) produce identical worlds.
 [[nodiscard]] std::unique_ptr<World> generate_world(const WorldSpec& spec);
+
+/// Builds one shard's world from the target stream: shared infrastructure
+/// (roots, public DNS, vantage) plus only the edge ASes with
+/// shard_of(asn, num_shards) == shard materialize hosts, resolvers, truth
+/// rows and targets. Topology, geo, truth_dsav and ids_asns always cover
+/// every AS (routing, geolocation and the analyst need the full map; it is
+/// O(n_asns), not O(targets)). Campaign behaviour is bit-identical to
+/// running the same shard against a full world — no packet ever addresses
+/// an out-of-shard edge host — which tests/test_campaign_stream.cpp pins.
+/// (shard=0, num_shards=1) differs from generate_world(spec) only in
+/// skipping the special/unrouted ditl_raw noise that target filtering drops
+/// anyway.
+[[nodiscard]] std::unique_ptr<World> generate_world(const WorldSpec& spec,
+                                                    std::size_t shard,
+                                                    std::size_t num_shards);
 
 }  // namespace cd::ditl

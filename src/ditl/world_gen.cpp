@@ -1,9 +1,12 @@
 #include <algorithm>
+#include <map>
 #include <optional>
 
 #include "ditl/world.h"
 
 #include "ditl/ditl.h"
+#include "ditl/plan.h"
+#include "ditl/target_stream.h"
 #include "net/special.h"
 #include "util/error.h"
 
@@ -30,11 +33,6 @@ using cd::sim::OsProfile;
 
 namespace {
 
-constexpr Asn kInfraAsn = 64500;
-constexpr Asn kVantageAsn = 64501;
-constexpr Asn kPublicDnsAsnBase = 64510;
-constexpr Asn kEdgeAsnBase = 100;
-
 /// One well-known public DNS service (the paper checks forwarding against
 /// Cloudflare/Google/CenturyLink/OpenDNS/Quad9).
 struct PublicDnsSpec {
@@ -45,7 +43,7 @@ struct PublicDnsSpec {
   const char* v6_prefix;
 };
 
-constexpr PublicDnsSpec kPublicDns[] = {
+constexpr PublicDnsSpec kPublicDns[kNumPublicDns] = {
     {"cloudflare-like", "1.1.1.1", "1.1.1.0/24", "2606:4700::1111",
      "2606:4700::/32"},
     {"google-like", "8.8.8.8", "8.8.8.0/24", "2001:4860::8888",
@@ -55,11 +53,24 @@ constexpr PublicDnsSpec kPublicDns[] = {
      "2620:119::/32"},
 };
 
+/// Builds a world — full, or one shard's streamed slice. Shared
+/// infrastructure (roots, public DNS services, vantage) is built
+/// identically in every mode from the root RNG; edge ASes come from the
+/// campaign plan and the target stream, whose per-AS substreams make any
+/// subset reproducible (see ditl/target_stream.h).
 class WorldBuilder {
  public:
-  explicit WorldBuilder(const WorldSpec& spec)
-      : spec_(spec), rng_(spec.seed), w_(std::make_unique<World>()) {
+  WorldBuilder(const WorldSpec& spec, std::size_t shard,
+               std::size_t num_shards, bool full)
+      : spec_(spec),
+        shard_(shard),
+        num_shards_(full ? 1 : std::max<std::size_t>(1, num_shards)),
+        full_(full),
+        rng_(spec.seed),
+        w_(std::make_unique<World>()) {
     w_->spec = spec_;
+    w_->shard_index = full ? 0 : shard;
+    w_->num_shards = num_shards_;
   }
 
   std::unique_ptr<World> build() {
@@ -70,8 +81,12 @@ class WorldBuilder {
     build_infra();
     build_public_dns();
     build_vantage();
-    build_edge_ases();
-    build_noise();
+
+    plan_ = build_campaign_plan(spec_);
+    register_edge_ases();
+    build_edge_fleets();
+    if (full_) build_global_noise();
+    w_->truth_resolvers.freeze();
     w_->targets = filter_ditl(w_->ditl_raw, w_->topology);
     return std::move(w_);
   }
@@ -85,50 +100,19 @@ class WorldBuilder {
                                   rng_.split("host" + label), std::move(label));
   }
 
-  /// Real OS profile, or a copy whose TCP fingerprint a middlebox hides from
-  /// p0f (stack semantics — Table 6 acceptance, ephemeral range — unchanged).
+  /// Real OS profile, or an interned copy whose TCP fingerprint a middlebox
+  /// hides from p0f (stack semantics — Table 6 acceptance, ephemeral range —
+  /// unchanged). One hidden profile per OS id, not one per resolver.
   const OsProfile& os_for(OsId id, bool fp_visible) {
     if (fp_visible) return cd::sim::os_profile(id);
+    const auto it = hidden_os_.find(id);
+    if (it != hidden_os_.end()) return *it->second;
     OsProfile hidden = cd::sim::os_profile(id);
     hidden.name += " (fp-normalized)";
     hidden.fp = cd::sim::os_profile(OsId::kMiddleboxFronted).fp;
-    return w_->os_profiles.emplace_back(std::move(hidden));
-  }
-
-  /// Next free /16 for an edge AS, skipping special-purpose space and the
-  /// 11.0.0.0/8 block reserved as never-announced noise.
-  Prefix next_v4_block16() {
-    for (;;) {
-      const std::uint32_t base = ((20u + v4_block_ / 256) << 24) |
-                                 ((v4_block_ % 256) << 16);
-      ++v4_block_;
-      const Prefix p(IpAddr::v4(base), 16);
-      if ((base >> 24) == 11) continue;
-      if (cd::net::is_special_purpose(p.first()) ||
-          cd::net::is_special_purpose(p.last())) {
-        continue;
-      }
-      return p;
-    }
-  }
-
-  Prefix next_v4_block22() {
-    if (v4_sub_count_ == 0 || v4_sub_count_ >= 64) {
-      v4_sub_parent_ = next_v4_block16();
-      v4_sub_count_ = 0;
-    }
-    const Prefix p(v4_sub_parent_.base().offset_by(
-                       static_cast<std::uint64_t>(v4_sub_count_) << 10),
-                   22);
-    ++v4_sub_count_;
-    return p;
-  }
-
-  Prefix next_v6_block32() {
-    const std::uint64_t hi =
-        (static_cast<std::uint64_t>(0x24000000u + v6_block_)) << 32;
-    ++v6_block_;
-    return Prefix(IpAddr::v6(hi, 0), 32);
+    const OsProfile& interned = w_->os_profiles.emplace_back(std::move(hidden));
+    hidden_os_.emplace(id, &interned);
+    return interned;
   }
 
   std::shared_ptr<Zone> make_zone(const std::string& origin,
@@ -296,429 +280,142 @@ class WorldBuilder {
                   "vantage");
   }
 
-  // --- edge ASes with resolver fleets ------------------------------------------
+  // --- edge ASes from the campaign plan --------------------------------------
 
-  struct BandChoice {
-    int band = 5;
-    DnsSoftware software = DnsSoftware::kBind952To988;
-    OsId os = OsId::kEmbeddedCpe;
-    bool fp_visible = false;
-    double open_p = 0.066;
-    std::optional<std::uint16_t> fixed_port;  // zero band: the pinned port
-  };
+  /// Registers every edge AS's routing, policy, geo and AS-level truth —
+  /// O(n_asns) — regardless of shard scope: routing tables, the source
+  /// selector and the analyst need the full map even when only one shard's
+  /// hosts materialize.
+  void register_edge_ases() {
+    for (std::size_t id = 0; id < plan_->size(); ++id) {
+      const Asn asn = plan_->asn_of(id);
+      const FilterPolicy policy = plan_->policy_of(id);
+      w_->topology.add_as(asn, policy);
+      w_->truth_dsav[asn] = policy.dsav;
+      if (plan_->flags[id] & kAsIds) w_->ids_asns.insert(asn);
 
-  BandChoice choose_band(cd::Rng& rng) {
-    const BandMix& mix = spec_.band_mix;
-    const double weights[6] = {mix.zero, mix.low,   mix.windows,
-                               mix.freebsd, mix.linux, mix.full};
-    double total = 0;
-    for (const double wgt : weights) total += wgt;
-    double roll = rng.real() * total;
-    int band = 5;
-    for (int i = 0; i < 6; ++i) {
-      if (roll < weights[i]) {
-        band = i;
-        break;
+      w_->topology.announce(asn, plan_->v4a[id]);
+      w_->geo.add(plan_->v4a[id],
+                  spec_.countries[plan_->country[id]].country);
+      if (plan_->flags[id] & kAsHasSecondV4) {
+        w_->topology.announce(asn, plan_->v4b[id]);
+        w_->geo.add(plan_->v4b[id],
+                    spec_.countries[plan_->country2[id]].country);
       }
-      roll -= weights[i];
-    }
-
-    BandChoice c;
-    c.band = band;
-    switch (band) {
-      case 0: {  // zero source-port randomization
-        const double fp_roll = rng.real();
-        if (fp_roll < spec_.fp_visible_zero_baidu) {
-          c.os = OsId::kBaiduLike;
-          c.fp_visible = true;
-        } else if (fp_roll <
-                   spec_.fp_visible_zero_baidu + spec_.fp_visible_zero_windows) {
-          c.os = OsId::kWin2003;
-          c.fp_visible = true;
-        } else {
-          c.os = OsId::kEmbeddedCpe;
-        }
-        // Fixed-port mix per §5.2.1: 34% port 53 (BIND 8 defaults and
-        // `query-source port 53` configs), 12% port 32768, 3.8% 32769, the
-        // rest an arbitrary unprivileged port chosen at startup.
-        const double port_roll = rng.real();
-        if (port_roll < 0.34) {
-          c.software = DnsSoftware::kBind8;
-          c.fixed_port = 53;
-        } else if (port_roll < 0.46) {
-          c.software = DnsSoftware::kFixedMisconfig;
-          c.fixed_port = 32768;
-        } else if (port_roll < 0.498) {
-          c.software = DnsSoftware::kFixedMisconfig;
-          c.fixed_port = 32769;
-        } else {
-          c.software = c.os == OsId::kWin2003
-                           ? DnsSoftware::kWindowsDns2003
-                           : DnsSoftware::kFixedMisconfig;
-          c.fixed_port =
-              static_cast<std::uint16_t>(1024 + rng.uniform(64512));
-        }
-        c.open_p = spec_.zero_open_fraction;
-        break;
+      if (plan_->flags[id] & kAsHasV6) {
+        w_->topology.announce(asn, plan_->v6[id]);
+        w_->geo.add(plan_->v6[id],
+                    spec_.countries[plan_->country[id]].country);
       }
-      case 1: {  // ineffective allocation, range 1-200
-        c.software = rng.chance(0.65) ? DnsSoftware::kLegacySequential
-                                      : DnsSoftware::kLegacySmallPool;
-        if (rng.chance(spec_.fp_visible_low_windows)) {
-          c.os = OsId::kWin2008;
-          c.fp_visible = true;
-        } else {
-          c.os = OsId::kEmbeddedCpe;
-        }
-        c.open_p = spec_.low_open_fraction;
-        break;
-      }
-      case 2: {  // Windows DNS 2008 R2+
-        static constexpr OsId kWinModern[] = {OsId::kWin2008R2, OsId::kWin2012,
-                                              OsId::kWin2012R2, OsId::kWin2016,
-                                              OsId::kWin2019};
-        c.os = kWinModern[rng.uniform(5)];
-        c.software = DnsSoftware::kWindowsDns2008R2;
-        c.fp_visible = rng.chance(spec_.fp_visible_windows_band);
-        c.open_p = spec_.windows_open_fraction;
-        break;
-      }
-      case 3: {  // FreeBSD OS-default pool
-        static constexpr OsId kBsd[] = {OsId::kFreeBsd113, OsId::kFreeBsd120,
-                                        OsId::kFreeBsd121};
-        c.os = kBsd[rng.uniform(3)];
-        c.software = DnsSoftware::kBind9913To9160;
-        c.fp_visible = rng.chance(spec_.fp_visible_freebsd_band);
-        c.open_p = 0.10;
-        break;
-      }
-      case 4: {  // Linux OS-default pool
-        static constexpr OsId kLinuxModern[] = {
-            OsId::kUbuntu1604, OsId::kUbuntu1804, OsId::kUbuntu1904};
-        static constexpr OsId kLinuxOld[] = {
-            OsId::kUbuntu1004, OsId::kUbuntu1204, OsId::kUbuntu1404};
-        // A tail of old kernels keeps the loopback-v6 acceptance path alive.
-        c.os = rng.chance(0.10) ? kLinuxOld[rng.uniform(3)]
-                                : kLinuxModern[rng.uniform(3)];
-        c.software = DnsSoftware::kBind9913To9160;
-        c.fp_visible = rng.chance(spec_.fp_visible_linux_band);
-        c.open_p = 0.027;
-        break;
-      }
-      default: {  // full unprivileged range
-        static constexpr DnsSoftware kFull[] = {DnsSoftware::kBind952To988,
-                                                DnsSoftware::kUnbound190,
-                                                DnsSoftware::kPowerDns420};
-        c.software = kFull[rng.uniform(3)];
-        const double fp_roll = rng.real();
-        if (fp_roll < spec_.fp_visible_full_windows) {
-          // BIND on Windows Server: full unprivileged range (§5.3.2's noted
-          // discrepancy) with a Windows fingerprint.
-          c.os = OsId::kWin2016;
-          c.fp_visible = true;
-          c.software = DnsSoftware::kBind952To988;
-        } else if (fp_roll <
-                   spec_.fp_visible_full_windows + spec_.fp_visible_full_linux) {
-          static constexpr OsId kLin[] = {OsId::kUbuntu1604, OsId::kUbuntu1804,
-                                          OsId::kUbuntu1904};
-          c.os = kLin[rng.uniform(3)];
-          c.fp_visible = true;
-        } else {
-          const double os_roll = rng.real();
-          if (os_roll < 0.5) {
-            c.os = OsId::kEmbeddedCpe;
-          } else if (os_roll < 0.8) {
-            c.os = OsId::kUbuntu1804;
-          } else {
-            c.os = OsId::kFreeBsd121;
-          }
-          c.fp_visible = false;
-        }
-        c.open_p = 0.066;
-        break;
-      }
-    }
-    return c;
-  }
-
-  const CountryWeight& choose_country(cd::Rng& rng) {
-    double total = 0;
-    for (const CountryWeight& cw : spec_.countries) total += cw.as_share;
-    double roll = rng.real() * total;
-    for (const CountryWeight& cw : spec_.countries) {
-      if (roll < cw.as_share) return cw;
-      roll -= cw.as_share;
-    }
-    return spec_.countries.back();
-  }
-
-  void build_edge_ases() {
-    cd::Rng rng = rng_.split("edge");
-    for (int i = 0; i < spec_.n_asns; ++i) {
-      build_one_as(kEdgeAsnBase + static_cast<Asn>(i), rng);
     }
   }
 
-  void build_one_as(Asn asn, cd::Rng& rng) {
-    const CountryWeight& country = choose_country(rng);
-
-    FilterPolicy policy;
-    policy.dsav = rng.chance(country.dsav_rate);
-    policy.osav = rng.chance(spec_.osav_fraction);
-    policy.drop_inbound_martians =
-        rng.chance(policy.dsav ? spec_.martian_fraction_with_dsav
-                               : spec_.martian_fraction_without_dsav);
-    policy.drop_inbound_same_subnet = rng.chance(spec_.urpf_subnet_fraction);
-    w_->topology.add_as(asn, policy);
-    w_->truth_dsav[asn] = policy.dsav;
-    if (rng.chance(spec_.ids_fraction)) w_->ids_asns.insert(asn);
-
-    // Prefixes: a minority of ASes are large (/16, exercising the 97-prefix
-    // other-prefix cap); the rest announce one or two /22s.
-    std::vector<Prefix> v4_prefixes;
-    if (rng.chance(0.2)) {
-      v4_prefixes.push_back(next_v4_block16());
-    } else {
-      v4_prefixes.push_back(next_v4_block22());
-      if (rng.chance(0.3)) v4_prefixes.push_back(next_v4_block22());
-    }
-    const bool multi_country = v4_prefixes.size() > 1 && rng.chance(0.05);
-    for (std::size_t p = 0; p < v4_prefixes.size(); ++p) {
-      w_->topology.announce(asn, v4_prefixes[p]);
-      const CountryWeight& c2 =
-          (multi_country && p > 0) ? choose_country(rng) : country;
-      w_->geo.add(v4_prefixes[p], c2.country);
-    }
-
-    std::optional<Prefix> v6_prefix;
-    if (rng.chance(spec_.v6_as_fraction)) {
-      v6_prefix = next_v6_block32();
-      w_->topology.announce(asn, *v6_prefix);
-      w_->geo.add(*v6_prefix, country.country);
-    }
-
-    // Resolver fleet size: geometric with country-weighted mean.
-    const double mean =
-        std::max(1.0, spec_.resolvers_per_as_mean * country.resolver_density);
-    int n_resolvers = 1;
-    while (n_resolvers < 64 && rng.chance(1.0 - 1.0 / mean)) ++n_resolvers;
-
-    for (int j = 0; j < n_resolvers; ++j) {
-      build_one_resolver(asn, v4_prefixes, v6_prefix, j, rng);
+  /// Streams the in-scope ASes and materializes their resolver fleets,
+  /// ground truth, DITL entries, hitlist and passive history.
+  void build_edge_fleets() {
+    TargetStream stream(*plan_, shard_, num_shards_);
+    while (const AsBatch* batch = stream.next()) {
+      const Asn asn = batch->asn;
+      std::optional<IpAddr> as_infra;  // resolver 0's v4 address
+      for (const ResolverSpec& r : *batch->resolvers) {
+        materialize_resolver(batch->id, asn, r, as_infra);
+      }
+      for (const IpAddr& addr : *batch->stale) {
+        w_->ditl_raw.push_back(addr);
+      }
+      captured_live_ += batch->captured_live;
     }
   }
 
-  void build_one_resolver(Asn asn, const std::vector<Prefix>& v4_prefixes,
-                          const std::optional<Prefix>& v6_prefix, int index,
-                          cd::Rng& rng) {
-    const BandChoice band = choose_band(rng);
-    const OsProfile& os = os_for(band.os, band.fp_visible);
+  void materialize_resolver(std::size_t id, Asn asn, const ResolverSpec& r,
+                            std::optional<IpAddr>& as_infra) {
+    const OsProfile& os = os_for(r.os, r.fp_visible);
+    std::vector<IpAddr> addrs(r.addrs.begin(), r.addrs.begin() + r.n_addrs);
+    cd::sim::Host& host = w_->hosts.emplace_back(
+        *w_->network, asn, os, addrs, cd::Rng(r.host_seed),
+        "r" + std::to_string(asn) + "-" + std::to_string(r.index));
 
-    // Addressing: spread resolvers across the AS's /24s; dual-stack where the
-    // AS has v6 space.
-    std::vector<IpAddr> addrs;
-    for (int attempt = 0; attempt < 64; ++attempt) {
-      const Prefix& p = v4_prefixes[static_cast<std::size_t>(
-          rng.uniform(v4_prefixes.size()))];
-      const std::uint64_t n24 = p.count_subprefixes(24);
-      const std::uint64_t sub = rng.uniform(n24);
-      const std::uint64_t host = 10 + rng.uniform(200);
-      const IpAddr addr = p.base().offset_by((sub << 8) + host);
-      // Addresses must be unique: a collision would silently shadow an
-      // existing host in the network's delivery map.
-      if (w_->network->host_at(addr)) continue;
-      addrs.push_back(addr);
-      break;
-    }
-    if (addrs.empty()) return;  // AS address space exhausted; skip
-    bool has_v6 = false;
-    if (v6_prefix && rng.chance(spec_.dual_stack_fraction)) {
-      for (int attempt = 0; attempt < 64; ++attempt) {
-        const std::uint64_t sub64 = rng.uniform(4096);
-        const U128 base = v6_prefix->base().bits() + (U128{sub64} << 64) +
-                          U128{5 + rng.uniform(90)};
-        const IpAddr addr = IpAddr::from_bits(IpFamily::kV6, base);
-        if (w_->network->host_at(addr)) continue;
-        addrs.push_back(addr);
-        has_v6 = true;
-        break;
-      }
-    }
-
-    cd::sim::Host& host = add_host(asn, os, addrs,
-                                   "r" + std::to_string(asn) + "-" +
-                                       std::to_string(index));
-
-    // Behaviour.
     ResolverConfig config;
-    const bool is_infra = index == 0;  // each AS's resolver 0: the upstream
-                                       // others may forward to
-    bool forwards = false;
-    if (!is_infra) {
-      const double fwd_p = has_v6 ? spec_.forward_fraction_v6 * 1.3
-                                  : spec_.forward_fraction_v4 * 1.45;
-      forwards = rng.chance(std::min(0.95, fwd_p));
-    }
-
-    const double open_p = forwards ? 0.82 : band.open_p;
-    config.open = rng.chance(open_p);
-    if (!config.open) {
-      // ACL scope.
-      const double scope = rng.real();
-      if (is_infra || scope < spec_.acl_as_wide) {
-        for (const Prefix& p : v4_prefixes) config.acl.push_back(p);
-        if (v6_prefix) config.acl.push_back(*v6_prefix);
-      } else if (scope < spec_.acl_as_wide + spec_.acl_subnet_only) {
-        config.acl.emplace_back(addrs[0], 24);
-        if (addrs.size() > 1) config.acl.emplace_back(addrs[1], 64);
-      } else {
-        // AS-wide plus a peer prefix (managed-service style).
-        for (const Prefix& p : v4_prefixes) config.acl.push_back(p);
-        if (v6_prefix) config.acl.push_back(*v6_prefix);
+    config.open = r.open;
+    if (!r.open) {
+      switch (r.acl_kind) {
+        case AclKind::kAsWide:
+          for (std::size_t p = 0; p < plan_->v4_count(id); ++p) {
+            config.acl.push_back(plan_->v4_prefix(id, p));
+          }
+          if (plan_->flags[id] & kAsHasV6) config.acl.push_back(plan_->v6[id]);
+          break;
+        case AclKind::kSubnetOnly:
+          config.acl.emplace_back(addrs[0], 24);
+          if (addrs.size() > 1) config.acl.emplace_back(addrs[1], 64);
+          break;
       }
-      if (rng.chance(spec_.acl_allows_private)) {
+      if (r.acl_private) {
         config.acl.push_back(Prefix::must_parse("192.168.0.0/16"));
         config.acl.push_back(Prefix::must_parse("10.0.0.0/8"));
         config.acl.push_back(Prefix::must_parse("fc00::/7"));
       }
     }
 
-    if (forwards) {
-      if (rng.chance(spec_.forward_to_public_dns) || !as_infra_.count(asn)) {
-        // Public service of a family we can reach.
-        const IpAddr& up = w_->public_dns_addrs[static_cast<std::size_t>(
-            rng.uniform(w_->public_dns_addrs.size()) & ~1ULL)];  // v4 entry
+    if (r.forwards) {
+      if (r.forward_public || !as_infra) {
+        const IpAddr& up = w_->public_dns_addrs[r.public_idx];
         config.forwarders.push_back(up);
-        if (has_v6) {
+        if (r.has_v6) {
           config.forwarders.push_back(
               w_->public_dns_addrs[1]);  // a v6 service address
         }
       } else {
-        config.forwarders.push_back(as_infra_.at(asn));
+        config.forwarders.push_back(*as_infra);
       }
-      // A few forwarders run forward-first failover and sometimes iterate
-      // themselves (the paper's small "both direct and forwarded" class).
-      if (rng.chance(0.05)) config.forward_ratio = 0.8;
+      if (r.forward_failover) config.forward_ratio = 0.8;
     }
 
-    bool qmin = false;
-    if (rng.chance(spec_.qmin_fraction)) {
-      qmin = true;
-      config.qmin = rng.chance(spec_.qmin_strict_share) ? QminMode::kStrict
-                                                        : QminMode::kRelaxed;
-    }
+    if (r.qmin) config.qmin = r.qmin_mode;
 
     std::unique_ptr<cd::resolver::PortAllocator> alloc;
-    if (band.fixed_port) {
-      alloc = std::make_unique<cd::resolver::FixedPortAllocator>(
-          *band.fixed_port);
+    if (r.fixed_port) {
+      alloc = std::make_unique<cd::resolver::FixedPortAllocator>(*r.fixed_port);
     } else {
-      alloc = cd::resolver::make_default_allocator(
-          band.software, os, rng.split("alloc" + host.label()));
+      alloc = cd::resolver::make_default_allocator(r.software, os,
+                                                   cd::Rng(r.alloc_seed));
     }
     w_->resolvers.push_back(std::make_unique<RecursiveResolver>(
         host, std::move(config), w_->hints, std::move(alloc),
-        rng.split("res" + host.label())));
+        cd::Rng(r.res_seed)));
 
-    if (is_infra) as_infra_[asn] = addrs[0];
+    if (r.is_infra) as_infra = r.addrs[0];
 
     // Capture + ground truth.
-    for (const IpAddr& addr : addrs) {
+    for (std::size_t a = 0; a < r.n_addrs; ++a) {
+      const IpAddr& addr = r.addrs[a];
       ResolverTruth truth;
-      truth.os = band.os;
-      truth.software = band.software;
-      truth.open = w_->resolvers.back()->config().open;
-      truth.forwards = forwards;
-      truth.qmin = qmin;
-      truth.band = band.band;
-      w_->truth_resolvers.emplace(addr, truth);
-      const double miss = addr.is_v6()
-                              ? 1.0 - (1.0 - spec_.capture_miss) *
-                                          (1.0 - spec_.capture_miss_v6)
-                              : spec_.capture_miss;
-      if (!rng.chance(miss)) {
-        w_->ditl_raw.push_back(addr);
+      truth.os = r.os;
+      truth.software = r.software;
+      truth.open = r.open;
+      truth.forwards = r.forwards;
+      truth.qmin = r.qmin;
+      truth.band = r.band;
+      w_->truth_resolvers.insert(addr, truth);
+      if (r.in_capture[a]) w_->ditl_raw.push_back(addr);
+      if (r.in_hitlist[a]) w_->hitlist_v6.push_back(addr);
+      if (r.n_old_ports[a] > 0) {
+        w_->passive_capture.emplace(
+            addr, std::vector<std::uint16_t>(
+                      r.old_ports[a].begin(),
+                      r.old_ports[a].begin() + r.n_old_ports[a]));
       }
-      if (addr.is_v6() && rng.chance(spec_.hitlist_coverage)) {
-        w_->hitlist_v6.push_back(addr);
-      }
-      build_passive_history(addr, band, rng);
     }
   }
 
-  /// Synthesizes the resolver's 18-months-earlier port behaviour (§5.2.2).
-  void build_passive_history(const IpAddr& addr, const BandChoice& band,
-                             cd::Rng& rng) {
-    std::vector<std::uint16_t> old_ports;
-    if (band.band == 0) {
-      // Today's fixed-port population: already-fixed / regressed /
-      // insufficient, per the paper's 51/25/24 split.
-      const double roll = rng.real();
-      if (roll < spec_.passive_already_fixed) {
-        old_ports.assign(12, band.fixed_port.value_or(53));
-      } else if (roll < spec_.passive_already_fixed + spec_.passive_regressed) {
-        for (int i = 0; i < 12; ++i) {
-          old_ports.push_back(
-              static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
-        }
-      } else {
-        // Insufficient: a few scattered queries that satisfy neither of the
-        // paper's comparability conditions (or nothing at all).
-        if (rng.chance(0.5)) {
-          for (int i = 0; i < 3; ++i) {
-            old_ports.push_back(
-                static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
-          }
-        }
-      }
-    } else {
-      // Everyone else: ordinary randomized history when captured at all.
-      if (rng.chance(0.76)) {
-        for (int i = 0; i < 12; ++i) {
-          old_ports.push_back(
-              static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
-        }
-      }
-    }
-    if (!old_ports.empty()) w_->passive_capture.emplace(addr, std::move(old_ports));
-  }
+  // --- global DITL noise (full worlds only) ----------------------------------
 
-  // --- DITL noise ---------------------------------------------------------------
-
-  void build_noise() {
+  /// Special-purpose and unrouted capture noise. Both classes are dropped
+  /// by pre-scan filtering, so shard worlds skip them entirely; they only
+  /// shape ditl_raw and the exclusion statistics of full worlds.
+  void build_global_noise() {
     cd::Rng rng = rng_.split("noise");
-    const std::size_t live = w_->ditl_raw.size();
-    const auto as_count =
-        static_cast<std::uint64_t>(std::max(1, spec_.n_asns));
-
-    const auto n_stale =
-        static_cast<std::size_t>(static_cast<double>(live) * spec_.stale_per_live);
-    std::size_t produced = 0;
-    for (std::size_t attempt = 0; produced < n_stale && attempt < n_stale * 4;
-         ++attempt) {
-      // A once-active resolver address inside some edge AS, now dark.
-      const Asn asn = kEdgeAsnBase + static_cast<Asn>(rng.uniform(as_count));
-      const auto& prefixes =
-          w_->topology.prefixes_of(asn, rng.chance(1.0 - spec_.stale_v6_share)
-                                   ? IpFamily::kV4
-                                   : IpFamily::kV6);
-      if (prefixes.empty()) continue;  // AS without v6; redraw
-      const Prefix& p = prefixes[static_cast<std::size_t>(
-          rng.uniform(prefixes.size()))];
-      IpAddr addr;
-      if (p.family() == IpFamily::kV4) {
-        addr = p.base().offset_by(
-            (rng.uniform(p.count_subprefixes(24)) << 8) + 10 +
-            rng.uniform(200));
-      } else {
-        addr = IpAddr::from_bits(
-            IpFamily::kV6, p.base().bits() + (U128{rng.uniform(4096)} << 64) +
-                               U128{5 + rng.uniform(90)});
-      }
-      if (w_->network->host_at(addr)) continue;  // accidentally live; skip
-      w_->ditl_raw.push_back(addr);
-      ++produced;
-    }
+    const std::size_t live = captured_live_;
 
     const auto n_special = static_cast<std::size_t>(
         static_cast<double>(live) * spec_.special_per_live);
@@ -743,16 +440,44 @@ class WorldBuilder {
   }
 
   const WorldSpec spec_;
+  std::size_t shard_;
+  std::size_t num_shards_;
+  bool full_;
   cd::Rng rng_;
   std::unique_ptr<World> w_;
-  std::uint32_t v4_block_ = 0;
-  Prefix v4_sub_parent_;
-  int v4_sub_count_ = 0;
-  std::uint32_t v6_block_ = 1;
-  std::unordered_map<Asn, IpAddr> as_infra_;
+  std::unique_ptr<CampaignPlan> plan_;
+  std::map<OsId, const OsProfile*> hidden_os_;
+  std::size_t captured_live_ = 0;
 };
 
 }  // namespace
+
+void ResolverTruthTable::freeze() {
+  std::vector<std::size_t> order(addrs_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return addrs_[a] < addrs_[b];
+  });
+  const auto apply = [&](auto& column) {
+    auto sorted = column;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      sorted[i] = column[order[i]];
+    }
+    column = std::move(sorted);
+  };
+  apply(addrs_);
+  apply(os_);
+  apply(software_);
+  apply(band_);
+  apply(bits_);
+}
+
+ResolverTruthTable::const_iterator ResolverTruthTable::find(
+    const cd::net::IpAddr& addr) const {
+  const auto it = std::lower_bound(addrs_.begin(), addrs_.end(), addr);
+  if (it == addrs_.end() || !(*it == addr)) return end();
+  return {this, static_cast<std::size_t>(it - addrs_.begin())};
+}
 
 std::vector<CountryWeight> WorldSpec::default_countries() {
   // AS shares follow Table 1's totals; DSAV deployment rates are shaped so
@@ -806,7 +531,14 @@ WorldSpec bench_world_spec() {
 }
 
 std::unique_ptr<World> generate_world(const WorldSpec& spec) {
-  return WorldBuilder(spec).build();
+  return WorldBuilder(spec, 0, 1, /*full=*/true).build();
+}
+
+std::unique_ptr<World> generate_world(const WorldSpec& spec, std::size_t shard,
+                                      std::size_t num_shards) {
+  CD_ENSURE(num_shards > 0 && shard < num_shards,
+            "generate_world: bad shard spec");
+  return WorldBuilder(spec, shard, num_shards, /*full=*/false).build();
 }
 
 }  // namespace cd::ditl

@@ -80,18 +80,16 @@ void Prober::schedule_campaign(std::vector<TargetInfo> targets,
   const std::size_t n = targets_.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (shard_of(targets_[i].asn, num_shards) != shard_index) continue;
-    // Stagger target start times uniformly across the window, with
-    // per-target jitter so equal-index targets in reruns do not collide
-    // artificially. Jitter comes from the target's own substream (its first
-    // draw), keeping the start time a function of (seed, global index,
-    // target) only.
+    // Stagger target start times uniformly across the window. The draw is
+    // the first from the target's own address-keyed substream, making the
+    // start time a pure function of (seed, address) — a streamed shard world
+    // that never sees the rest of the campaign list schedules its targets at
+    // exactly the times the serial campaign would.
     const cd::sim::SimTime start =
         config_.start_delay +
-        static_cast<cd::sim::SimTime>(
-            static_cast<double>(config_.duration) * static_cast<double>(i) /
-            static_cast<double>(n)) +
-        static_cast<cd::sim::SimTime>(
-            target_rng(targets_[i].addr).uniform(cd::sim::kSecond));
+        static_cast<cd::sim::SimTime>(target_rng(targets_[i].addr)
+                                          .uniform(static_cast<std::uint64_t>(
+                                              config_.duration)));
     loop.schedule_at(start, [this, i] { probe_step(i, 0, nullptr); });
   }
 }

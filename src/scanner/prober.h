@@ -55,11 +55,13 @@ class Prober {
   Prober& operator=(const Prober&) = delete;
 
   /// Schedules spoofed reachability queries for the targets of one shard,
-  /// staggered over the campaign window. Start times are computed from each
-  /// target's *global* index in `targets`, so a target probes at the same
-  /// simulated time whether the campaign runs as one shard or many. The
-  /// default arguments schedule everything (the serial campaign). Call once;
-  /// then run the event loop.
+  /// staggered over the campaign window. Each target's start time is drawn
+  /// from its own address-keyed substream — a pure function of (seed,
+  /// address), independent of the target's index, the list's length, and the
+  /// shard layout — so a target probes at the same simulated time whether
+  /// `targets` is the full campaign list or just one shard's slice of it.
+  /// The default arguments schedule everything (the serial campaign). Call
+  /// once; then run the event loop.
   void schedule_campaign(std::vector<TargetInfo> targets,
                          std::size_t shard_index = 0,
                          std::size_t num_shards = 1);

@@ -1,0 +1,80 @@
+// Bump-pointer arena for flat SoA tables.
+//
+// The campaign plan (ditl/plan.h) keeps per-AS state as parallel columns
+// indexed by dense AS id. Allocating every column out of one arena keeps the
+// whole plan in a handful of large contiguous blocks — no per-column heap
+// churn, no destructor walks — so a 62k-AS plan is a few memcpy-friendly
+// slabs instead of tens of thousands of small allocations (cf. the node
+// arena in tdns's dns-storage).
+//
+// Only trivially destructible element types are allowed: the arena frees
+// memory wholesale and never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace cd {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = std::size_t{1} << 20)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocates a value-initialized array of `n` elements, suitably aligned.
+  /// The span stays valid for the arena's lifetime; elements are never
+  /// destroyed individually.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (n == 0) return {};
+    void* p = alloc_bytes(n * sizeof(T), alignof(T));
+    // Value-initialize so padding and flag columns start zeroed.
+    T* first = new (p) T[n]();
+    return {first, n};
+  }
+
+  /// Total bytes handed out (excludes block slack).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+
+ private:
+  void* alloc_bytes(std::size_t size, std::size_t align) {
+    std::size_t offset = (used_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || offset + size > current_size_) {
+      const std::size_t want = size + align > block_bytes_ ? size + align
+                                                           : block_bytes_;
+      blocks_.push_back(std::make_unique<std::byte[]>(want));
+      current_size_ = want;
+      used_ = 0;
+      offset = 0;
+      void* raw = blocks_.back().get();
+      // Re-align within the fresh block (operator new[] guarantees only
+      // fundamental alignment).
+      std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(raw);
+      const std::uintptr_t aligned = (addr + align - 1) & ~(align - 1);
+      offset = static_cast<std::size_t>(aligned - addr);
+    }
+    void* p = blocks_.back().get() + offset;
+    used_ = offset + size;
+    allocated_ += size;
+    return p;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::size_t current_size_ = 0;  // capacity of blocks_.back()
+  std::size_t used_ = 0;          // bytes consumed in blocks_.back()
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace cd

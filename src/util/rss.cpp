@@ -1,0 +1,34 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cd {
+
+namespace {
+
+/// Reads one "Vm*: N kB" line from /proc/self/status.
+std::size_t status_field_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t value = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      value = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+std::size_t peak_rss_kb() { return status_field_kb("VmHWM"); }
+
+std::size_t current_rss_kb() { return status_field_kb("VmRSS"); }
+
+}  // namespace cd

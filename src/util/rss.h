@@ -1,0 +1,20 @@
+// Process memory accounting from /proc/self/status.
+//
+// The sharded campaign runner and the campaign-scale bench report peak RSS
+// so the bounded-memory claim — shard count, not world size, bounds memory —
+// is measurable. VmHWM is a process-lifetime high-water mark: it only ever
+// grows, so "peak RSS of phase X" readings taken after earlier larger
+// phases report the earlier peak.
+#pragma once
+
+#include <cstddef>
+
+namespace cd {
+
+/// Peak resident set size (VmHWM) in KiB; 0 when /proc is unavailable.
+[[nodiscard]] std::size_t peak_rss_kb();
+
+/// Current resident set size (VmRSS) in KiB; 0 when /proc is unavailable.
+[[nodiscard]] std::size_t current_rss_kb();
+
+}  // namespace cd

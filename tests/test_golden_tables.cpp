@@ -37,15 +37,15 @@ struct CategoryGolden {
 
 // --- golden values (CD_GOLDEN_PRINT=1 regenerates) --------------------------
 
-constexpr std::uint64_t kGoldenQueried[4] = {1305, 30, 82, 6};  // v4 a/as, v6 a/as
-constexpr std::uint64_t kGoldenReachable[4] = {61, 15, 3, 2};   // v4 a/as, v6 a/as
+constexpr std::uint64_t kGoldenQueried[4] = {2070, 30, 246, 9};  // v4 a/as, v6 a/as
+constexpr std::uint64_t kGoldenReachable[4] = {96, 15, 21, 4};   // v4 a/as, v6 a/as
 
 constexpr CategoryGolden kGoldenCategories[cd::scanner::kSourceCategoryCount] =
     {
-        {"Other Prefix", {55, 14, 3, 2, 25, 5, 3, 2}},
-        {"Same Prefix", {27, 8, 0, 0, 3, 0, 0, 0}},
-        {"Private", {10, 3, 0, 0, 3, 1, 0, 0}},
-        {"Dst-as-Src", {4, 4, 0, 0, 0, 0, 0, 0}},
+        {"Other Prefix", {82, 13, 19, 4, 27, 5, 12, 3}},
+        {"Same Prefix", {65, 9, 9, 1, 8, 1, 0, 0}},
+        {"Private", {7, 2, 0, 0, 4, 1, 0, 0}},
+        {"Dst-as-Src", {13, 6, 9, 1, 0, 0, 0, 0}},
         {"Loopback", {0, 0, 0, 0, 0, 0, 0, 0}},
 };
 

@@ -59,6 +59,12 @@ TEST(Followup, ClosedVerdictMatchesTruth) {
     if (!rec.reachable()) continue;
     const auto it = world->truth_resolvers.find(addr);
     if (it == world->truth_resolvers.end()) continue;
+    // A QNAME-minimizing open resolver can fail the open check even though
+    // it serves strangers: strict minimization halts on NXDOMAIN before the
+    // full open-check name ever reaches our servers (§3.6.4's blind spot —
+    // e.g. an open forward-first forwarder whose failover iteration
+    // minimizes). The verdict invariant only holds for non-qmin truth.
+    if (it->second.qmin) continue;
     ++checked;
     EXPECT_EQ(rec.open_hit, it->second.open) << addr.to_string();
   }

@@ -19,13 +19,22 @@
 //   ./campaign_scale                         # ≥1M-target spilled campaign
 //   ./campaign_scale --paper --no-campaign   # 12M-target plan+stream sweep
 //   ./campaign_scale --shards=64 --threads=8 --spill-dir=/tmp/cdsp
+//
+// --crosscheck-window=N additionally runs the Closed Resolver cross-check
+// plane (scanner/crosscheck.h) over every announced /24, probing host
+// offsets [10, 10+N) — the window the world's resolver addressing occupies —
+// and reports the per-AS methodology-agreement aggregates
+// (analysis/crosscheck.h). The world is materialized once for the join's
+// target list, so pick a shape that fits in memory when enabling this.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "analysis/crosscheck.h"
 #include "core/parallel.h"
 #include "ditl/plan.h"
 #include "ditl/target_stream.h"
@@ -49,6 +58,7 @@ struct Options {
   std::uint64_t seed = 42;
   bool campaign = true;
   bool spill = true;
+  std::uint32_t crosscheck_window = 0;  // 0 = cross-check plane off
   std::string spill_dir = "campaign_spill";
   std::string out = "BENCH_campaign.json";
 };
@@ -67,6 +77,9 @@ Options parse(int argc, char** argv) {
       opt.threads = std::strtoull(arg + 10, nullptr, 10);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--crosscheck-window=", 20) == 0) {
+      opt.crosscheck_window =
+          static_cast<std::uint32_t>(std::strtoul(arg + 20, nullptr, 10));
     } else if (std::strncmp(arg, "--spill-dir=", 12) == 0) {
       opt.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
@@ -123,12 +136,20 @@ int main(int argc, char** argv) {
   double max_shard_gen_ms = 0.0, max_shard_run_ms = 0.0;
   unsigned long long probes = 0, records = 0;
   unsigned long long digest = 0;
+  unsigned long long cc_probes = 0, cc_prefixes = 0, cc_vulnerable = 0;
+  cd::analysis::AgreementReport agreement;
   if (opt.campaign) {
     cd::core::ExperimentConfig config;
     config.num_shards = opt.shards;
     config.num_threads = opt.threads;
     config.stream_worlds = true;
     if (opt.spill) config.spill_dir = opt.spill_dir;
+    if (opt.crosscheck_window > 0) {
+      cd::scanner::CrossCheckConfig cc;
+      cc.host_lo = 10;  // resolver v4 addressing starts at offset 10
+      cc.host_hi = 10 + opt.crosscheck_window;
+      config.crosscheck = cc;
+    }
 
     const auto run_start = Clock::now();
     const cd::core::ShardedResults out =
@@ -150,6 +171,38 @@ int main(int argc, char** argv) {
         probes, opt.shards, opt.threads, campaign_ms, probes_per_s, merge_ms,
         max_shard_gen_ms, max_shard_run_ms, records, digest,
         ms_since(run_start));
+
+    if (opt.crosscheck_window > 0) {
+      cc_probes = out.merged.crosscheck_probes;
+      std::vector<cd::scanner::PrefixTarget> probed;
+      probed.reserve(cd::ditl::count_prefix24(*plan));
+      cd::ditl::for_each_prefix24(
+          *plan, 0, 1,
+          [&probed](cd::sim::Asn asn, const cd::net::Prefix& p24) {
+            probed.push_back({p24, asn});
+          });
+      cc_prefixes = probed.size();
+      for (const auto& [base, rec] : out.merged.crosscheck_records) {
+        if (rec.vulnerable()) ++cc_vulnerable;
+      }
+      // The join needs the per-resolver target list, which the streamed
+      // campaign never materializes — build the world once for it.
+      const auto world = cd::ditl::generate_world(spec);
+      agreement = cd::analysis::methodology_agreement(
+          out.merged.records, world->targets, out.merged.crosscheck_records,
+          probed);
+      std::printf(
+          "# crosscheck: %llu probes over %llu /24s, %llu vulnerable "
+          "(%.0f%%); agreement over %llu ASes: %llu agree-vuln, "
+          "%llu agree-filtered, %llu resolver-only, %llu prefix-only\n",
+          cc_probes, cc_prefixes, cc_vulnerable,
+          100.0 * agreement.prefix_vulnerable_share,
+          (unsigned long long)agreement.ases,
+          (unsigned long long)agreement.agree_vulnerable,
+          (unsigned long long)agreement.agree_filtered,
+          (unsigned long long)agreement.resolver_only,
+          (unsigned long long)agreement.prefix_only);
+    }
   }
 
   const std::size_t peak_kb = cd::peak_rss_kb();
@@ -166,13 +219,21 @@ int main(int argc, char** argv) {
         "\"plan_ms\":%.1f,\"plan_kib\":%zu,\"stream_ms\":%.0f,"
         "\"campaign_ms\":%.0f,\"merge_ms\":%.0f,\"probes\":%llu,"
         "\"probes_per_s\":%.0f,\"records\":%llu,\"digest\":\"%016llx\","
+        "\"crosscheck_window\":%u,\"crosscheck_probes\":%llu,"
+        "\"crosscheck_prefixes\":%llu,\"crosscheck_vulnerable\":%llu,"
+        "\"agree_vulnerable\":%llu,\"agree_filtered\":%llu,"
+        "\"resolver_only\":%llu,\"prefix_only\":%llu,"
         "\"peak_rss_kib\":%zu}\n",
         opt.asns, opt.mean, opt.shards, opt.threads,
         (unsigned long long)opt.seed, opt.spill ? "true" : "false",
         (unsigned long long)counts.targets,
         (unsigned long long)counts.resolvers, plan_ms, plan->bytes() / 1024,
         stream_ms, campaign_ms, merge_ms, probes, probes_per_s, records,
-        digest, peak_kb);
+        digest, opt.crosscheck_window, cc_probes, cc_prefixes, cc_vulnerable,
+        (unsigned long long)agreement.agree_vulnerable,
+        (unsigned long long)agreement.agree_filtered,
+        (unsigned long long)agreement.resolver_only,
+        (unsigned long long)agreement.prefix_only, peak_kb);
     std::fclose(f);
     std::printf("# appended to %s\n", opt.out.c_str());
   } else {

@@ -3,12 +3,14 @@
 # builds — ThreadSanitizer over the sharded-runner tests (label
 # "parallel") plus the streaming-TCP suite (label "tcp", whose
 # segmentation differential runs campaigns through the sharded runner),
-# AddressSanitizer over the fuzz + pcap + batched-delivery + tcp labels
-# (bit-flip/truncation fuzzing only proves "throws, never over-reads"
-# when the reads are instrumented, and the TCP reassembly/segment paths
-# exercise the pooled-buffer recycling hardest), and
-# UndefinedBehaviorSanitizer over the same labels plus the full unit
-# suite (shift/overflow/alignment UB in the byte codecs).
+# AddressSanitizer over the fuzz + pcap + batched-delivery + tcp +
+# campaign + crosscheck labels (bit-flip/truncation fuzzing only proves
+# "throws, never over-reads" when the reads are instrumented, and the
+# TCP reassembly/segment paths exercise the pooled-buffer recycling
+# hardest), and UndefinedBehaviorSanitizer over the same labels plus the
+# full unit suite (shift/overflow/alignment UB in the byte codecs). A
+# final label audit fails the run if a tests/test_*.cpp is unregistered
+# or a registered test carries no label.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 # Env:   CD_COVERAGE=1 adds a gcov-instrumented run reporting
@@ -34,24 +36,54 @@ cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp \
 ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp|eventcore" \
   --output-on-failure
 
-echo "=== ASan build + fuzz/pcap/batched/tcp/campaign-label ctest ==="
+echo "=== ASan build + fuzz/pcap/batched/tcp/campaign/crosscheck ctest ==="
 # The campaign label covers the streamed-world + disk-spill battery: the
-# spill truncation fuzz only proves "throws, never over-reads" when the
-# reads are instrumented, and its RSS-budget test asserts the bounded-memory
-# claim under a sanitizer-scaled budget that stays fixed as targets grow.
+# spill truncation/bit-flip fuzz only proves "throws, never over-reads" when
+# the reads are instrumented, and its RSS-budget test asserts the
+# bounded-memory claim under a sanitizer-scaled budget that stays fixed as
+# targets grow. The crosscheck label runs the Closed Resolver differential
+# battery (second scanner plane) under the same instrumentation.
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
 cmake --build "${PREFIX}-asan" -j --target \
   test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
-  test_sim_batched test_sim_tcp test_net_checksum test_campaign_stream
+  test_sim_batched test_sim_tcp test_net_checksum test_campaign_stream \
+  test_crosscheck
 ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir "${PREFIX}-asan" -L "fuzz|pcap|batched|tcp|campaign" \
+  ctest --test-dir "${PREFIX}-asan" \
+  -L "fuzz|pcap|batched|tcp|campaign|crosscheck" \
   --output-on-failure
 
-echo "=== UBSan build + unit/pcap/batched/tcp/campaign-label ctest ==="
+echo "=== UBSan build + unit/pcap/batched/tcp/campaign/crosscheck ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
-ctest --test-dir "${PREFIX}-ubsan" -L "unit|pcap|batched|fuzz|tcp|campaign" \
+ctest --test-dir "${PREFIX}-ubsan" \
+  -L "unit|pcap|batched|fuzz|tcp|campaign|crosscheck" \
   --output-on-failure -j
+
+echo "=== ctest label audit ==="
+# Two invariants keep the sanitizer lanes honest as tests are added:
+# every tests/test_*.cpp must be registered with cd_test (an unregistered
+# file silently never runs), and every registered test must carry at least
+# one label (ctest -L unions select everything, so a test added with a
+# novel unlisted label still runs in the plain suite and shows up here).
+for f in tests/test_*.cpp; do
+  name="$(basename "${f}" .cpp)"
+  if ! grep -Eq "cd_test\(${name}( |\))" tests/CMakeLists.txt; then
+    echo "label audit: ${f} is not registered in tests/CMakeLists.txt" >&2
+    exit 1
+  fi
+done
+labels="$(ctest --test-dir "${PREFIX}" --print-labels \
+  | sed -n 's/^  *//p' | grep -v 'Labels' | paste -sd'|' -)"
+total="$(ctest --test-dir "${PREFIX}" -N | sed -n 's/^Total Tests: //p')"
+labeled="$(ctest --test-dir "${PREFIX}" -N -L "${labels}" \
+  | sed -n 's/^Total Tests: //p')"
+if [[ -z "${total}" || "${total}" != "${labeled}" ]]; then
+  echo "label audit: ${labeled:-0}/${total:-?} tests carry a label" >&2
+  echo "             (union tried: ${labels})" >&2
+  exit 1
+fi
+echo "label audit: all ${total} tests registered and labeled"
 
 if [[ "${CD_COVERAGE:-0}" == "1" ]]; then
   if command -v gcovr >/dev/null 2>&1; then

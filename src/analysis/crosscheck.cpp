@@ -1,0 +1,112 @@
+#include "analysis/crosscheck.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace cd::analysis {
+
+std::string method_agreement_name(MethodAgreement verdict) {
+  switch (verdict) {
+    case MethodAgreement::kAgreeVulnerable: return "agree-vulnerable";
+    case MethodAgreement::kAgreeFiltered: return "agree-filtered";
+    case MethodAgreement::kResolverOnly: return "resolver-only";
+    case MethodAgreement::kPrefixOnly: return "prefix-only";
+  }
+  return "?";
+}
+
+AgreementReport methodology_agreement(
+    const Records& records, std::span<const cd::scanner::TargetInfo> targets,
+    const cd::scanner::PrefixRecords& prefix_records,
+    std::span<const cd::scanner::PrefixTarget> probed) {
+  // std::map: rows come out sorted by ASN, and the row set is independent of
+  // the (unordered) iteration order of the inputs.
+  std::map<cd::sim::Asn, AsAgreement> by_as;
+
+  for (const cd::scanner::TargetInfo& target : targets) {
+    AsAgreement& row = by_as[target.asn];
+    row.asn = target.asn;
+    ++row.resolvers_probed;
+    const auto it = records.find(target.addr);
+    if (it != records.end() && it->second.reachable()) {
+      ++row.resolvers_reachable;
+    }
+  }
+
+  for (const cd::scanner::PrefixTarget& pt : probed) {
+    AsAgreement& row = by_as[pt.asn];
+    row.asn = pt.asn;
+    ++row.prefixes_probed;
+  }
+  for (const auto& [base, rec] : prefix_records) {
+    if (!rec.vulnerable()) continue;
+    AsAgreement& row = by_as[rec.asn];
+    row.asn = rec.asn;
+    ++row.prefixes_vulnerable;
+  }
+
+  AgreementReport report;
+  report.rows.reserve(by_as.size());
+  for (auto& [asn, row] : by_as) {
+    const bool resolver_hit = row.resolvers_reachable > 0;
+    const bool prefix_hit = row.prefixes_vulnerable > 0;
+    row.verdict = resolver_hit
+                      ? (prefix_hit ? MethodAgreement::kAgreeVulnerable
+                                    : MethodAgreement::kResolverOnly)
+                      : (prefix_hit ? MethodAgreement::kPrefixOnly
+                                    : MethodAgreement::kAgreeFiltered);
+    switch (row.verdict) {
+      case MethodAgreement::kAgreeVulnerable: ++report.agree_vulnerable; break;
+      case MethodAgreement::kAgreeFiltered: ++report.agree_filtered; break;
+      case MethodAgreement::kResolverOnly: ++report.resolver_only; break;
+      case MethodAgreement::kPrefixOnly: ++report.prefix_only; break;
+    }
+    report.prefixes_probed += row.prefixes_probed;
+    report.prefixes_vulnerable += row.prefixes_vulnerable;
+    if (row.resolvers_probed > 0) {
+      ++report.resolver_ases_probed;
+      if (resolver_hit) ++report.resolver_ases_vulnerable;
+    }
+    report.rows.push_back(row);
+  }
+  report.ases = report.rows.size();
+  report.prefix_vulnerable_share =
+      report.prefixes_probed == 0
+          ? 0.0
+          : static_cast<double>(report.prefixes_vulnerable) /
+                static_cast<double>(report.prefixes_probed);
+  return report;
+}
+
+std::string render_agreement(const AgreementReport& report,
+                             std::size_t max_rows) {
+  std::ostringstream out;
+  out << "== Methodology cross-check (per-resolver vs per-/24) ==\n";
+  out << "ASes joined:        " << report.ases << "\n";
+  out << "  agree-vulnerable: " << report.agree_vulnerable << "\n";
+  out << "  agree-filtered:   " << report.agree_filtered << "\n";
+  out << "  resolver-only:    " << report.resolver_only << "\n";
+  out << "  prefix-only:      " << report.prefix_only << "\n";
+  out << "Prefix modality:    " << report.prefixes_vulnerable << "/"
+      << report.prefixes_probed << " /24s vulnerable ("
+      << static_cast<int>(report.prefix_vulnerable_share * 100.0 + 0.5)
+      << "%)\n";
+  out << "Resolver modality:  " << report.resolver_ases_vulnerable << "/"
+      << report.resolver_ases_probed << " probed ASes vulnerable\n";
+  out << "ASN      resolvers  reachable  /24s   vuln   verdict\n";
+  const std::size_t n = std::min(max_rows, report.rows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const AsAgreement& row = report.rows[i];
+    out << row.asn << "  " << row.resolvers_probed << "  "
+        << row.resolvers_reachable << "  " << row.prefixes_probed << "  "
+        << row.prefixes_vulnerable << "  "
+        << method_agreement_name(row.verdict) << "\n";
+  }
+  if (report.rows.size() > n) {
+    out << "... (" << (report.rows.size() - n) << " more ASes)\n";
+  }
+  return out.str();
+}
+
+}  // namespace cd::analysis

@@ -1,0 +1,90 @@
+// Methodology-agreement join: this paper's per-resolver inbound-SAV verdicts
+// against the Closed Resolver Project's per-/24 verdicts, over the same
+// world.
+//
+// The two studies measure the same phenomenon from opposite directions. The
+// paper spoofs *external* sources at known resolvers and reports the share
+// of networks whose borders let them through; Korczyński et al. spoof each
+// network's *internal* resolver address across every announced /24 and
+// report ~49% of IPv4 networks vulnerable. Joining both modalities per AS
+// yields four outcomes:
+//
+//   agree-vulnerable  both scanners got spoofed traffic in
+//   agree-filtered    neither did
+//   resolver-only     the paper's external-source probes landed but the
+//                     prefix scanner's did not — the signature of a border
+//                     that drops inbound packets claiming *its own* subnet
+//                     (FilterPolicy::drop_inbound_same_subnet) while still
+//                     admitting arbitrary external sources
+//   prefix-only       the prefix scanner found a listening resolver the
+//                     per-resolver campaign never probed (its /24 walk
+//                     covers hosts outside the DITL-derived target list)
+//
+// The disagreement rows are the point: neither methodology dominates, and
+// the aggregate share each one reports depends on which borders deploy
+// which filter — exactly why the two papers' headline numbers differ.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "scanner/crosscheck.h"
+
+namespace cd::analysis {
+
+enum class MethodAgreement : std::uint8_t {
+  kAgreeVulnerable = 0,
+  kAgreeFiltered = 1,
+  kResolverOnly = 2,  // method-disagrees: only the per-resolver scanner hit
+  kPrefixOnly = 3,    // method-disagrees: only the prefix scanner hit
+};
+
+[[nodiscard]] std::string method_agreement_name(MethodAgreement verdict);
+
+/// One AS's joined verdict.
+struct AsAgreement {
+  cd::sim::Asn asn = 0;
+  std::uint64_t resolvers_probed = 0;
+  std::uint64_t resolvers_reachable = 0;  // paper modality: spoof got in
+  std::uint64_t prefixes_probed = 0;
+  std::uint64_t prefixes_vulnerable = 0;  // prefix modality: query escaped
+  MethodAgreement verdict = MethodAgreement::kAgreeFiltered;
+};
+
+struct AgreementReport {
+  /// One row per AS in either modality's universe, sorted by ASN.
+  std::vector<AsAgreement> rows;
+  std::uint64_t ases = 0;
+  std::uint64_t agree_vulnerable = 0;
+  std::uint64_t agree_filtered = 0;
+  std::uint64_t resolver_only = 0;
+  std::uint64_t prefix_only = 0;
+  /// The Closed Resolver headline aggregate (~49% in the study): share of
+  /// probed /24s that admitted the in-prefix-spoofed probe.
+  std::uint64_t prefixes_probed = 0;
+  std::uint64_t prefixes_vulnerable = 0;
+  double prefix_vulnerable_share = 0.0;
+  /// This paper's analogous per-AS aggregate: share of probed ASes with at
+  /// least one externally-spoofable resolver.
+  std::uint64_t resolver_ases_probed = 0;
+  std::uint64_t resolver_ases_vulnerable = 0;
+};
+
+/// Joins the per-resolver campaign evidence (`records` over `targets`)
+/// against the prefix scanner's verdicts (`prefix_records` over `probed`).
+/// Pure function of its inputs; both scanners must have run over the same
+/// world for the join to be meaningful.
+[[nodiscard]] AgreementReport methodology_agreement(
+    const Records& records, std::span<const cd::scanner::TargetInfo> targets,
+    const cd::scanner::PrefixRecords& prefix_records,
+    std::span<const cd::scanner::PrefixTarget> probed);
+
+/// Renders the agreement aggregates plus the first `max_rows` per-AS rows as
+/// a text table (report.h idiom).
+[[nodiscard]] std::string render_agreement(const AgreementReport& report,
+                                           std::size_t max_rows = 20);
+
+}  // namespace cd::analysis

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include "ditl/plan.h"
 #include "util/error.h"
 
 namespace cd::core {
@@ -29,6 +30,15 @@ Experiment::Experiment(cd::ditl::World& world, ExperimentConfig config)
   for (cd::resolver::AuthServer* auth : world_.experiment_auths) {
     collector_->attach(*auth);
   }
+  if (config_.crosscheck) {
+    crosscheck_prober_ = std::make_unique<cd::scanner::CrossCheckProber>(
+        *world_.vantage, codec, *config_.crosscheck, rng.split("crosscheck"));
+    crosscheck_collector_ = std::make_unique<cd::scanner::CrossCheckCollector>(
+        codec, config_.crosscheck->lifetime_threshold);
+    for (cd::resolver::AuthServer* auth : world_.experiment_auths) {
+      crosscheck_collector_->attach(*auth);
+    }
+  }
   if (config_.followups) {
     followup_ = std::make_unique<FollowupEngine>(*prober_, *collector_,
                                                  config_.followup);
@@ -53,6 +63,12 @@ void merge_into(ExperimentResults& acc, ExperimentResults part, bool first) {
   acc.queries_sent += part.queries_sent;
   acc.followup_batteries += part.followup_batteries;
   acc.analyst_replays += part.analyst_replays;
+  for (auto& [base, record] : part.crosscheck_records) {
+    const bool inserted =
+        acc.crosscheck_records.emplace(base, std::move(record)).second;
+    CD_ENSURE(inserted, "merge_results: /24 present in two shards");
+  }
+  acc.crosscheck_probes += part.crosscheck_probes;
 
   if (first) {
     acc.capture = std::move(part.capture);
@@ -108,6 +124,21 @@ const ExperimentResults& Experiment::run() {
 
   prober_->schedule_campaign(world_.targets, config_.shard_index,
                              config_.num_shards);
+  if (crosscheck_prober_) {
+    // The cross-check plane enumerates its /24 universe from the campaign
+    // plan, not from the (possibly shard-sliced) materialized world, so a
+    // streamed shard schedules exactly the serial campaign's prefixes.
+    const auto plan = cd::ditl::build_campaign_plan(world_.spec);
+    std::vector<cd::scanner::PrefixTarget> prefixes;
+    prefixes.reserve(cd::ditl::count_prefix24(*plan, config_.shard_index,
+                                              config_.num_shards));
+    cd::ditl::for_each_prefix24(
+        *plan, config_.shard_index, config_.num_shards,
+        [&prefixes](cd::sim::Asn asn, const cd::net::Prefix& p24) {
+          prefixes.push_back({p24, asn});
+        });
+    crosscheck_prober_->schedule_campaign(std::move(prefixes));
+  }
   world_.loop.run(config_.max_events);
 
   if (capture_tap) {
@@ -127,6 +158,10 @@ const ExperimentResults& Experiment::run() {
   results.queries_sent = prober_->queries_sent();
   results.followup_batteries = followup_ ? followup_->batteries_sent() : 0;
   results.analyst_replays = analyst_ ? analyst_->replays() : 0;
+  if (crosscheck_collector_) {
+    results.crosscheck_records = crosscheck_collector_->records();
+    results.crosscheck_probes = crosscheck_prober_->probes_sent();
+  }
   results_ = std::move(results);
   return *results_;
 }

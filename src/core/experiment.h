@@ -19,6 +19,7 @@
 #include "ditl/world.h"
 #include "scanner/analyst.h"
 #include "scanner/collector.h"
+#include "scanner/crosscheck.h"
 #include "scanner/followup.h"
 #include "scanner/prober.h"
 #include "util/pcap.h"
@@ -49,6 +50,15 @@ struct ExperimentConfig {
   cd::scanner::FollowupConfig followup;
   /// When set, simulate IDS analysts replaying logged probes (§3.6.3).
   std::optional<cd::scanner::AnalystConfig> analyst;
+  /// When set, run the Closed Resolver cross-check campaign (the per-/24
+  /// prefix scanner, scanner/crosscheck.h) alongside the probe plane: both
+  /// planes are scheduled before the single event-loop drain, so every
+  /// cross-check start time stays a pure function of (seed, prefix) and the
+  /// shard-differential digests hold for both planes at once. Off by
+  /// default: the extra traffic legitimately perturbs timing-sensitive
+  /// main-plane evidence (follow-up ports, analyst replays), so golden
+  /// tables are pinned with the cross-check off.
+  std::optional<cd::scanner::CrossCheckConfig> crosscheck;
   /// When set, export the campaign's wire traffic as a pcap capture.
   std::optional<CaptureSpec> capture;
   /// Run the §3.5 follow-up batteries on first hits. Disabled by the
@@ -116,6 +126,11 @@ struct ExperimentResults {
   std::uint64_t queries_sent = 0;
   std::uint64_t followup_batteries = 0;
   std::uint64_t analyst_replays = 0;
+  /// Cross-check plane (empty/zero unless the config enabled it). Prefixes
+  /// partition by AS exactly like targets, so per-shard record maps are
+  /// disjoint and merge by insertion.
+  cd::scanner::PrefixRecords crosscheck_records;
+  std::uint64_t crosscheck_probes = 0;
 };
 
 /// Merges per-shard results in shard order: counters are summed, evidence
@@ -148,6 +163,10 @@ class Experiment {
 
   [[nodiscard]] cd::scanner::Prober& prober() { return *prober_; }
   [[nodiscard]] cd::scanner::Collector& collector() { return *collector_; }
+  /// Null unless the config enabled the cross-check plane.
+  [[nodiscard]] cd::scanner::CrossCheckProber* crosscheck_prober() {
+    return crosscheck_prober_.get();
+  }
 
  private:
   cd::ditl::World& world_;
@@ -155,6 +174,8 @@ class Experiment {
   std::unique_ptr<cd::scanner::SourceSelector> selector_;
   std::unique_ptr<cd::scanner::Prober> prober_;
   std::unique_ptr<cd::scanner::Collector> collector_;
+  std::unique_ptr<cd::scanner::CrossCheckProber> crosscheck_prober_;
+  std::unique_ptr<cd::scanner::CrossCheckCollector> crosscheck_collector_;
   std::unique_ptr<cd::scanner::FollowupEngine> followup_;
   std::unique_ptr<cd::scanner::AnalystSimulator> analyst_;
   std::optional<ExperimentResults> results_;

@@ -231,6 +231,20 @@ std::uint64_t results_digest(const ExperimentResults& results) {
   d.u64(results.queries_sent);
   d.u64(results.followup_batteries);
   d.u64(results.analyst_replays);
+
+  // Cross-check plane: the per-/24 verdict evidence. hits / direct_seen /
+  // forwarded_seen are deliberately omitted — retransmit duplicate counts
+  // depend on shared-cache warmness, and a forward-failover resolver's
+  // direct-vs-forwarded choice is drawn from its own sequential stream, so
+  // both legitimately vary with shard layout (like first_hit_time above).
+  d.u64(results.crosscheck_records.size());
+  for (const auto& [base, rec] : results.crosscheck_records) {
+    d.addr(base);
+    d.u64(rec.asn);
+    d.u64(rec.responding.size());
+    for (const auto& addr : rec.responding) d.addr(addr);
+  }
+  d.u64(results.crosscheck_probes);
   return d.value();
 }
 

@@ -66,16 +66,20 @@ struct ShardedResults {
 
 /// Order-independent digest of the shard-count-invariant evidence: records
 /// (sorted by target address, all fields except `first_hit_time`),
-/// QNAME-minimization ASes, lifetime exclusions and the scanner-side
-/// counters (queries sent, follow-up batteries, analyst replays).
+/// QNAME-minimization ASes, lifetime exclusions, the scanner-side counters
+/// (queries sent, follow-up batteries, analyst replays), and the
+/// cross-check plane's per-/24 evidence (prefix, AS and responding-address
+/// sets, plus the probes-sent counter).
 ///
 /// Excluded by design — the traffic-volume/timing artifacts of shared
 /// public-resolver cache warmness, the one thing sharding legitimately
 /// perturbs: per-record `first_hit_time`, the world's `network_stats`,
-/// and `collector_stats` (a forwarded target resolving against a cold
+/// `collector_stats` (a forwarded target resolving against a cold
 /// per-shard cache takes longer, which can add retransmitted — duplicate —
 /// auth log entries; every evidence *set* stays exact because the records
-/// deduplicate).
+/// deduplicate), and the cross-check records' `hits` /
+/// `direct_seen`/`forwarded_seen` (duplicate counts plus the
+/// forward-failover resolver's sequential direct-vs-forward draw).
 [[nodiscard]] std::uint64_t results_digest(const ExperimentResults& results);
 
 /// Digest of a capture's full serialized form (pcap bytes then sidecar

@@ -65,21 +65,32 @@ void put_record(cd::ByteWriter& w, const TargetRecord& rec) {
   if (rec.tcp_syn) put_blob(w, rec.tcp_syn->serialize());
 }
 
+std::uint32_t get_asn(cd::ByteReader& r) {
+  const std::uint64_t asn = r.u64le();
+  if (asn > UINT32_MAX) r.fail("ASN out of range");
+  return static_cast<std::uint32_t>(asn);
+}
+
 TargetRecord get_record(cd::ByteReader& r) {
   TargetRecord rec;
   rec.target = get_addr(r);
-  rec.asn = static_cast<cd::sim::Asn>(r.u64le());
+  rec.asn = static_cast<cd::sim::Asn>(get_asn(r));
   const std::uint64_t n_sources = r.u64le();
   for (std::uint64_t i = 0; i < n_sources; ++i) {
     rec.sources_hit.insert(get_addr(r));
   }
   const std::uint64_t n_cats = r.u64le();
   for (std::uint64_t i = 0; i < n_cats; ++i) {
-    rec.categories_hit.insert(static_cast<SourceCategory>(r.u8()));
+    const std::uint8_t cat = r.u8();
+    if (cat >= cd::scanner::kSourceCategoryCount) {
+      r.fail("bad source category");
+    }
+    rec.categories_hit.insert(static_cast<SourceCategory>(cat));
   }
   rec.first_hit_time = static_cast<cd::sim::SimTime>(r.u64le());
   rec.first_hit_source = get_addr(r);
   const std::uint8_t flags = r.u8();
+  if ((flags & ~std::uint8_t{63}) != 0) r.fail("unknown record flags");
   rec.direct_seen = (flags & 1) != 0;
   rec.forwarded_seen = (flags & 2) != 0;
   rec.client_in_target_as = (flags & 4) != 0;
@@ -138,6 +149,19 @@ std::vector<std::uint8_t> serialize_results(const ExperimentResults& results) {
   w.u64le(results.followup_batteries);
   w.u64le(results.analyst_replays);
 
+  // Cross-check plane (v2).
+  w.u64le(results.crosscheck_probes);
+  w.u64le(results.crosscheck_records.size());
+  for (const auto& [base, rec] : results.crosscheck_records) {
+    put_addr(w, base);
+    w.u64le(rec.asn);
+    w.u64le(rec.hits);
+    w.u8(static_cast<std::uint8_t>((rec.direct_seen ? 1 : 0) |
+                                   (rec.forwarded_seen ? 2 : 0)));
+    w.u64le(rec.responding.size());
+    for (const IpAddr& addr : rec.responding) put_addr(w, addr);
+  }
+
   // Capture records travel raw (time/annotation/bytes), not as a rendered
   // pcap: merge re-canonicalizes, so rendering per shard would be waste.
   w.u32le(results.capture.snaplen);
@@ -174,7 +198,7 @@ ExperimentResults parse_results(std::span<const std::uint8_t> bytes) {
 
   const std::uint64_t n_qmin = r.u64le();
   for (std::uint64_t i = 0; i < n_qmin; ++i) {
-    results.qmin_asns.insert(static_cast<cd::sim::Asn>(r.u64le()));
+    results.qmin_asns.insert(static_cast<cd::sim::Asn>(get_asn(r)));
   }
   const std::uint64_t n_excl = r.u64le();
   for (std::uint64_t i = 0; i < n_excl; ++i) {
@@ -196,6 +220,27 @@ ExperimentResults parse_results(std::span<const std::uint8_t> bytes) {
   results.queries_sent = r.u64le();
   results.followup_batteries = r.u64le();
   results.analyst_replays = r.u64le();
+
+  results.crosscheck_probes = r.u64le();
+  const std::uint64_t n_prefixes = r.u64le();
+  for (std::uint64_t i = 0; i < n_prefixes; ++i) {
+    cd::scanner::PrefixRecord rec;
+    rec.prefix = get_addr(r);
+    rec.asn = static_cast<cd::sim::Asn>(get_asn(r));
+    rec.hits = r.u64le();
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~std::uint8_t{3}) != 0) r.fail("unknown prefix flags");
+    rec.direct_seen = (flags & 1) != 0;
+    rec.forwarded_seen = (flags & 2) != 0;
+    const std::uint64_t n_resp = r.u64le();
+    for (std::uint64_t j = 0; j < n_resp; ++j) {
+      rec.responding.insert(get_addr(r));
+    }
+    const IpAddr base = rec.prefix;
+    if (!results.crosscheck_records.emplace(base, std::move(rec)).second) {
+      r.fail("duplicate prefix record");
+    }
+  }
 
   results.capture.snaplen = r.u32le();
   results.capture.linktype = r.u32le();

@@ -1,4 +1,4 @@
-// On-disk spill codec for per-shard experiment results ("CDSP" v1).
+// On-disk spill codec for per-shard experiment results ("CDSP" v2).
 //
 // The sharded runner can run far more shards than fit in memory at once:
 // each shard's ExperimentResults is serialized to a compact binary file the
@@ -8,10 +8,19 @@
 // results_digest or capture_digest: the merged evidence is bit-identical to
 // the all-in-memory path (tests/test_campaign_stream.cpp).
 //
+// v2 appends the cross-check plane (per-/24 prefix records and the
+// probes-sent counter, scanner/crosscheck.h) after the scanner counters.
+// v1 files no longer parse — spills are transient per-run artifacts, not an
+// archival format, so there is no cross-version reader.
+//
 // Safety property: *every* strict byte prefix of a valid spill file fails to
 // parse with cd::ParseError, and so does trailing garbage (the reader
 // requires exact consumption). A truncated spill can therefore never merge
-// silently as partial results.
+// silently as partial results. The same strictness covers in-place
+// corruption: enums, flag bytes and range-limited fields reject values the
+// writer can never emit, so a flipped bit either throws or produces a
+// decoded value whose re-serialization no longer matches the file
+// (tests/test_campaign_stream.cpp's bit-flip fuzz).
 #pragma once
 
 #include <cstdint>
@@ -24,9 +33,9 @@
 namespace cd::core {
 
 inline constexpr std::uint32_t kSpillMagic = 0x50534443;  // "CDSP" LE
-inline constexpr std::uint32_t kSpillVersion = 1;
+inline constexpr std::uint32_t kSpillVersion = 2;
 
-/// Serializes `results` into the CDSP v1 byte format.
+/// Serializes `results` into the CDSP v2 byte format.
 [[nodiscard]] std::vector<std::uint8_t> serialize_results(
     const ExperimentResults& results);
 

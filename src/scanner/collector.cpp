@@ -42,6 +42,14 @@ void Collector::observe(const cd::resolver::AuthLogEntry& entry) {
     return;
   }
 
+  if (decoded.mode == QueryMode::kCrossCheck) {
+    // Prefix-scanner plane (scanner/crosscheck.h): CrossCheckCollector owns
+    // it. Skipped before the lifetime filter so replayed cross-check names
+    // cannot pollute lifetime_excluded_targets. Minimized cross-check names
+    // lack the mode label and correctly fall through to the qmin path.
+    return;
+  }
+
   if (!decoded.full()) {
     // QNAME minimization stripped the attribution labels (§3.6.4): we cannot
     // tell which target or spoofed source induced this, but the client's AS
@@ -120,6 +128,8 @@ void Collector::observe(const cd::resolver::AuthLogEntry& entry) {
     case QueryMode::kOpen:
       rec.open_hit = true;
       break;
+    case QueryMode::kCrossCheck:
+      break;  // unreachable: filtered out above
   }
 }
 

@@ -15,6 +15,7 @@ std::string query_mode_name(QueryMode mode) {
     case QueryMode::kV6Only: return "v6-only";
     case QueryMode::kTcp: return "tcp";
     case QueryMode::kOpen: return "open";
+    case QueryMode::kCrossCheck: return "crosscheck";
   }
   return "?";
 }
@@ -27,7 +28,8 @@ std::optional<std::string> subzone_tag(QueryMode mode) {
     case QueryMode::kV6Only: return "v6";
     case QueryMode::kTcp: return "tcp";
     case QueryMode::kInitial:
-    case QueryMode::kOpen: return std::nullopt;
+    case QueryMode::kOpen:
+    case QueryMode::kCrossCheck: return std::nullopt;
   }
   return std::nullopt;
 }
@@ -40,6 +42,7 @@ std::optional<QueryMode> parse_mode_label(const std::string& label) {
     case '2': return QueryMode::kV6Only;
     case '3': return QueryMode::kTcp;
     case '4': return QueryMode::kOpen;
+    case '5': return QueryMode::kCrossCheck;
     default: return std::nullopt;
   }
 }

@@ -25,11 +25,13 @@
 namespace cd::scanner {
 
 enum class QueryMode : std::uint8_t {
-  kInitial = 0,  // reachability probe (base zone)
-  kV4Only = 1,   // follow-up via the v4-only-delegated subzone
-  kV6Only = 2,   // follow-up via the v6-only-delegated subzone
-  kTcp = 3,      // follow-up via the TC-forcing subzone
-  kOpen = 4,     // non-spoofed open-resolver check (base zone)
+  kInitial = 0,     // reachability probe (base zone)
+  kV4Only = 1,      // follow-up via the v4-only-delegated subzone
+  kV6Only = 2,      // follow-up via the v6-only-delegated subzone
+  kTcp = 3,         // follow-up via the TC-forcing subzone
+  kOpen = 4,        // non-spoofed open-resolver check (base zone)
+  kCrossCheck = 5,  // per-/24 prefix-scanner probe (base zone;
+                    // scanner/crosscheck.h — the Closed Resolver modality)
 };
 
 [[nodiscard]] std::string query_mode_name(QueryMode mode);

@@ -47,6 +47,17 @@ class Arena {
   /// Total bytes handed out (excludes block slack).
   [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
 
+  /// Frees every block and returns the arena to its freshly-constructed
+  /// state. Invalidates every span alloc_array ever returned — strictly for
+  /// scratch-arena reuse between independent passes, never while a consumer
+  /// of the old columns is alive.
+  void reset() {
+    blocks_.clear();
+    current_size_ = 0;
+    used_ = 0;
+    allocated_ = 0;
+  }
+
  private:
   void* alloc_bytes(std::size_t size, std::size_t align) {
     std::size_t offset = (used_ + align - 1) & ~(align - 1);

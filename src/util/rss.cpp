@@ -6,11 +6,8 @@
 
 namespace cd {
 
-namespace {
-
-/// Reads one "Vm*: N kB" line from /proc/self/status.
-std::size_t status_field_kb(const char* field) {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
+std::size_t status_file_field_kb(const char* path, const char* field) {
+  std::FILE* f = std::fopen(path, "r");
   if (!f) return 0;
   const std::size_t field_len = std::strlen(field);
   char line[256];
@@ -25,10 +22,12 @@ std::size_t status_field_kb(const char* field) {
   return value;
 }
 
-}  // namespace
+std::size_t peak_rss_kb() {
+  return status_file_field_kb("/proc/self/status", "VmHWM");
+}
 
-std::size_t peak_rss_kb() { return status_field_kb("VmHWM"); }
-
-std::size_t current_rss_kb() { return status_field_kb("VmRSS"); }
+std::size_t current_rss_kb() {
+  return status_file_field_kb("/proc/self/status", "VmRSS");
+}
 
 }  // namespace cd

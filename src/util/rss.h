@@ -17,4 +17,11 @@ namespace cd {
 /// Current resident set size (VmRSS) in KiB; 0 when /proc is unavailable.
 [[nodiscard]] std::size_t current_rss_kb();
 
+/// Reads one "Field: N kB"-style line from a /proc status-format file and
+/// returns N; 0 when the file is missing or the field absent. The parse the
+/// two accessors above use, parameterized on the path so tests can feed it
+/// crafted snapshots.
+[[nodiscard]] std::size_t status_file_field_kb(const char* path,
+                                               const char* field);
+
 }  // namespace cd

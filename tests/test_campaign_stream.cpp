@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <random>
 #include <set>
 #include <string>
 
@@ -211,6 +212,21 @@ ExperimentResults synthetic_results() {
   r.followup_batteries = 5;
   r.analyst_replays = 6;
 
+  cd::scanner::PrefixRecord full24;  // cross-check plane: a vulnerable /24
+  full24.prefix = cd::net::IpAddr::v4(20, 0, 1, 0);
+  full24.asn = 123;
+  full24.responding = {cd::net::IpAddr::v4(20, 0, 1, 50),
+                       cd::net::IpAddr::v4(20, 0, 1, 51)};
+  full24.hits = 9;
+  full24.direct_seen = true;
+  full24.forwarded_seen = true;
+  r.crosscheck_records.emplace(full24.prefix, full24);
+  cd::scanner::PrefixRecord silent24;  // probed, nothing escaped
+  silent24.prefix = cd::net::IpAddr::v4(20, 0, 2, 0);
+  silent24.asn = 124;
+  r.crosscheck_records.emplace(silent24.prefix, silent24);
+  r.crosscheck_probes = 777;
+
   r.capture.snaplen = 512;
   cd::pcap::PcapRecord pkt;
   pkt.time_us = 1000;
@@ -267,6 +283,19 @@ TEST(SpillCodec, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.capture.snaplen, 512u);
   ASSERT_EQ(back.capture.records.size(), 1u);
   EXPECT_EQ(back.capture.records[0], original.capture.records[0]);
+
+  ASSERT_EQ(back.crosscheck_records.size(), original.crosscheck_records.size());
+  for (const auto& [base, expect] : original.crosscheck_records) {
+    const auto it = back.crosscheck_records.find(base);
+    ASSERT_NE(it, back.crosscheck_records.end()) << base.to_string();
+    EXPECT_EQ(it->second.prefix, expect.prefix);
+    EXPECT_EQ(it->second.asn, expect.asn);
+    EXPECT_EQ(it->second.responding, expect.responding);
+    EXPECT_EQ(it->second.hits, expect.hits);
+    EXPECT_EQ(it->second.direct_seen, expect.direct_seen);
+    EXPECT_EQ(it->second.forwarded_seen, expect.forwarded_seen);
+  }
+  EXPECT_EQ(back.crosscheck_probes, 777u);
 }
 
 TEST(SpillCodec, FileRoundTripAndMissingFile) {
@@ -305,6 +334,37 @@ TEST(SpillCodec, TrailingGarbageAndBadHeaderFail) {
   auto bad_version = bytes;
   bad_version[4] ^= 0xff;
   EXPECT_THROW((void)cd::core::parse_results(bad_version), cd::ParseError);
+}
+
+TEST(SpillCodec, RandomSingleBitFlipsNeverParseSilently) {
+  // Every byte of a .cdsp file is load-bearing: a corrupted file must either
+  // refuse to parse, or decode to a value that visibly differs when
+  // reserialized — never crash (the ASan/UBSan CI lanes make "never crash"
+  // mean "never over-read or hit UB"), and never round-trip back to the
+  // pristine bytes as if nothing happened.
+  const auto pristine = cd::core::serialize_results(synthetic_results());
+  ASSERT_GT(pristine.size(), 64u);
+  std::mt19937_64 gen(0xc0ffee);  // fixed seed: reproducible corpus
+  int threw = 0, reparsed_differently = 0;
+  for (int i = 0; i < 256; ++i) {
+    auto flipped = pristine;
+    const std::size_t byte = gen() % flipped.size();
+    const unsigned bit = gen() % 8;
+    flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    try {
+      const ExperimentResults parsed = cd::core::parse_results(flipped);
+      ++reparsed_differently;
+      EXPECT_NE(cd::core::serialize_results(parsed), pristine)
+          << "bit " << bit << " of byte " << byte
+          << " flipped, yet the parse round-tripped to the pristine bytes";
+    } catch (const cd::ParseError&) {
+      ++threw;  // the strict outcome; any other exception fails the test
+    }
+  }
+  // Both outcomes must actually occur, or the property degenerates (a codec
+  // that throws on everything — or parses anything — would pass vacuously).
+  EXPECT_GT(threw, 0);
+  EXPECT_GT(reparsed_differently, 0);
 }
 
 // --- bounded memory ---------------------------------------------------------

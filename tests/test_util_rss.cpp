@@ -1,0 +1,81 @@
+// The /proc status-format parse behind peak_rss_kb()/current_rss_kb(),
+// exercised on crafted snapshots so the bench's headline memory numbers are
+// backed by a tested parse, not a hopeful one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/rss.h"
+
+namespace {
+
+class StatusFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "cd_rss_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const char* name, const std::string& content) {
+    const auto path = dir_ / name;
+    std::ofstream(path) << content;
+    return path.string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StatusFixture, ParsesTheNamedFieldOnly) {
+  const std::string path = write("status",
+                                 "Name:\tcampaign_scale\n"
+                                 "VmPeak:\t  123456 kB\n"
+                                 "VmHWM:\t   98765 kB\n"
+                                 "VmRSS:\t   54321 kB\n"
+                                 "Threads:\t8\n");
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "VmHWM"), 98765u);
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "VmRSS"), 54321u);
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "VmPeak"), 123456u);
+}
+
+TEST_F(StatusFixture, FieldNameMustMatchExactlyUpToTheColon) {
+  // "VmRSS" must not match the "VmRSSExtra:" line, and a prefix of a real
+  // field ("Vm") must match nothing.
+  const std::string path = write("status",
+                                 "VmRSSExtra:\t  111 kB\n"
+                                 "VmRSS:\t  222 kB\n");
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "VmRSS"), 222u);
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "Vm"), 0u);
+}
+
+TEST_F(StatusFixture, MissingFileAndAbsentFieldReadAsZero) {
+  EXPECT_EQ(cd::status_file_field_kb((dir_ / "nope").string().c_str(),
+                                     "VmHWM"),
+            0u);
+  const std::string path = write("status", "Name:\tx\nThreads:\t1\n");
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "VmHWM"), 0u);
+}
+
+TEST_F(StatusFixture, MalformedValueReadsAsZero) {
+  const std::string path = write("status", "VmHWM:\tgarbage kB\n");
+  EXPECT_EQ(cd::status_file_field_kb(path.c_str(), "VmHWM"), 0u);
+}
+
+TEST(Rss, LiveCountersAreSaneOnLinux) {
+  // On any Linux this process has real /proc entries; peak >= current > 0.
+  // Elsewhere both read 0 and the bench reports honest zeros.
+  const std::size_t peak = cd::peak_rss_kb();
+  const std::size_t current = cd::current_rss_kb();
+  if (std::filesystem::exists("/proc/self/status")) {
+    EXPECT_GT(current, 0u);
+    EXPECT_GE(peak, current * 9 / 10);  // HWM sampled earlier can lag a touch
+  } else {
+    EXPECT_EQ(peak, 0u);
+    EXPECT_EQ(current, 0u);
+  }
+}
+
+}  // namespace

@@ -26,6 +26,11 @@
 // and reports the per-AS methodology-agreement aggregates
 // (analysis/crosscheck.h). The world is materialized once for the join's
 // target list, so pick a shape that fits in memory when enabling this.
+//
+// --poison-window=N additionally runs the off-path cache-poisoning attacker
+// plane (attack/poison.h) with N burst rounds per victim, and reports the
+// realized per-profile success rates joined against the port-entropy
+// predictions (analysis/poisoning.h).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "analysis/crosscheck.h"
+#include "analysis/poisoning.h"
 #include "core/parallel.h"
 #include "ditl/plan.h"
 #include "ditl/target_stream.h"
@@ -59,6 +65,7 @@ struct Options {
   bool campaign = true;
   bool spill = true;
   std::uint32_t crosscheck_window = 0;  // 0 = cross-check plane off
+  std::uint32_t poison_window = 0;      // 0 = attacker plane off
   std::string spill_dir = "campaign_spill";
   std::string out = "BENCH_campaign.json";
 };
@@ -80,6 +87,9 @@ Options parse(int argc, char** argv) {
     } else if (std::strncmp(arg, "--crosscheck-window=", 20) == 0) {
       opt.crosscheck_window =
           static_cast<std::uint32_t>(std::strtoul(arg + 20, nullptr, 10));
+    } else if (std::strncmp(arg, "--poison-window=", 16) == 0) {
+      opt.poison_window =
+          static_cast<std::uint32_t>(std::strtoul(arg + 16, nullptr, 10));
     } else if (std::strncmp(arg, "--spill-dir=", 12) == 0) {
       opt.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
@@ -138,6 +148,8 @@ int main(int argc, char** argv) {
   unsigned long long digest = 0;
   unsigned long long cc_probes = 0, cc_prefixes = 0, cc_vulnerable = 0;
   cd::analysis::AgreementReport agreement;
+  cd::analysis::PoisonReport poison;
+  cd::attack::PoisonConfig poison_config;
   if (opt.campaign) {
     cd::core::ExperimentConfig config;
     config.num_shards = opt.shards;
@@ -149,6 +161,10 @@ int main(int argc, char** argv) {
       cc.host_lo = 10;  // resolver v4 addressing starts at offset 10
       cc.host_hi = 10 + opt.crosscheck_window;
       config.crosscheck = cc;
+    }
+    if (opt.poison_window > 0) {
+      poison_config.rounds = static_cast<int>(opt.poison_window);
+      config.poison = poison_config;
     }
 
     const auto run_start = Clock::now();
@@ -203,6 +219,20 @@ int main(int argc, char** argv) {
           (unsigned long long)agreement.resolver_only,
           (unsigned long long)agreement.prefix_only);
     }
+
+    if (opt.poison_window > 0) {
+      poison = cd::analysis::summarize_poisoning(
+          out.merged.poison_records, poison_config, out.merged.poison_triggers,
+          out.merged.poison_forged);
+      std::printf(
+          "# poison: %llu victims raced over %u rounds, %llu reachable, "
+          "%llu poisoned (%llu triggers, %llu forgeries, %zu profiles)\n",
+          (unsigned long long)poison.victims, opt.poison_window,
+          (unsigned long long)poison.reachable,
+          (unsigned long long)poison.successes,
+          (unsigned long long)poison.triggers,
+          (unsigned long long)poison.forged, poison.rows.size());
+    }
   }
 
   const std::size_t peak_kb = cd::peak_rss_kb();
@@ -223,6 +253,9 @@ int main(int argc, char** argv) {
         "\"crosscheck_prefixes\":%llu,\"crosscheck_vulnerable\":%llu,"
         "\"agree_vulnerable\":%llu,\"agree_filtered\":%llu,"
         "\"resolver_only\":%llu,\"prefix_only\":%llu,"
+        "\"poison_window\":%u,\"poison_victims\":%llu,"
+        "\"poison_reachable\":%llu,\"poison_successes\":%llu,"
+        "\"poison_triggers\":%llu,\"poison_forged\":%llu,"
         "\"peak_rss_kib\":%zu}\n",
         opt.asns, opt.mean, opt.shards, opt.threads,
         (unsigned long long)opt.seed, opt.spill ? "true" : "false",
@@ -233,7 +266,12 @@ int main(int argc, char** argv) {
         (unsigned long long)agreement.agree_vulnerable,
         (unsigned long long)agreement.agree_filtered,
         (unsigned long long)agreement.resolver_only,
-        (unsigned long long)agreement.prefix_only, peak_kb);
+        (unsigned long long)agreement.prefix_only, opt.poison_window,
+        (unsigned long long)poison.victims,
+        (unsigned long long)poison.reachable,
+        (unsigned long long)poison.successes,
+        (unsigned long long)poison.triggers,
+        (unsigned long long)poison.forged, peak_kb);
     std::fclose(f);
     std::printf("# appended to %s\n", opt.out.c_str());
   } else {

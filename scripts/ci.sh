@@ -4,9 +4,9 @@
 # "parallel") plus the streaming-TCP suite (label "tcp", whose
 # segmentation differential runs campaigns through the sharded runner),
 # AddressSanitizer over the fuzz + pcap + batched-delivery + tcp +
-# campaign + crosscheck labels (bit-flip/truncation fuzzing only proves
-# "throws, never over-reads" when the reads are instrumented, and the
-# TCP reassembly/segment paths exercise the pooled-buffer recycling
+# campaign + crosscheck + poison labels (bit-flip/truncation fuzzing only
+# proves "throws, never over-reads" when the reads are instrumented, and
+# the TCP reassembly/segment paths exercise the pooled-buffer recycling
 # hardest), and UndefinedBehaviorSanitizer over the same labels plus the
 # full unit suite (shift/overflow/alignment UB in the byte codecs). A
 # final label audit fails the run if a tests/test_*.cpp is unregistered
@@ -36,28 +36,30 @@ cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp \
 ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp|eventcore" \
   --output-on-failure
 
-echo "=== ASan build + fuzz/pcap/batched/tcp/campaign/crosscheck ctest ==="
+echo "=== ASan build + fuzz/pcap/batched/tcp/campaign/crosscheck/poison ctest ==="
 # The campaign label covers the streamed-world + disk-spill battery: the
 # spill truncation/bit-flip fuzz only proves "throws, never over-reads" when
 # the reads are instrumented, and its RSS-budget test asserts the
 # bounded-memory claim under a sanitizer-scaled budget that stays fixed as
 # targets grow. The crosscheck label runs the Closed Resolver differential
-# battery (second scanner plane) under the same instrumentation.
+# battery (second scanner plane) under the same instrumentation, and the
+# poison label the off-path attack plane (forged packets are exactly the
+# adversarial inputs the decoder paths must over-read-proof).
 cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
 cmake --build "${PREFIX}-asan" -j --target \
   test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
   test_sim_batched test_sim_tcp test_net_checksum test_campaign_stream \
-  test_crosscheck
+  test_crosscheck test_attack_poisoning
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir "${PREFIX}-asan" \
-  -L "fuzz|pcap|batched|tcp|campaign|crosscheck" \
+  -L "fuzz|pcap|batched|tcp|campaign|crosscheck|poison" \
   --output-on-failure
 
-echo "=== UBSan build + unit/pcap/batched/tcp/campaign/crosscheck ctest ==="
+echo "=== UBSan build + unit/pcap/batched/tcp/campaign/crosscheck/poison ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
 ctest --test-dir "${PREFIX}-ubsan" \
-  -L "unit|pcap|batched|fuzz|tcp|campaign|crosscheck" \
+  -L "unit|pcap|batched|fuzz|tcp|campaign|crosscheck|poison" \
   --output-on-failure -j
 
 echo "=== ctest label audit ==="

@@ -1,0 +1,147 @@
+#include "analysis/poisoning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "analysis/port_range.h"
+
+namespace cd::analysis {
+
+namespace {
+
+/// Per-packet acceptance odds and campaign-level prediction for one profile
+/// row. The attacker spends burst * rounds forged packets; each one hits iff
+/// it guesses the (port, txid) pair, so the effective guess-space product is
+/// the whole model.
+void predict(PoisonProfileRow& row, const cd::attack::PoisonConfig& config) {
+  double port_space;
+  if (row.tracked_ports) {
+    // Fixed or sequential: the scouting rounds pin the walk, and the burst
+    // covers the next-in-window continuation, so the port guess is free.
+    port_space = 1.0;
+  } else if (row.pool_estimate >= 1.0) {
+    port_space = row.pool_estimate;
+  } else {
+    // No usable port sample (victim never reachable): price it as a full
+    // randomizer rather than predicting success off no evidence.
+    port_space = 65536.0;
+  }
+  const double txid_space = row.weak_txid ? 1.0 : 65536.0;
+  const double p = std::min(1.0, 1.0 / (port_space * txid_space));
+  const double attempts =
+      static_cast<double>(config.burst) * static_cast<double>(config.rounds);
+  row.predicted = 1.0 - std::pow(1.0 - p, attempts);
+}
+
+}  // namespace
+
+PoisonReport summarize_poisoning(const cd::attack::PoisonRecords& records,
+                                 const cd::attack::PoisonConfig& config,
+                                 std::uint64_t triggers,
+                                 std::uint64_t forged) {
+  struct Accum {
+    PoisonProfileRow row;
+    double pool_sum = 0.0;
+    std::uint64_t pool_n = 0;
+    std::uint64_t sampled = 0;  // victims with enough ports to judge
+    std::uint64_t trackable = 0;
+  };
+  // std::map: rows come out sorted by profile id, independent of the
+  // records' iteration order.
+  std::map<std::pair<std::uint8_t, std::uint8_t>, Accum> by_profile;
+
+  PoisonReport report;
+  report.triggers = triggers;
+  report.forged = forged;
+  for (const auto& [addr, rec] : records) {
+    Accum& acc = by_profile[{static_cast<std::uint8_t>(rec.software),
+                             static_cast<std::uint8_t>(rec.os)}];
+    acc.row.software = rec.software;
+    acc.row.os = rec.os;
+    ++acc.row.victims;
+    ++report.victims;
+    if (rec.reachable) {
+      ++acc.row.reachable;
+      ++report.reachable;
+    }
+    if (rec.success) {
+      ++acc.row.successes;
+      ++report.successes;
+    }
+    const PortStats stats = compute_port_stats(rec.observed_ports);
+    if (stats.n >= 2) {
+      ++acc.sampled;
+      if (stats.unique_count == 1 || stats.strictly_increasing) {
+        ++acc.trackable;
+      }
+      // Uniform-support estimator behind the Beta(n-1, 2) range model:
+      // E[range] = N (n-1)/(n+1), so N-hat = range (n+1)/(n-1). The wrap
+      // adjustment keeps a wrapped Windows pool comparable (§5.3.2).
+      const double n = static_cast<double>(stats.n);
+      const double est = static_cast<double>(adjusted_range(
+                             rec.observed_ports)) *
+                         (n + 1.0) / (n - 1.0);
+      acc.pool_sum += std::max(est, 1.0);
+      ++acc.pool_n;
+    }
+  }
+
+  report.rows.reserve(by_profile.size());
+  for (auto& [key, acc] : by_profile) {
+    PoisonProfileRow& row = acc.row;
+    row.realized = row.reachable == 0
+                       ? 0.0
+                       : static_cast<double>(row.successes) /
+                             static_cast<double>(row.reachable);
+    row.pool_estimate =
+        acc.pool_n == 0 ? 0.0 : acc.pool_sum / static_cast<double>(acc.pool_n);
+    row.tracked_ports = acc.sampled > 0 && acc.trackable == acc.sampled;
+    row.weak_txid = cd::resolver::weak_txid(row.software);
+    predict(row, config);
+    report.rows.push_back(row);
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const PoisonProfileRow& a, const PoisonProfileRow& b) {
+              if (a.realized != b.realized) return a.realized > b.realized;
+              if (a.predicted != b.predicted) return a.predicted > b.predicted;
+              if (a.software != b.software) return a.software < b.software;
+              return a.os < b.os;
+            });
+  return report;
+}
+
+std::string render_poisoning(const PoisonReport& report) {
+  std::ostringstream out;
+  out << "== Off-path poisoning (realized vs port-entropy prediction) ==\n";
+  out << "Victims raced:    " << report.victims << "\n";
+  out << "  reachable:      " << report.reachable << "\n";
+  out << "  poisoned:       " << report.successes << "\n";
+  out << "Triggers sent:    " << report.triggers << "\n";
+  out << "Forgeries sent:   " << report.forged << "\n";
+  out << "software                       os                      victims"
+         "  poisoned  realized  pool-est  txid    predicted\n";
+  for (const PoisonProfileRow& row : report.rows) {
+    std::ostringstream line;
+    line << cd::resolver::software_profile(row.software).name << ' ';
+    while (line.str().size() < 31) line << ' ';
+    line << cd::sim::os_profile(row.os).name << ' ';
+    while (line.str().size() < 55) line << ' ';
+    line << row.victims << "  " << row.successes << "/" << row.reachable
+         << "  " << static_cast<int>(row.realized * 100.0 + 0.5) << "%  ";
+    if (row.tracked_ports) {
+      line << "tracked";
+    } else if (row.pool_estimate >= 1.0) {
+      line << static_cast<std::uint64_t>(row.pool_estimate + 0.5);
+    } else {
+      line << "-";
+    }
+    line << "  " << (row.weak_txid ? "weak" : "random") << "  "
+         << static_cast<int>(row.predicted * 100.0 + 0.5) << "%";
+    out << line.str() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cd::analysis

@@ -1,0 +1,71 @@
+// Off-path poisoning outcomes joined against the port-entropy model.
+//
+// The attack plane (attack/poison.h) records, per victim resolver, whether a
+// forged answer actually entered its cache. This module aggregates those
+// realized outcomes per (DNS software, OS) profile and sets them beside what
+// the paper's §5.3.2 port-range statistics predict: the same Beta(n-1, 2)
+// range model that classifies a resolver's pool size also prices an off-path
+// attacker's per-packet odds. A profile whose ports fit in a tiny pool — or
+// walk sequentially, so the attacker tracks them in lockstep — must fall at
+// a rate the model forecasts, while a full-range randomizer survives at the
+// predicted (near-zero) rate. The join is the result: realized and predicted
+// columns disagreeing would mean either the injector or the entropy
+// classification is wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/poison.h"
+#include "resolver/software.h"
+#include "sim/os_model.h"
+
+namespace cd::analysis {
+
+/// One (software, OS) profile's realized-vs-predicted row.
+struct PoisonProfileRow {
+  cd::resolver::DnsSoftware software = cd::resolver::DnsSoftware::kBind8;
+  cd::sim::OsId os = cd::sim::OsId::kEmbeddedCpe;
+  std::uint64_t victims = 0;    // raced resolvers with this profile
+  std::uint64_t reachable = 0;  // victims whose queries reached the auth
+  std::uint64_t successes = 0;  // victims with a poisoned cache entry
+  double realized = 0.0;        // successes / reachable
+  /// Beta-fit port-pool size: mean over victims of the §5.3.2 uniform-range
+  /// estimator, range * (n+1)/(n-1), on the wrap-adjusted observed ports.
+  double pool_estimate = 0.0;
+  /// Ports walk a trackable pattern (fixed, or strictly increasing with at
+  /// most one wrap): the attacker guesses next-in-window, not uniformly.
+  bool tracked_ports = false;
+  /// Profile ships predictable transaction ids (resolver::weak_txid).
+  bool weak_txid = false;
+  /// Model probability that at least one forged packet is accepted over the
+  /// campaign, from the effective (port x txid) guess space and the
+  /// configured packet budget.
+  double predicted = 0.0;
+};
+
+struct PoisonReport {
+  /// One row per (software, OS) profile seen among the victims, sorted
+  /// worst-first: realized success rate descending, predicted rate breaking
+  /// ties, then profile ids for determinism.
+  std::vector<PoisonProfileRow> rows;
+  std::uint64_t victims = 0;
+  std::uint64_t reachable = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t forged = 0;
+};
+
+/// Aggregates per-victim attack records into per-profile rows and computes
+/// the model predictions for the packet budget in `config`. Pure function of
+/// its inputs.
+[[nodiscard]] PoisonReport summarize_poisoning(
+    const cd::attack::PoisonRecords& records,
+    const cd::attack::PoisonConfig& config, std::uint64_t triggers = 0,
+    std::uint64_t forged = 0);
+
+/// Renders the aggregate counters plus the per-profile table.
+[[nodiscard]] std::string render_poisoning(const PoisonReport& report);
+
+}  // namespace cd::analysis

@@ -1,6 +1,9 @@
 #include "core/experiment.h"
 
+#include <unordered_map>
+
 #include "ditl/plan.h"
+#include "sim/os_model.h"
 #include "util/error.h"
 
 namespace cd::core {
@@ -48,6 +51,103 @@ Experiment::Experiment(cd::ditl::World& world, ExperimentConfig config)
         *world_.network, world_.ids_asns, world_.public_dns_addrs.front(),
         *config_.analyst, rng.split("analyst"));
   }
+  if (config_.poison) build_attack_plane();
+}
+
+namespace {
+
+/// Attack-plane infrastructure lives in 11/8 (deliberately never announced
+/// by generated worlds, so nothing here perturbs unicast routing or target
+/// filtering) under ASNs far above both the edge range and the reserved
+/// infra block.
+constexpr cd::sim::Asn kPoisonSiteAsnBase = 4'200'000'000u;
+constexpr cd::sim::Asn kPoisonAttackerAsn = 4'200'001'000u;
+
+}  // namespace
+
+void Experiment::build_attack_plane() {
+  const cd::attack::PoisonConfig& pc = *config_.poison;
+  CD_ENSURE(pc.sites >= 1, "Experiment: poison plane needs at least one site");
+
+  const auto service = cd::net::IpAddr::must_parse("11.3.0.53");
+  const auto attacker = cd::net::IpAddr::must_parse("11.66.6.6");
+  const auto poisoned = cd::net::IpAddr::must_parse("11.66.0.66");
+
+  // Graft the poison subzone's delegation (with in-cut glue) onto the
+  // existing base zone, and build the subzone every anycast site serves:
+  // self NS plus a wildcard A so every per-round query name answers.
+  QnameCodec codec(world_.base_zone, world_.keyword);
+  const cd::dns::DnsName apex =
+      codec.zone_apex(cd::scanner::QueryMode::kPoison);
+  const cd::dns::DnsName ns_name = apex.prepend("ns");
+  for (auto& zone : world_.zones) {
+    if (zone->origin() == world_.base_zone) {
+      zone->add(cd::dns::make_ns(apex, ns_name));
+      zone->add(cd::dns::make_a(ns_name, service));
+      break;
+    }
+  }
+  cd::dns::SoaRdata soa;
+  soa.mname = world_.base_zone.prepend("www");
+  soa.rname = world_.base_zone.prepend("research");
+  soa.serial = 2019110601;
+  soa.minimum = 300;
+  auto poison_zone = std::make_shared<cd::dns::Zone>(apex, soa);
+  poison_zone->add(cd::dns::make_ns(apex, ns_name));
+  poison_zone->add(cd::dns::make_a(ns_name, service));
+  poison_zone->add(cd::dns::make_a(apex.prepend("*"), service));
+  world_.zones.push_back(poison_zone);
+
+  // The injector seed depends only on the world seed: every shard's
+  // attacker plays the identical per-victim schedule.
+  injector_ = std::make_unique<cd::attack::SpoofInjector>(
+      *world_.network, kPoisonAttackerAsn, attacker, service, poisoned,
+      codec, pc, world_.spec.seed ^ 0xA17AC4DEED5ULL);
+
+  // Anycast sites: one service address, one host per site AS. None of the
+  // attack ASes announce prefixes — the service is reachable only through
+  // the anycast table, and the attacker needs no return path.
+  const cd::sim::OsProfile& site_os =
+      cd::sim::os_profile(cd::sim::OsId::kUbuntu1904);
+  for (int i = 0; i < pc.sites; ++i) {
+    const cd::sim::Asn asn = kPoisonSiteAsnBase + static_cast<cd::sim::Asn>(i);
+    world_.topology.add_as(asn, cd::sim::FilterPolicy{});
+    cd::sim::Host& host = attack_hosts_.emplace_back(
+        *world_.network, asn, site_os, std::vector<cd::net::IpAddr>{service},
+        cd::Rng::substream(world_.spec.seed ^ 0xA77AC5175ULL,
+                           static_cast<std::uint64_t>(i)),
+        "poison-site-" + std::to_string(i));
+    world_.network->add_anycast_site(service, &host);
+    auto auth = std::make_unique<cd::resolver::AuthServer>(
+        host, cd::resolver::AuthConfig{});
+    auth->add_zone(poison_zone);
+    auth->add_observer([this](const cd::resolver::AuthLogEntry& entry) {
+      injector_->observe_auth(entry);
+    });
+    attack_auths_.push_back(std::move(auth));
+  }
+  world_.topology.add_as(kPoisonAttackerAsn, cd::sim::FilterPolicy{});
+
+  // Legacy profiles predate randomized transaction ids: swap in sequential
+  // sources, seeded per address so the stream is a pure function of stable
+  // identity (layout-invariant). Applies to every materialized resolver —
+  // a shard world holds exactly its shard's fleet — so serial and sharded
+  // runs agree on every resolver's wire behaviour.
+  for (auto& res : world_.resolvers) {
+    for (const cd::net::IpAddr& addr : res->host().addresses()) {
+      const auto it = world_.truth_resolvers.find(addr);
+      if (it == world_.truth_resolvers.end()) continue;
+      if (cd::resolver::weak_txid(it->second.software)) {
+        res->set_txid_source(
+            std::make_unique<cd::resolver::SequentialTxidSource>(
+                static_cast<std::uint16_t>(
+                    cd::Rng::substream(world_.spec.seed ^ 0x5E97A1DULL,
+                                       cd::net::IpAddrHash{}(addr))
+                        .u64())));
+      }
+      break;
+    }
+  }
 }
 
 void merge_into(ExperimentResults& acc, ExperimentResults part, bool first) {
@@ -69,6 +169,13 @@ void merge_into(ExperimentResults& acc, ExperimentResults part, bool first) {
     CD_ENSURE(inserted, "merge_results: /24 present in two shards");
   }
   acc.crosscheck_probes += part.crosscheck_probes;
+  for (auto& [addr, record] : part.poison_records) {
+    const bool inserted =
+        acc.poison_records.emplace(addr, std::move(record)).second;
+    CD_ENSURE(inserted, "merge_results: victim present in two shards");
+  }
+  acc.poison_triggers += part.poison_triggers;
+  acc.poison_forged += part.poison_forged;
 
   if (first) {
     acc.capture = std::move(part.capture);
@@ -139,6 +246,25 @@ const ExperimentResults& Experiment::run() {
         });
     crosscheck_prober_->schedule_campaign(std::move(prefixes));
   }
+  if (injector_) {
+    // Victims come from the same shard-sliced target list the prober uses:
+    // v4, non-forwarding recursive resolvers. Per-victim schedules are pure
+    // functions of (seed, address), so any layout attacks the same set the
+    // same way.
+    for (const cd::scanner::TargetInfo& t : world_.targets) {
+      if (cd::scanner::shard_of(t.asn, config_.num_shards) !=
+          config_.shard_index) {
+        continue;
+      }
+      if (!t.addr.is_v4()) continue;
+      const auto it = world_.truth_resolvers.find(t.addr);
+      if (it == world_.truth_resolvers.end()) continue;
+      const cd::ditl::ResolverTruth truth = it->second;
+      if (truth.forwards) continue;
+      injector_->add_victim(
+          {t.addr, t.asn, truth.software, truth.os, truth.open});
+    }
+  }
   world_.loop.run(config_.max_events);
 
   if (capture_tap) {
@@ -161,6 +287,25 @@ const ExperimentResults& Experiment::run() {
   if (crosscheck_collector_) {
     results.crosscheck_records = crosscheck_collector_->records();
     results.crosscheck_probes = crosscheck_prober_->probes_sent();
+  }
+  if (injector_) {
+    std::unordered_map<cd::net::IpAddr, cd::resolver::RecursiveResolver*,
+                       cd::net::IpAddrHash>
+        resolver_by_addr;
+    for (auto& res : world_.resolvers) {
+      for (const cd::net::IpAddr& addr : res->host().addresses()) {
+        resolver_by_addr.emplace(addr, res.get());
+      }
+    }
+    injector_->finalize(
+        [&resolver_by_addr](const cd::net::IpAddr& addr)
+            -> cd::resolver::RecursiveResolver* {
+          const auto it = resolver_by_addr.find(addr);
+          return it == resolver_by_addr.end() ? nullptr : it->second;
+        });
+    results.poison_records = injector_->records();
+    results.poison_triggers = injector_->triggers_sent();
+    results.poison_forged = injector_->forged_sent();
   }
   results_ = std::move(results);
   return *results_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/classify.h"
+#include "attack/poison.h"
 #include "ditl/world.h"
 #include "scanner/analyst.h"
 #include "scanner/collector.h"
@@ -61,6 +62,17 @@ struct ExperimentConfig {
   std::optional<cd::scanner::CrossCheckConfig> crosscheck;
   /// When set, export the campaign's wire traffic as a pcap capture.
   std::optional<CaptureSpec> capture;
+  /// When set, run the off-path cache-poisoning attacker plane
+  /// (attack/poison.h): an anycast-delegated subzone is grafted onto the
+  /// experiment base zone, legacy resolver profiles get weak transaction-id
+  /// sources (resolver::weak_txid), and a SpoofInjector races every
+  /// non-forwarding resolver in this shard's target slice. Victims partition
+  /// by AS exactly like targets, so per-shard poison records are disjoint
+  /// and the realized outcome set is identical for any shard/stream/spill
+  /// layout (tests/test_attack_poisoning.cpp). Off by default: the attack
+  /// plane's traffic (and the weak txid swap) legitimately changes
+  /// timing-sensitive evidence, so golden tables are pinned with it off.
+  std::optional<cd::attack::PoisonConfig> poison;
   /// Run the §3.5 follow-up batteries on first hits. Disabled by the
   /// wire-equivalence tests: follow-up *timing* keys off first-hit arrival,
   /// which shared-cache warmness (and therefore sharding) perturbs.
@@ -131,6 +143,12 @@ struct ExperimentResults {
   /// disjoint and merge by insertion.
   cd::scanner::PrefixRecords crosscheck_records;
   std::uint64_t crosscheck_probes = 0;
+  /// Attacker plane (empty/zero unless the config enabled it). Victims
+  /// partition by AS exactly like targets, so per-shard record maps are
+  /// disjoint and merge by insertion.
+  cd::attack::PoisonRecords poison_records;
+  std::uint64_t poison_triggers = 0;
+  std::uint64_t poison_forged = 0;
 };
 
 /// Merges per-shard results in shard order: counters are summed, evidence
@@ -167,8 +185,16 @@ class Experiment {
   [[nodiscard]] cd::scanner::CrossCheckProber* crosscheck_prober() {
     return crosscheck_prober_.get();
   }
+  /// Null unless the config enabled the attacker plane.
+  [[nodiscard]] cd::attack::SpoofInjector* injector() {
+    return injector_.get();
+  }
 
  private:
+  /// Grafts the anycast poison subzone, its site hosts/auths and the
+  /// attacker onto the world, and swaps weak txid sources into legacy
+  /// resolver profiles (config_.poison is set).
+  void build_attack_plane();
   cd::ditl::World& world_;
   ExperimentConfig config_;
   std::unique_ptr<cd::scanner::SourceSelector> selector_;
@@ -178,6 +204,11 @@ class Experiment {
   std::unique_ptr<cd::scanner::CrossCheckCollector> crosscheck_collector_;
   std::unique_ptr<cd::scanner::FollowupEngine> followup_;
   std::unique_ptr<cd::scanner::AnalystSimulator> analyst_;
+  /// Attack plane (null/empty unless enabled): anycast site hosts need
+  /// stable storage (deque: no moves) because the network holds pointers.
+  std::deque<cd::sim::Host> attack_hosts_;
+  std::vector<std::unique_ptr<cd::resolver::AuthServer>> attack_auths_;
+  std::unique_ptr<cd::attack::SpoofInjector> injector_;
   std::optional<ExperimentResults> results_;
 };
 

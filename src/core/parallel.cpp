@@ -245,6 +245,32 @@ std::uint64_t results_digest(const ExperimentResults& results) {
     for (const auto& addr : rec.responding) d.addr(addr);
   }
   d.u64(results.crosscheck_probes);
+
+  // Attacker plane: per-victim realized outcomes. The block is strictly
+  // conditional on evidence being present so attacker-off digests are
+  // bit-identical to digests computed before the plane existed.
+  if (!results.poison_records.empty() || results.poison_triggers != 0 ||
+      results.poison_forged != 0) {
+    d.u64(results.poison_records.size());
+    for (const auto& [addr, rec] : results.poison_records) {
+      d.addr(rec.victim);
+      d.u64(rec.asn);
+      d.u64(static_cast<std::uint64_t>(rec.software));
+      d.u64(static_cast<std::uint64_t>(rec.os));
+      d.u64(static_cast<std::uint64_t>(rec.open));
+      d.u64(static_cast<std::uint64_t>(rec.reachable));
+      d.u64(static_cast<std::uint64_t>(rec.success));
+      d.u64(rec.rounds);
+      d.u64(rec.success_round);
+      d.u64(rec.poisoned_ttl);
+      d.u64(rec.triggers);
+      d.u64(rec.forged);
+      d.u64(rec.observed_ports.size());
+      for (const std::uint16_t p : rec.observed_ports) d.u64(p);
+    }
+    d.u64(results.poison_triggers);
+    d.u64(results.poison_forged);
+  }
   return d.value();
 }
 

@@ -162,6 +162,27 @@ std::vector<std::uint8_t> serialize_results(const ExperimentResults& results) {
     for (const IpAddr& addr : rec.responding) put_addr(w, addr);
   }
 
+  // Attacker plane (v3).
+  w.u64le(results.poison_triggers);
+  w.u64le(results.poison_forged);
+  w.u64le(results.poison_records.size());
+  for (const auto& [addr, rec] : results.poison_records) {
+    put_addr(w, rec.victim);
+    w.u64le(rec.asn);
+    w.u8(static_cast<std::uint8_t>(rec.software));
+    w.u8(static_cast<std::uint8_t>(rec.os));
+    w.u8(static_cast<std::uint8_t>((rec.open ? 1 : 0) |
+                                   (rec.reachable ? 2 : 0) |
+                                   (rec.success ? 4 : 0)));
+    w.u32le(rec.rounds);
+    w.u32le(rec.success_round);
+    w.u32le(rec.poisoned_ttl);
+    w.u64le(rec.triggers);
+    w.u64le(rec.forged);
+    w.u64le(rec.observed_ports.size());
+    for (const std::uint16_t p : rec.observed_ports) w.u16le(p);
+  }
+
   // Capture records travel raw (time/annotation/bytes), not as a rendered
   // pcap: merge re-canonicalizes, so rendering per shard would be waste.
   w.u32le(results.capture.snaplen);
@@ -239,6 +260,42 @@ ExperimentResults parse_results(std::span<const std::uint8_t> bytes) {
     const IpAddr base = rec.prefix;
     if (!results.crosscheck_records.emplace(base, std::move(rec)).second) {
       r.fail("duplicate prefix record");
+    }
+  }
+
+  results.poison_triggers = r.u64le();
+  results.poison_forged = r.u64le();
+  const std::uint64_t n_victims = r.u64le();
+  for (std::uint64_t i = 0; i < n_victims; ++i) {
+    cd::attack::PoisonRecord rec;
+    rec.victim = get_addr(r);
+    rec.asn = static_cast<cd::sim::Asn>(get_asn(r));
+    const std::uint8_t software = r.u8();
+    if (software >= cd::resolver::kDnsSoftwareCount) {
+      r.fail("bad victim software");
+    }
+    rec.software = static_cast<cd::resolver::DnsSoftware>(software);
+    const std::uint8_t os = r.u8();
+    if (os >= cd::sim::kOsIdCount) r.fail("bad victim OS");
+    rec.os = static_cast<cd::sim::OsId>(os);
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~std::uint8_t{7}) != 0) r.fail("unknown victim flags");
+    rec.open = (flags & 1) != 0;
+    rec.reachable = (flags & 2) != 0;
+    rec.success = (flags & 4) != 0;
+    rec.rounds = r.u32le();
+    rec.success_round = r.u32le();
+    rec.poisoned_ttl = r.u32le();
+    rec.triggers = r.u64le();
+    rec.forged = r.u64le();
+    const std::uint64_t n_ports = r.u64le();
+    if (n_ports * 2 > r.remaining()) r.fail("truncated port list");
+    for (std::uint64_t j = 0; j < n_ports; ++j) {
+      rec.observed_ports.push_back(r.u16le());
+    }
+    const IpAddr victim = rec.victim;
+    if (!results.poison_records.emplace(victim, std::move(rec)).second) {
+      r.fail("duplicate victim record");
     }
   }
 

@@ -1,4 +1,4 @@
-// On-disk spill codec for per-shard experiment results ("CDSP" v2).
+// On-disk spill codec for per-shard experiment results ("CDSP" v3).
 //
 // The sharded runner can run far more shards than fit in memory at once:
 // each shard's ExperimentResults is serialized to a compact binary file the
@@ -10,8 +10,10 @@
 //
 // v2 appends the cross-check plane (per-/24 prefix records and the
 // probes-sent counter, scanner/crosscheck.h) after the scanner counters.
-// v1 files no longer parse — spills are transient per-run artifacts, not an
-// archival format, so there is no cross-version reader.
+// v3 appends the attacker plane (per-victim poisoning records and the
+// trigger/forgery counters, attack/poison.h) after the cross-check plane.
+// Older files no longer parse — spills are transient per-run artifacts, not
+// an archival format, so there is no cross-version reader.
 //
 // Safety property: *every* strict byte prefix of a valid spill file fails to
 // parse with cd::ParseError, and so does trailing garbage (the reader
@@ -33,9 +35,9 @@
 namespace cd::core {
 
 inline constexpr std::uint32_t kSpillMagic = 0x50534443;  // "CDSP" LE
-inline constexpr std::uint32_t kSpillVersion = 2;
+inline constexpr std::uint32_t kSpillVersion = 3;
 
-/// Serializes `results` into the CDSP v2 byte format.
+/// Serializes `results` into the CDSP v3 byte format.
 [[nodiscard]] std::vector<std::uint8_t> serialize_results(
     const ExperimentResults& results);
 

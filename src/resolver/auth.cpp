@@ -130,6 +130,7 @@ void AuthServer::record(const DnsMessage& query, const cd::net::IpAddr& client,
   entry.qname = query.qname();
   entry.qtype = query.questions.empty() ? cd::dns::RrType::kA
                                         : query.questions.front().qtype;
+  entry.id = query.header.id;
   entry.tcp = tcp;
   entry.syn = syn;
 

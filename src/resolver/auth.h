@@ -25,6 +25,9 @@ struct AuthLogEntry {
   cd::net::IpAddr server;  // which of our addresses was queried
   cd::dns::DnsName qname;
   cd::dns::RrType qtype = cd::dns::RrType::kA;
+  /// The query's transaction id — what an attacker positioned to observe
+  /// authoritative traffic (attack/poison.h scouting) learns per query.
+  std::uint16_t id = 0;
   bool tcp = false;
   /// For TCP queries, the client's SYN packet (p0f raw material).
   std::optional<cd::net::Packet> syn;

@@ -250,7 +250,8 @@ void RecursiveResolver::send_current_query(const TaskPtr& task) {
   std::uint16_t sport = 0;
   std::uint64_t key = 0;
   for (int attempt = 0; attempt < 32; ++attempt) {
-    txid = static_cast<std::uint16_t>(rng_.u64());
+    txid = txid_source_ ? txid_source_->next()
+                        : static_cast<std::uint16_t>(rng_.u64());
     sport = allocator_->next();
     key = pending_key(sport, txid);
     if (!pending_.count(key)) break;
@@ -270,6 +271,8 @@ void RecursiveResolver::send_current_query(const TaskPtr& task) {
   pq.server = *server;
   pq.port = sport;
   pq.txid = txid;
+  pq.qname = task->current_qname;
+  pq.qtype = task->current_qtype;
   pq.timeout_event = host_.network().loop().schedule_in(
       config_.query_timeout, [this, key] { on_timeout(key); });
   pending_.emplace(key, std::move(pq));
@@ -309,10 +312,16 @@ void RecursiveResolver::handle_upstream_response(const Packet& packet,
   const std::uint64_t key = pending_key(packet.dst_port, response.header.id);
   const auto it = pending_.find(key);
   if (it == pending_.end()) return;
-  // Off-path answer hygiene: the response must come from the queried server.
-  // (A cache-poisoning attack in the simulator has to beat port + txid, just
-  // like the real thing.)
+  // Off-path answer hygiene: the response must come from the queried server
+  // and echo back the question we asked (RFC 5452). A cache-poisoning attack
+  // in the simulator has to beat port + txid + question, just like the real
+  // thing.
   if (!(it->second.server == packet.src) || packet.src_port != 53) return;
+  if (response.questions.empty() ||
+      !(response.questions.front().qname == it->second.qname) ||
+      response.questions.front().qtype != it->second.qtype) {
+    return;
+  }
 
   TaskPtr task = it->second.task;
   const IpAddr server = it->second.server;

@@ -102,6 +102,14 @@ class RecursiveResolver {
   [[nodiscard]] cd::sim::Host& host() { return host_; }
   [[nodiscard]] const ResolverConfig& config() const { return config_; }
 
+  /// Replaces the transaction-id generator for upstream queries. Default
+  /// (none installed) is a full-entropy RNG draw; the attack plane installs
+  /// weak sources for legacy profiles (see weak_txid()). Install before
+  /// traffic flows — in-flight queries keep the ids they were sent with.
+  void set_txid_source(std::unique_ptr<TxidSource> source) {
+    txid_source_ = std::move(source);
+  }
+
  private:
   struct Task;
   using TaskPtr = std::shared_ptr<Task>;
@@ -134,6 +142,11 @@ class RecursiveResolver {
     cd::net::IpAddr server;
     std::uint16_t port = 0;
     std::uint16_t txid = 0;
+    // The question we asked, held so a response is only accepted when it
+    // echoes it back (RFC 5452 §4.4 — the question-section check an off-path
+    // injector must also guess).
+    cd::dns::DnsName qname;
+    cd::dns::RrType qtype = cd::dns::RrType::kA;
     cd::sim::EventId timeout_event = 0;
   };
 
@@ -169,6 +182,7 @@ class RecursiveResolver {
   ResolverConfig config_;
   RootHints hints_;
   std::unique_ptr<PortAllocator> allocator_;
+  std::unique_ptr<TxidSource> txid_source_;
   cd::Rng rng_;
   cd::dns::Cache cache_;
   ResolverStats stats_;

@@ -104,6 +104,18 @@ std::unique_ptr<PortAllocator> make_default_allocator(
   throw cd::InvariantError("make_default_allocator: unknown DnsSoftware");
 }
 
+bool weak_txid(DnsSoftware id) {
+  switch (id) {
+    case DnsSoftware::kBind8:
+    case DnsSoftware::kWindowsDns2003:
+    case DnsSoftware::kLegacySequential:
+    case DnsSoftware::kLegacySmallPool:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string default_pool_description(DnsSoftware id) {
   switch (id) {
     case DnsSoftware::kBind950:

@@ -28,6 +28,7 @@ enum class DnsSoftware : std::uint8_t {
   kLegacySequential,  // embedded stacks walking a small range in order
   kLegacySmallPool,   // embedded stacks drawing from a tiny random pool
 };
+constexpr int kDnsSoftwareCount = 12;
 
 /// How the implementation minimizes query names (RFC 7816).
 enum class QminMode : std::uint8_t {
@@ -53,5 +54,33 @@ struct SoftwareProfile {
 
 /// Human-readable description of the default pool (Table 5 rows).
 [[nodiscard]] std::string default_pool_description(DnsSoftware id);
+
+/// Source of DNS transaction ids for a recursive resolver's upstream
+/// queries. The default (no source installed) is a full-entropy draw from
+/// the resolver's RNG; the attack plane swaps in weak sources for the
+/// profiles whose era shipped predictable TXIDs, so off-path injection races
+/// (attack/poison.h) face the entropy the paper's classification implies.
+class TxidSource {
+ public:
+  virtual ~TxidSource() = default;
+  virtual std::uint16_t next() = 0;
+};
+
+/// Strictly increasing transaction ids wrapping at 2^16 — the classic
+/// pre-randomization behaviour (BIND 8 era, early Windows DNS).
+class SequentialTxidSource final : public TxidSource {
+ public:
+  explicit SequentialTxidSource(std::uint16_t start) : next_(start) {}
+  std::uint16_t next() override { return next_++; }
+
+ private:
+  std::uint16_t next_ = 0;
+};
+
+/// Whether the profile's era shipped predictable transaction ids (the same
+/// legacy group the paper's port classification flags). Such resolvers get a
+/// SequentialTxidSource when the poisoning plane is enabled, so only the
+/// ephemeral-port pool separates them from a successful injection.
+[[nodiscard]] bool weak_txid(DnsSoftware id);
 
 }  // namespace cd::resolver

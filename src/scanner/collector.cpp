@@ -49,6 +49,14 @@ void Collector::observe(const cd::resolver::AuthLogEntry& entry) {
     // lack the mode label and correctly fall through to the qmin path.
     return;
   }
+  if (decoded.mode == QueryMode::kPoison) {
+    // Attacker plane (attack/poison.h): the SpoofInjector observes its own
+    // trigger traffic at the anycast sites; the measurement collector must
+    // not count it as probe evidence. The "poison" subzone tag survives
+    // QNAME minimization, so even minimized names carry the mode and are
+    // excluded here.
+    return;
+  }
 
   if (!decoded.full()) {
     // QNAME minimization stripped the attribution labels (§3.6.4): we cannot

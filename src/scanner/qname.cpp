@@ -16,6 +16,7 @@ std::string query_mode_name(QueryMode mode) {
     case QueryMode::kTcp: return "tcp";
     case QueryMode::kOpen: return "open";
     case QueryMode::kCrossCheck: return "crosscheck";
+    case QueryMode::kPoison: return "poison";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ std::optional<std::string> subzone_tag(QueryMode mode) {
     case QueryMode::kV4Only: return "v4";
     case QueryMode::kV6Only: return "v6";
     case QueryMode::kTcp: return "tcp";
+    case QueryMode::kPoison: return "poison";
     case QueryMode::kInitial:
     case QueryMode::kOpen:
     case QueryMode::kCrossCheck: return std::nullopt;
@@ -43,6 +45,7 @@ std::optional<QueryMode> parse_mode_label(const std::string& label) {
     case '3': return QueryMode::kTcp;
     case '4': return QueryMode::kOpen;
     case '5': return QueryMode::kCrossCheck;
+    case '6': return QueryMode::kPoison;
     default: return std::nullopt;
   }
 }
@@ -52,7 +55,7 @@ std::optional<QueryMode> parse_mode_label(const std::string& label) {
 QnameCodec::QnameCodec(DnsName base, std::string kw)
     : base_(std::move(base)), kw_(cd::to_lower(kw)) {
   CD_ENSURE(!kw_.empty(), "QnameCodec: empty keyword");
-  CD_ENSURE(kw_ != "v4" && kw_ != "v6" && kw_ != "tcp",
+  CD_ENSURE(kw_ != "v4" && kw_ != "v6" && kw_ != "tcp" && kw_ != "poison",
             "QnameCodec: keyword collides with subzone tag");
 }
 
@@ -112,6 +115,7 @@ QnameCodec::Decoded QnameCodec::decode(const DnsName& qname) const {
     if (cd::iequals(*l, "v4")) zone_mode = QueryMode::kV4Only;
     if (cd::iequals(*l, "v6")) zone_mode = QueryMode::kV6Only;
     if (cd::iequals(*l, "tcp")) zone_mode = QueryMode::kTcp;
+    if (cd::iequals(*l, "poison")) zone_mode = QueryMode::kPoison;
     if (zone_mode) ++idx;
   }
 

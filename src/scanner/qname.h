@@ -32,6 +32,8 @@ enum class QueryMode : std::uint8_t {
   kOpen = 4,        // non-spoofed open-resolver check (base zone)
   kCrossCheck = 5,  // per-/24 prefix-scanner probe (base zone;
                     // scanner/crosscheck.h — the Closed Resolver modality)
+  kPoison = 6,      // attacker trigger query via the anycast-delegated
+                    // poison subzone (attack/poison.h)
 };
 
 [[nodiscard]] std::string query_mode_name(QueryMode mode);
@@ -48,7 +50,7 @@ class QnameCodec {
  public:
   /// `base` is the experiment apex (e.g. dns-lab.org); `kw` is the
   /// per-experiment keyword label and must not collide with the subzone tags
-  /// ("v4", "v6", "tcp").
+  /// ("v4", "v6", "tcp", "poison").
   QnameCodec(cd::dns::DnsName base, std::string kw);
 
   [[nodiscard]] const cd::dns::DnsName& base() const { return base_; }

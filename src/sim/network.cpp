@@ -48,9 +48,80 @@ Host* Network::host_at(const IpAddr& addr) const {
   return it == hosts_.end() ? nullptr : it->second;
 }
 
+void Network::add_anycast_site(const IpAddr& service, Host* host) {
+  CD_ENSURE(host != nullptr, "add_anycast_site: null host");
+  anycast_[service].push_back(host);
+}
+
+Host* Network::anycast_catchment(const IpAddr& service, Asn origin_asn) const {
+  const auto it = anycast_.find(service);
+  if (it == anycast_.end() || it->second.empty()) return nullptr;
+  Host* best = nullptr;
+  SimTime best_dist = 0;
+  for (Host* site : it->second) {
+    const SimTime dist = pair_base_latency(origin_asn, site->asn());
+    if (best == nullptr || dist < best_dist) {
+      best = site;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+SimTime Network::pair_base_latency(Asn from, Asn to) {
+  if (from == to) return 0;
+  // Deterministic symmetric base latency per AS pair (the cross-AS term of
+  // latency() below, shared so catchment agrees exactly with transit cost).
+  const std::uint64_t a = std::min(from, to);
+  const std::uint64_t b = std::max(from, to);
+  std::uint64_t h = (a * 0x9E3779B97F4A7C15ULL) ^ (b + 0x517CC1B727220A95ULL);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return 5 * kMillisecond + static_cast<SimTime>(h % (45 * kMillisecond));
+}
+
 DropReason Network::classify(const Packet& packet, Asn origin_asn,
                              Host** out_host) {
   *out_host = nullptr;
+
+  // Anycast service addresses resolve to a catchment site, not the routing
+  // table: the origin's topology distance picks the site, and border policy
+  // is evaluated against that site's AS.
+  if (!anycast_.empty()) {
+    if (Host* site = anycast_catchment(packet.dst, origin_asn)) {
+      const Asn site_asn = site->asn();
+      if (site_asn != origin_asn) {
+        if (const AsInfo* origin = topology_.find(origin_asn)) {
+          if (origin->policy.osav &&
+              !topology_.is_internal(origin_asn, packet.src)) {
+            return DropReason::kOsav;
+          }
+        }
+        if (const AsInfo* dest = topology_.find(site_asn)) {
+          if (dest->policy.dsav &&
+              topology_.is_internal(site_asn, packet.src)) {
+            return DropReason::kDsav;
+          }
+          if (dest->policy.drop_inbound_martians &&
+              cd::net::is_special_purpose(packet.src)) {
+            return DropReason::kMartian;
+          }
+          if (dest->policy.drop_inbound_same_subnet &&
+              packet.src.family() == packet.dst.family()) {
+            const int len = packet.dst.is_v4() ? 24 : 64;
+            if (cd::net::Prefix(packet.dst, len).contains(packet.src)) {
+              return DropReason::kUrpfSubnet;
+            }
+          }
+        }
+      }
+      if (!site->stack_accepts(packet)) return DropReason::kStackRejected;
+      *out_host = site;
+      return DropReason::kNone;
+    }
+  }
+
   const auto dst_asn = topology_.asn_of(packet.dst);
   const bool crosses_border = !dst_asn || *dst_asn != origin_asn;
 
@@ -118,14 +189,7 @@ SimTime Network::latency(Asn from, Asn to,
   if (from == to) {
     return kMillisecond + static_cast<SimTime>(j % (2 * kMillisecond));
   }
-  // Deterministic symmetric base latency per AS pair.
-  const std::uint64_t a = std::min(from, to);
-  const std::uint64_t b = std::max(from, to);
-  std::uint64_t h = (a * 0x9E3779B97F4A7C15ULL) ^ (b + 0x517CC1B727220A95ULL);
-  h ^= h >> 29;
-  h *= 0xBF58476D1CE4E5B9ULL;
-  h ^= h >> 32;
-  const SimTime base = 5 * kMillisecond + static_cast<SimTime>(h % (45 * kMillisecond));
+  const SimTime base = pair_base_latency(from, to);
   const SimTime jitter = static_cast<SimTime>(j % 500);
   return base + jitter;
 }

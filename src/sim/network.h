@@ -142,6 +142,27 @@ class Network {
 
   [[nodiscard]] Host* host_at(const cd::net::IpAddr& addr) const;
 
+  /// Registers `host` as one site of the anycast service address `service`.
+  /// Traffic to a registered service address bypasses the unicast routing
+  /// table: each origin AS reaches exactly one site — its catchment — chosen
+  /// by topology distance (minimum AS-pair base latency, registration order
+  /// breaking ties), and destination-border policy is evaluated against that
+  /// site's AS. Different origins therefore see different authoritative
+  /// paths from the same service address, the property the off-path
+  /// poisoning plane (attack/poison.h) races against.
+  void add_anycast_site(const cd::net::IpAddr& service, Host* host);
+
+  /// The site an origin AS's traffic to `service` lands at, or nullptr if
+  /// `service` has no registered sites.
+  [[nodiscard]] Host* anycast_catchment(const cd::net::IpAddr& service,
+                                        Asn origin_asn) const;
+
+  /// Deterministic symmetric base latency of an AS pair — the exact value
+  /// latency() charges cross-AS transit before jitter (0 for a == b).
+  /// Public so anycast catchment and attack-timing code share the network's
+  /// distance metric instead of re-deriving it.
+  [[nodiscard]] static SimTime pair_base_latency(Asn a, Asn b);
+
   [[nodiscard]] Topology& topology() { return topology_; }
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
@@ -212,6 +233,9 @@ class Network {
   EventLoop& loop_;
   std::uint64_t jitter_seed_;
   std::unordered_map<cd::net::IpAddr, Host*, cd::net::IpAddrHash> hosts_;
+  /// Anycast service address -> sites, in registration order.
+  std::unordered_map<cd::net::IpAddr, std::vector<Host*>, cd::net::IpAddrHash>
+      anycast_;
   TapId next_tap_id_ = 1;
   std::vector<TapEntry> taps_;
   std::vector<CaptureEntry> captures_;

@@ -47,6 +47,7 @@ enum class OsId : std::uint8_t {
   kEmbeddedCpe,       // CPE gear; generic fingerprint, unknown to p0f
   kMiddleboxFronted,  // traffic normalized by a middlebox; unknown to p0f
 };
+constexpr int kOsIdCount = 20;
 
 /// TCP SYN characteristics a host stack stamps on outgoing connections.
 struct TcpFingerprintSpec {

@@ -227,6 +227,30 @@ ExperimentResults synthetic_results() {
   r.crosscheck_records.emplace(silent24.prefix, silent24);
   r.crosscheck_probes = 777;
 
+  cd::attack::PoisonRecord fell;  // attacker plane: a poisoned legacy victim
+  fell.victim = cd::net::IpAddr::v4(20, 0, 1, 10);
+  fell.asn = 123;
+  fell.software = cd::resolver::DnsSoftware::kBind8;
+  fell.os = cd::sim::OsId::kEmbeddedCpe;
+  fell.open = true;
+  fell.reachable = true;
+  fell.success = true;
+  fell.rounds = 4;
+  fell.success_round = 2;
+  fell.poisoned_ttl = 86400;
+  fell.triggers = 5;
+  fell.forged = 128;
+  fell.observed_ports = {53, 53, 53};
+  r.poison_records.emplace(fell.victim, fell);
+  cd::attack::PoisonRecord held;  // raced but never reached (border filtered)
+  held.victim = cd::net::IpAddr::v4(20, 0, 2, 10);
+  held.asn = 124;
+  held.software = cd::resolver::DnsSoftware::kUnbound190;
+  held.os = cd::sim::OsId::kUbuntu1904;
+  r.poison_records.emplace(held.victim, held);
+  r.poison_triggers = 10;
+  r.poison_forged = 128;
+
   r.capture.snaplen = 512;
   cd::pcap::PcapRecord pkt;
   pkt.time_us = 1000;
@@ -296,6 +320,27 @@ TEST(SpillCodec, RoundTripPreservesEveryField) {
     EXPECT_EQ(it->second.forwarded_seen, expect.forwarded_seen);
   }
   EXPECT_EQ(back.crosscheck_probes, 777u);
+
+  ASSERT_EQ(back.poison_records.size(), original.poison_records.size());
+  for (const auto& [addr, expect] : original.poison_records) {
+    const auto it = back.poison_records.find(addr);
+    ASSERT_NE(it, back.poison_records.end()) << addr.to_string();
+    EXPECT_EQ(it->second.victim, expect.victim);
+    EXPECT_EQ(it->second.asn, expect.asn);
+    EXPECT_EQ(it->second.software, expect.software);
+    EXPECT_EQ(it->second.os, expect.os);
+    EXPECT_EQ(it->second.open, expect.open);
+    EXPECT_EQ(it->second.reachable, expect.reachable);
+    EXPECT_EQ(it->second.success, expect.success);
+    EXPECT_EQ(it->second.rounds, expect.rounds);
+    EXPECT_EQ(it->second.success_round, expect.success_round);
+    EXPECT_EQ(it->second.poisoned_ttl, expect.poisoned_ttl);
+    EXPECT_EQ(it->second.triggers, expect.triggers);
+    EXPECT_EQ(it->second.forged, expect.forged);
+    EXPECT_EQ(it->second.observed_ports, expect.observed_ports);
+  }
+  EXPECT_EQ(back.poison_triggers, 10u);
+  EXPECT_EQ(back.poison_forged, 128u);
 }
 
 TEST(SpillCodec, FileRoundTripAndMissingFile) {

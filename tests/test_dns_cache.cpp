@@ -161,4 +161,106 @@ TEST(Cache, EmptyRrsetIgnored) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+// --- adversarial insertions (off-path poisoning aftermath) -------------------
+//
+// What a cache does with attacker-shaped data once the resolver's response
+// validation has been beaten: forged week-long TTLs must clamp, poisoned
+// entries must still expire and be re-poisonable only for their clamped
+// lifetime, a planted name must never contaminate its neighbors, and an
+// attacker flooding distinct names must not be able to evict a live entry.
+
+TEST(CacheAdversarial, ForgedTtlIsClampedToMaxTtl) {
+  Cache cache;  // default max_ttl 86400 (1 day)
+  const auto name = DnsName::must_parse("victim.example");
+  // A week-long TTL, as the attack plane forges (PoisonConfig::forged_ttl).
+  cache.insert_positive(
+      {dns::make_a(name, IpAddr::must_parse("11.66.0.66"), 604800)}, 0);
+  const auto hit = cache.lookup(name, RrType::kA, 0);
+  ASSERT_EQ(hit.kind, CacheHitKind::kPositive);
+  // The decayed TTL visible to clients never exceeds the clamp...
+  EXPECT_EQ(hit.records[0].ttl, 86400u);
+  // ...and the entry is gone at clamp expiry, not at the forged horizon.
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 86400 * kSec).kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(CacheAdversarial, PoisonedEntryExpiresAndCanBeReplaced) {
+  Cache cache;
+  const auto name = DnsName::must_parse("victim.example");
+  cache.insert_positive(
+      {dns::make_a(name, IpAddr::must_parse("11.66.0.66"), 300)}, 0);
+  // Refreshing the poison mid-lifetime restarts the clock from `now`, so the
+  // attacker holds the name only by re-winning the race each TTL.
+  cache.insert_positive(
+      {dns::make_a(name, IpAddr::must_parse("11.66.0.66"), 300)}, 200 * kSec);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 450 * kSec).kind,
+            CacheHitKind::kPositive);
+  EXPECT_EQ(cache.lookup(name, RrType::kA, 500 * kSec).kind,
+            CacheHitKind::kMiss);
+  // After expiry the legitimate answer takes the slot back cleanly.
+  cache.insert_positive(
+      {dns::make_a(name, IpAddr::must_parse("192.0.2.1"), 60)}, 500 * kSec);
+  const auto hit = cache.lookup(name, RrType::kA, 501 * kSec);
+  ASSERT_EQ(hit.kind, CacheHitKind::kPositive);
+  EXPECT_EQ(std::get<dns::ARdata>(hit.records[0].rdata).addr,
+            IpAddr::must_parse("192.0.2.1"));
+}
+
+TEST(CacheAdversarial, PoisonedNameDoesNotContaminateNeighbors) {
+  Cache cache;
+  const auto good = DnsName::must_parse("www.example.test");
+  const auto sibling = DnsName::must_parse("mail.example.test");
+  const auto parent = DnsName::must_parse("example.test");
+  cache.insert_positive(
+      {dns::make_a(good, IpAddr::must_parse("192.0.2.1"), 600)}, 0);
+  // The attacker plants a deep name under the same zone.
+  const auto planted = DnsName::must_parse("evil.www.example.test");
+  cache.insert_positive(
+      {dns::make_a(planted, IpAddr::must_parse("11.66.0.66"), 600)}, 0);
+  // Only the planted owner answers with the planted address.
+  const auto hit = cache.lookup(good, RrType::kA, 1 * kSec);
+  ASSERT_EQ(hit.kind, CacheHitKind::kPositive);
+  EXPECT_EQ(std::get<dns::ARdata>(hit.records[0].rdata).addr,
+            IpAddr::must_parse("192.0.2.1"));
+  EXPECT_EQ(cache.lookup(sibling, RrType::kA, 1 * kSec).kind,
+            CacheHitKind::kMiss);
+  EXPECT_EQ(cache.lookup(parent, RrType::kA, 1 * kSec).kind,
+            CacheHitKind::kMiss);
+  // Nor does it bleed across types on its own owner.
+  EXPECT_EQ(cache.lookup(planted, RrType::kAaaa, 1 * kSec).kind,
+            CacheHitKind::kMiss);
+}
+
+TEST(CacheAdversarial, AttackerFillCannotEvictLiveEntries) {
+  dns::CacheConfig config;
+  config.max_entries = 64;
+  Cache cache(config);
+  const auto target = DnsName::must_parse("www.example.test");
+  cache.insert_positive(
+      {dns::make_a(target, IpAddr::must_parse("192.0.2.1"), 3600)}, 0);
+  // Flood far past the configured capacity with distinct throwaway names.
+  // The threshold triggers a purge, but purge removes only *expired*
+  // entries: unexpired legitimate data is never sacrificed to make room.
+  for (int i = 0; i < 1000; ++i) {
+    const auto junk =
+        DnsName::must_parse(("x" + std::to_string(i) + ".junk.example")
+                                .c_str());
+    cache.insert_positive(
+        {dns::make_a(junk, IpAddr::must_parse("11.66.0.66"), 30)}, 1 * kSec);
+  }
+  const auto hit = cache.lookup(target, RrType::kA, 2 * kSec);
+  ASSERT_EQ(hit.kind, CacheHitKind::kPositive);
+  EXPECT_EQ(std::get<dns::ARdata>(hit.records[0].rdata).addr,
+            IpAddr::must_parse("192.0.2.1"));
+  // Once the junk TTLs lapse, the flood purges itself on the next
+  // over-threshold insert instead of accumulating without bound.
+  cache.insert_positive(
+      {dns::make_a(DnsName::must_parse("last.junk.example"),
+                   IpAddr::must_parse("11.66.0.66"), 30)},
+      40 * kSec);
+  EXPECT_LE(cache.size(), 3u);  // target + final insert (+ slack)
+  EXPECT_EQ(cache.lookup(target, RrType::kA, 40 * kSec).kind,
+            CacheHitKind::kPositive);
+}
+
 }  // namespace

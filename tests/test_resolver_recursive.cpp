@@ -3,8 +3,12 @@
 // minimization, CNAME chasing, forwarding, ACLs, TCP fallback, retries.
 #include <gtest/gtest.h>
 
+#include "dns/cache.h"
+#include "dns/message.h"
+#include "net/packet.h"
 #include "resolver/auth.h"
 #include "resolver/recursive.h"
+#include "resolver/software.h"
 #include "sim/network.h"
 
 namespace {
@@ -427,6 +431,132 @@ TEST(Recursive, SourcePortsComeFromAllocator) {
       EXPECT_EQ(entry.client_port, 4053);
     }
   }
+}
+
+// --- upstream response validation (RFC 5452) ---------------------------------
+//
+// A resolver with a fixed source port and a sequential txid source is the
+// easiest possible off-path target: the forger below knows the port (4053)
+// and the txid (100 for the first upstream query). Each test forges a
+// response that is correct in every dimension except one, injects it ahead
+// of the genuine answer, and asserts the resolution still completes with
+// the authoritative data — the forgery must be ignored, not merely lose.
+
+struct ForgeLab {
+  const IpAddr res_addr = IpAddr::must_parse("41.0.0.9");
+  const IpAddr forged_target = IpAddr::must_parse("6.6.6.6");
+  MiniLab lab;
+  sim::Host host;
+  RecursiveResolver res;
+
+  ForgeLab()
+      : host(lab.network, 2, sim::os_profile(sim::OsId::kUbuntu1904),
+             {res_addr}, Rng(16), "target"),
+        res(host, ResolverConfig{.open = true},
+            resolver::RootHints{.servers = {lab.root4}},
+            std::make_unique<resolver::FixedPortAllocator>(4053), Rng(17)) {
+    res.set_txid_source(std::make_unique<resolver::SequentialTxidSource>(100));
+  }
+
+  /// Forged response claiming `src`:`src_port` answered our pending query
+  /// for `qname` with an attacker-chosen A record.
+  void forge(const IpAddr& src, std::uint16_t src_port, std::uint16_t dst_port,
+             std::uint16_t txid, const char* qname) {
+    DnsMessage fake = dns::make_response(
+        dns::make_query(txid, DnsName::must_parse(qname), RrType::kA,
+                        /*rd=*/false),
+        Rcode::kNoError);
+    fake.header.aa = true;
+    fake.answers.push_back(
+        dns::make_a(DnsName::must_parse(qname), forged_target, 600));
+    lab.network.send(net::make_udp(src, src_port, res_addr, dst_port,
+                                   dns::encode_pooled(fake)),
+                     /*origin_asn=*/1);
+  }
+
+  MiniLab::Outcome resolve(const char* qname) {
+    MiniLab::Outcome out;
+    res.resolve(DnsName::must_parse(qname), RrType::kA,
+                [&](Rcode rcode, const std::vector<DnsRr>& records) {
+                  out.done = true;
+                  out.rcode = rcode;
+                  out.records = records;
+                });
+    lab.loop.run(1'000'000);
+    return out;
+  }
+
+  void expect_legit(const MiniLab::Outcome& out) {
+    ASSERT_TRUE(out.done);
+    EXPECT_EQ(out.rcode, Rcode::kNoError);
+    ASSERT_EQ(out.records.size(), 1u);
+    EXPECT_EQ(std::get<dns::ARdata>(out.records[0].rdata).addr,
+              IpAddr::must_parse("40.0.9.9"));
+    const auto hit =
+        res.cache().lookup(DnsName::must_parse("www.example.test"), RrType::kA,
+                           lab.loop.now());
+    ASSERT_EQ(hit.kind, dns::CacheHitKind::kPositive);
+    EXPECT_EQ(std::get<dns::ARdata>(hit.records[0].rdata).addr,
+              IpAddr::must_parse("40.0.9.9"));
+  }
+};
+
+TEST(RecursiveValidation, TxidMismatchIsIgnored) {
+  ForgeLab f;
+  // Correct source, port, and question; txid off by one. Lands before the
+  // root's genuine answer (cross-AS latency is >= 5ms).
+  f.lab.loop.schedule_in(sim::kMillisecond, [&] {
+    f.forge(f.lab.root4, 53, 4053, 101, "www.example.test");
+  });
+  f.expect_legit(f.resolve("www.example.test"));
+}
+
+TEST(RecursiveValidation, WrongSourceAddressIsIgnored) {
+  ForgeLab f;
+  // Exact port and txid, but from an address we never queried.
+  f.lab.loop.schedule_in(sim::kMillisecond, [&] {
+    f.forge(IpAddr::must_parse("40.0.0.99"), 53, 4053, 100,
+            "www.example.test");
+  });
+  // A matching tuple from the right address but a non-53 source port is an
+  // unsolicited datagram, not an answer.
+  f.lab.loop.schedule_in(2 * sim::kMillisecond, [&] {
+    f.forge(f.lab.root4, 5353, 4053, 100, "www.example.test");
+  });
+  f.expect_legit(f.resolve("www.example.test"));
+}
+
+TEST(RecursiveValidation, WrongQuestionSectionIsIgnored) {
+  ForgeLab f;
+  // Exact source, port, and txid — the classic pre-RFC 5452 hole — but the
+  // echoed question names a different owner the attacker wants planted.
+  f.lab.loop.schedule_in(sim::kMillisecond, [&] {
+    f.forge(f.lab.root4, 53, 4053, 100, "evil.example.test");
+  });
+  f.expect_legit(f.resolve("www.example.test"));
+  // The off-question name must not have leaked into the cache.
+  EXPECT_EQ(f.res.cache()
+                .lookup(DnsName::must_parse("evil.example.test"), RrType::kA,
+                        f.lab.loop.now())
+                .kind,
+            dns::CacheHitKind::kMiss);
+}
+
+TEST(RecursiveValidation, LateAnswerAfterCacheFillIsDropped) {
+  ForgeLab f;
+  f.expect_legit(f.resolve("www.example.test"));
+  const auto queries_before = f.res.stats().upstream_queries;
+  // Replay a perfectly matching forgery after the pending entry is gone:
+  // the race is over, the tuple is dead, the cache must keep the
+  // authoritative answer.
+  f.forge(f.lab.root4, 53, 4053, 100, "www.example.test");
+  f.lab.loop.run(1'000'000);
+  const auto hit = f.res.cache().lookup(
+      DnsName::must_parse("www.example.test"), RrType::kA, f.lab.loop.now());
+  ASSERT_EQ(hit.kind, dns::CacheHitKind::kPositive);
+  EXPECT_EQ(std::get<dns::ARdata>(hit.records[0].rdata).addr,
+            IpAddr::must_parse("40.0.9.9"));
+  EXPECT_EQ(f.res.stats().upstream_queries, queries_before);
 }
 
 }  // namespace

@@ -489,4 +489,69 @@ TEST(Host, AddressHelpers) {
   EXPECT_FALSE(host.address(net::IpFamily::kV6));
 }
 
+// --- anycast -----------------------------------------------------------------
+
+TEST(Anycast, CatchmentPicksTopologicallyNearestSite) {
+  Fixture f;
+  const auto service = IpAddr::must_parse("11.3.0.53");
+  const auto& os = sim::os_profile(sim::OsId::kUbuntu1904);
+  Host site1(f.network, 1, os, {IpAddr::must_parse("21.0.0.53")}, Rng(1));
+  Host site2(f.network, 2, os, {IpAddr::must_parse("22.0.0.53")}, Rng(2));
+  f.network.add_anycast_site(service, &site1);
+  f.network.add_anycast_site(service, &site2);
+  // Catchment per origin AS must agree exactly with the shared pair-latency
+  // metric: whichever site is cheaper to reach from that AS wins.
+  for (const sim::Asn origin : {1u, 2u, 3u, 4u, 5u}) {
+    Host* got = f.network.anycast_catchment(service, origin);
+    ASSERT_NE(got, nullptr);
+    const auto d1 = Network::pair_base_latency(origin, 1);
+    const auto d2 = Network::pair_base_latency(origin, 2);
+    EXPECT_EQ(got, d2 < d1 ? &site2 : &site1) << "origin=" << origin;
+  }
+  // A site's own AS always reaches itself (same-AS distance is zero).
+  EXPECT_EQ(f.network.anycast_catchment(service, 1), &site1);
+  EXPECT_EQ(f.network.anycast_catchment(service, 2), &site2);
+}
+
+TEST(Anycast, EqualDistanceBreaksTiesByRegistrationOrder) {
+  Fixture f;
+  const auto service = IpAddr::must_parse("11.3.0.53");
+  const auto& os = sim::os_profile(sim::OsId::kUbuntu1904);
+  // Two sites in the SAME AS are equidistant from everywhere; the first
+  // registered must win deterministically.
+  Host site1(f.network, 1, os, {IpAddr::must_parse("21.0.0.53")}, Rng(1));
+  Host site2(f.network, 1, os, {IpAddr::must_parse("21.0.1.53")}, Rng(2));
+  f.network.add_anycast_site(service, &site1);
+  f.network.add_anycast_site(service, &site2);
+  for (const sim::Asn origin : {1u, 2u, 5u}) {
+    EXPECT_EQ(f.network.anycast_catchment(service, origin), &site1);
+  }
+}
+
+TEST(Anycast, UnknownServiceHasNoCatchment) {
+  Fixture f;
+  EXPECT_EQ(f.network.anycast_catchment(IpAddr::must_parse("11.3.0.53"), 1),
+            nullptr);
+}
+
+TEST(Anycast, DeliveryReachesCatchmentSiteWithoutAnnouncement) {
+  // The service prefix is never announced by any AS — anycast classification
+  // must route the packet to the catchment site anyway, exactly as a covert
+  // attack-plane deployment would behave.
+  Fixture f;
+  const auto service = IpAddr::must_parse("11.3.0.53");
+  const auto& os = sim::os_profile(sim::OsId::kUbuntu1904);
+  Host site(f.network, 2, os, {service}, Rng(1));
+  f.network.add_anycast_site(service, &site);
+  bool got = false;
+  site.bind_udp(53, [&](const Packet& pkt) {
+    got = pkt.src == IpAddr::must_parse("21.0.0.1");
+  });
+  f.network.send(net::make_udp(IpAddr::must_parse("21.0.0.1"), 1000, service,
+                               53, {1}),
+                 /*origin_asn=*/1);
+  f.loop.run(1'000'000);
+  EXPECT_TRUE(got);
+}
+
 }  // namespace

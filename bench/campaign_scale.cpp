@@ -31,6 +31,15 @@
 // plane (attack/poison.h) with N burst rounds per victim, and reports the
 // realized per-profile success rates joined against the port-entropy
 // predictions (analysis/poisoning.h).
+//
+// --transport-window=N additionally reruns the campaign three times with the
+// follow-up battery switched to TCP (scanner::FollowupTransport::kTcp) to
+// price the transports against each other: one-shot dial-per-exchange
+// (RFC 7766 §5 legacy behavior), persistent sessions pipelined N deep
+// (§6.2.1.1), and persistent DoT-style sessions that pay a fixed handshake
+// per connection. Each pass reports connection counts (dials/accepts/
+// reuses), handshake overhead bytes, and probes/s; all three land in the
+// JSON row.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +75,8 @@ struct Options {
   bool spill = true;
   std::uint32_t crosscheck_window = 0;  // 0 = cross-check plane off
   std::uint32_t poison_window = 0;      // 0 = attacker plane off
+  std::uint32_t transport_window = 0;   // 0 = transport sweep off; else the
+                                        // persistent-session pipeline depth
   std::string spill_dir = "campaign_spill";
   std::string out = "BENCH_campaign.json";
 };
@@ -90,6 +101,9 @@ Options parse(int argc, char** argv) {
     } else if (std::strncmp(arg, "--poison-window=", 16) == 0) {
       opt.poison_window =
           static_cast<std::uint32_t>(std::strtoul(arg + 16, nullptr, 10));
+    } else if (std::strncmp(arg, "--transport-window=", 19) == 0) {
+      opt.transport_window =
+          static_cast<std::uint32_t>(std::strtoul(arg + 19, nullptr, 10));
     } else if (std::strncmp(arg, "--spill-dir=", 12) == 0) {
       opt.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
@@ -150,6 +164,17 @@ int main(int argc, char** argv) {
   cd::analysis::AgreementReport agreement;
   cd::analysis::PoisonReport poison;
   cd::attack::PoisonConfig poison_config;
+  // Per-transport pricing rows (--transport-window): one-shot baseline,
+  // persistent pipelined sessions, persistent DoT-style sessions.
+  struct TransportRow {
+    double wall_ms = 0.0;
+    double probes_per_s = 0.0;
+    unsigned long long probes = 0;
+    cd::sim::TransportCounters tc;
+  };
+  TransportRow t_rows[3];
+  static constexpr const char* kTransportLabels[3] = {"oneshot", "persistent",
+                                                      "dot"};
   if (opt.campaign) {
     cd::core::ExperimentConfig config;
     config.num_shards = opt.shards;
@@ -233,6 +258,36 @@ int main(int argc, char** argv) {
           (unsigned long long)poison.triggers,
           (unsigned long long)poison.forged, poison.rows.size());
     }
+
+    if (opt.transport_window > 0) {
+      for (int mode = 0; mode < 3; ++mode) {
+        cd::core::ExperimentConfig tconfig = config;
+        tconfig.followup.transport = cd::scanner::FollowupTransport::kTcp;
+        tconfig.persistent_tcp = mode > 0;
+        tconfig.max_pipeline = static_cast<int>(opt.transport_window);
+        tconfig.dot_sessions = mode == 2;
+        const auto t_start = Clock::now();
+        const cd::core::ShardedResults t_out =
+            cd::core::run_sharded_experiment(spec, tconfig);
+        TransportRow& row = t_rows[mode];
+        row.wall_ms = ms_since(t_start);
+        row.probes = t_out.merged.queries_sent;
+        row.probes_per_s =
+            row.wall_ms > 0 ? 1000.0 * (double)row.probes / row.wall_ms : 0;
+        row.tc = t_out.merged.transport;
+        std::printf(
+            "# transport[%s]: %llu probes in %.0fms (%.0f probes/s); "
+            "dials %llu, accepts %llu, reuses %llu, messages %llu, "
+            "idle closes %llu, handshake bytes %llu\n",
+            kTransportLabels[mode], row.probes, row.wall_ms, row.probes_per_s,
+            (unsigned long long)row.tc.dials,
+            (unsigned long long)row.tc.accepts,
+            (unsigned long long)row.tc.session_reuses,
+            (unsigned long long)row.tc.session_messages,
+            (unsigned long long)row.tc.idle_closes,
+            (unsigned long long)row.tc.handshake_bytes);
+      }
+    }
   }
 
   const std::size_t peak_kb = cd::peak_rss_kb();
@@ -256,6 +311,14 @@ int main(int argc, char** argv) {
         "\"poison_window\":%u,\"poison_victims\":%llu,"
         "\"poison_reachable\":%llu,\"poison_successes\":%llu,"
         "\"poison_triggers\":%llu,\"poison_forged\":%llu,"
+        "\"transport_window\":%u,"
+        "\"t_oneshot_dials\":%llu,\"t_oneshot_handshake_bytes\":%llu,"
+        "\"t_oneshot_probes_per_s\":%.0f,"
+        "\"t_persistent_dials\":%llu,\"t_persistent_reuses\":%llu,"
+        "\"t_persistent_handshake_bytes\":%llu,"
+        "\"t_persistent_probes_per_s\":%.0f,"
+        "\"t_dot_dials\":%llu,\"t_dot_reuses\":%llu,"
+        "\"t_dot_handshake_bytes\":%llu,\"t_dot_probes_per_s\":%.0f,"
         "\"peak_rss_kib\":%zu}\n",
         opt.asns, opt.mean, opt.shards, opt.threads,
         (unsigned long long)opt.seed, opt.spill ? "true" : "false",
@@ -271,7 +334,16 @@ int main(int argc, char** argv) {
         (unsigned long long)poison.reachable,
         (unsigned long long)poison.successes,
         (unsigned long long)poison.triggers,
-        (unsigned long long)poison.forged, peak_kb);
+        (unsigned long long)poison.forged, opt.transport_window,
+        (unsigned long long)t_rows[0].tc.dials,
+        (unsigned long long)t_rows[0].tc.handshake_bytes,
+        t_rows[0].probes_per_s, (unsigned long long)t_rows[1].tc.dials,
+        (unsigned long long)t_rows[1].tc.session_reuses,
+        (unsigned long long)t_rows[1].tc.handshake_bytes,
+        t_rows[1].probes_per_s, (unsigned long long)t_rows[2].tc.dials,
+        (unsigned long long)t_rows[2].tc.session_reuses,
+        (unsigned long long)t_rows[2].tc.handshake_bytes,
+        t_rows[2].probes_per_s, peak_kb);
     std::fclose(f);
     std::printf("# appended to %s\n", opt.out.c_str());
   } else {

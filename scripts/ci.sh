@@ -2,11 +2,13 @@
 # CI entry point: plain build + full test suite, then three sanitizer
 # builds — ThreadSanitizer over the sharded-runner tests (label
 # "parallel") plus the streaming-TCP suite (label "tcp", whose
-# segmentation differential runs campaigns through the sharded runner),
-# AddressSanitizer over the fuzz + pcap + batched-delivery + tcp +
-# campaign + crosscheck + poison labels (bit-flip/truncation fuzzing only
-# proves "throws, never over-reads" when the reads are instrumented, and
-# the TCP reassembly/segment paths exercise the pooled-buffer recycling
+# segmentation differential runs campaigns through the sharded runner)
+# and the persistent-transport suite (label "transport", whose campaign
+# differential does the same with pipelined sessions), AddressSanitizer
+# over the fuzz + pcap + batched-delivery + tcp + transport + campaign +
+# crosscheck + poison labels (bit-flip/truncation fuzzing only proves
+# "throws, never over-reads" when the reads are instrumented, and the TCP
+# reassembly/segment/session paths exercise the pooled-buffer recycling
 # hardest), and UndefinedBehaviorSanitizer over the same labels plus the
 # full unit suite (shift/overflow/alignment UB in the byte codecs). A
 # final label audit fails the run if a tests/test_*.cpp is unregistered
@@ -26,17 +28,18 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j
 ctest --test-dir "${PREFIX}" --output-on-failure -j
 
-echo "=== TSan build + parallel/tcp/eventcore-label ctest ==="
+echo "=== TSan build + parallel/tcp/transport/eventcore-label ctest ==="
 # The eventcore label covers the sharded wheel-vs-oracle campaign: each
 # worker thread drives its own timing wheel, so the node pools and slot
-# arrays must be provably unshared under TSan.
+# arrays must be provably unshared under TSan. The transport label runs
+# its persistent-session campaigns through the same threaded runner.
 cmake -B "${PREFIX}-tsan" -S . -DCD_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j --target test_core_parallel test_sim_tcp \
-  test_sim_event_core
-ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp|eventcore" \
+  test_sim_event_core test_transport
+ctest --test-dir "${PREFIX}-tsan" -L "parallel|tcp|transport|eventcore" \
   --output-on-failure
 
-echo "=== ASan build + fuzz/pcap/batched/tcp/campaign/crosscheck/poison ctest ==="
+echo "=== ASan build + fuzz/pcap/batched/tcp/transport/campaign/crosscheck/poison ctest ==="
 # The campaign label covers the streamed-world + disk-spill battery: the
 # spill truncation/bit-flip fuzz only proves "throws, never over-reads" when
 # the reads are instrumented, and its RSS-budget test asserts the
@@ -49,17 +52,17 @@ cmake -B "${PREFIX}-asan" -S . -DCD_SANITIZE=address >/dev/null
 cmake --build "${PREFIX}-asan" -j --target \
   test_util_bytes test_dns_message test_util_pcap test_golden_pcap \
   test_sim_batched test_sim_tcp test_net_checksum test_campaign_stream \
-  test_crosscheck test_attack_poisoning
+  test_crosscheck test_attack_poisoning test_transport
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir "${PREFIX}-asan" \
-  -L "fuzz|pcap|batched|tcp|campaign|crosscheck|poison" \
+  -L "fuzz|pcap|batched|tcp|transport|campaign|crosscheck|poison" \
   --output-on-failure
 
-echo "=== UBSan build + unit/pcap/batched/tcp/campaign/crosscheck/poison ctest ==="
+echo "=== UBSan build + unit/pcap/batched/tcp/transport/campaign/crosscheck/poison ctest ==="
 cmake -B "${PREFIX}-ubsan" -S . -DCD_SANITIZE=undefined >/dev/null
 cmake --build "${PREFIX}-ubsan" -j
 ctest --test-dir "${PREFIX}-ubsan" \
-  -L "unit|pcap|batched|fuzz|tcp|campaign|crosscheck|poison" \
+  -L "unit|pcap|batched|fuzz|tcp|transport|campaign|crosscheck|poison" \
   --output-on-failure -j
 
 echo "=== ctest label audit ==="

@@ -176,6 +176,11 @@ void merge_into(ExperimentResults& acc, ExperimentResults part, bool first) {
   }
   acc.poison_triggers += part.poison_triggers;
   acc.poison_forged += part.poison_forged;
+  acc.transport += part.transport;
+  for (const auto& [addr, digest] : part.transport_replies) {
+    const bool inserted = acc.transport_replies.emplace(addr, digest).second;
+    CD_ENSURE(inserted, "merge_results: transport target in two shards");
+  }
 
   if (first) {
     acc.capture = std::move(part.capture);
@@ -208,6 +213,14 @@ const ExperimentResults& Experiment::run() {
   // the mode they were sent under.
   world_.network->set_batched_delivery(config_.batched_delivery);
   world_.network->set_tcp_single_buffer(!config_.tcp_segmentation);
+  {
+    cd::sim::TransportOptions transport;
+    transport.persistent = config_.persistent_tcp;
+    transport.max_pipeline = config_.max_pipeline;
+    transport.idle_timeout = config_.idle_timeout;
+    transport.dot = config_.dot_sessions;
+    world_.network->set_transport(transport);
+  }
   world_.loop.set_engine(config_.wheel_event_core
                              ? cd::sim::EventEngine::kWheel
                              : cd::sim::EventEngine::kPriorityQueue);
@@ -282,6 +295,15 @@ const ExperimentResults& Experiment::run() {
   results.lifetime_excluded_targets = collector_->lifetime_excluded_targets();
   results.network_stats = world_.network->stats();
   results.queries_sent = prober_->queries_sent();
+  results.transport = world_.network->transport_counters();
+  results.transport_replies = prober_->transport_replies();
+  // Deterministic teardown: with the loop fully drained, every connection on
+  // every host has completed, timed out, or been idle-closed — a leaked
+  // entry means a stray timer or session index entry.
+  if (world_.loop.pending() == 0) {
+    CD_ENSURE(world_.network->open_tcp_connections() == 0,
+              "Experiment: TCP connections leaked past the drained loop");
+  }
   results.followup_batteries = followup_ ? followup_->batteries_sent() : 0;
   results.analyst_replays = analyst_ ? analyst_->replays() : 0;
   if (crosscheck_collector_) {

@@ -10,6 +10,7 @@
 //                                               world->targets);
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -101,6 +102,27 @@ struct ExperimentConfig {
   /// switch exists for the differential harness and for bisecting.
   bool wheel_event_core = true;
 
+  // --- persistent transports (sim::TransportOptions) ------------------------
+  /// RFC 7766 persistent DNS-over-TCP: connections opened by Host::tcp_query
+  /// survive completed exchanges, pipeline up to `max_pipeline` in-flight
+  /// framed messages (responses matched by DNS message ID, out-of-order
+  /// supported), and are idle-closed server-side after `idle_timeout`. Off —
+  /// the default — is the one-shot dial-per-exchange baseline: results and
+  /// capture digests are bit-identical to pre-transport builds
+  /// (tests/test_transport.cpp pins this).
+  bool persistent_tcp = false;
+  /// In-flight messages per session before tcp_query queues (RFC 7766
+  /// §6.2.1.1 pipelining window).
+  int max_pipeline = 8;
+  /// Server-side idle window before a persistent session is FIN-closed
+  /// (RFC 7766 §6.1), driven deterministically through the timing wheel.
+  cd::sim::SimTime idle_timeout = 10 * cd::sim::kSecond;
+  /// DoT-style sessions: each dial additionally pays a fixed hello
+  /// handshake (sim::TransportOptions::dot_handshake_rtts round trips of
+  /// real stream bytes) plus a setup delay before the first DNS byte, so
+  /// connection-reuse amortization is measurable in the scan-cost tables.
+  bool dot_sessions = false;
+
   // --- sharding (core/parallel.h) -------------------------------------------
   /// Number of AS-partitioned shards the target list is split into. Each
   /// shard runs its own world, event loop, prober and collector; results
@@ -149,6 +171,19 @@ struct ExperimentResults {
   cd::attack::PoisonRecords poison_records;
   std::uint64_t poison_triggers = 0;
   std::uint64_t poison_forged = 0;
+  /// Transport plane: connection-economics counters summed over every host
+  /// in this shard's world (client dials, server accepts, session reuses,
+  /// pipelined messages, idle closes, DoT handshake bytes). Deliberately
+  /// outside results_digest — like network_stats, these are wire economics,
+  /// not per-target evidence; the transport differential tests compare them
+  /// directly.
+  cd::sim::TransportCounters transport;
+  /// Per-target digests of the framed TCP replies the scanner's transport
+  /// battery received (empty unless followup.transport is kTcp). Targets
+  /// partition by AS, so per-shard maps are disjoint and merge by
+  /// insertion; the differential tests assert the map is identical across
+  /// one-shot/persistent transports and every shard/stream/spill layout.
+  std::map<cd::net::IpAddr, std::uint64_t> transport_replies;
 };
 
 /// Merges per-shard results in shard order: counters are summed, evidence

@@ -183,6 +183,20 @@ std::vector<std::uint8_t> serialize_results(const ExperimentResults& results) {
     for (const std::uint16_t p : rec.observed_ports) w.u16le(p);
   }
 
+  // Transport plane (v4).
+  const cd::sim::TransportCounters& tc = results.transport;
+  w.u64le(tc.dials);
+  w.u64le(tc.accepts);
+  w.u64le(tc.session_reuses);
+  w.u64le(tc.session_messages);
+  w.u64le(tc.idle_closes);
+  w.u64le(tc.handshake_bytes);
+  w.u64le(results.transport_replies.size());
+  for (const auto& [addr, digest] : results.transport_replies) {
+    put_addr(w, addr);
+    w.u64le(digest);
+  }
+
   // Capture records travel raw (time/annotation/bytes), not as a rendered
   // pcap: merge re-canonicalizes, so rendering per shard would be waste.
   w.u32le(results.capture.snaplen);
@@ -296,6 +310,22 @@ ExperimentResults parse_results(std::span<const std::uint8_t> bytes) {
     const IpAddr victim = rec.victim;
     if (!results.poison_records.emplace(victim, std::move(rec)).second) {
       r.fail("duplicate victim record");
+    }
+  }
+
+  cd::sim::TransportCounters& tc = results.transport;
+  tc.dials = r.u64le();
+  tc.accepts = r.u64le();
+  tc.session_reuses = r.u64le();
+  tc.session_messages = r.u64le();
+  tc.idle_closes = r.u64le();
+  tc.handshake_bytes = r.u64le();
+  const std::uint64_t n_digests = r.u64le();
+  for (std::uint64_t i = 0; i < n_digests; ++i) {
+    const IpAddr addr = get_addr(r);
+    const std::uint64_t digest = r.u64le();
+    if (!results.transport_replies.emplace(addr, digest).second) {
+      r.fail("duplicate transport digest");
     }
   }
 

@@ -1,4 +1,4 @@
-// On-disk spill codec for per-shard experiment results ("CDSP" v3).
+// On-disk spill codec for per-shard experiment results ("CDSP" v4).
 //
 // The sharded runner can run far more shards than fit in memory at once:
 // each shard's ExperimentResults is serialized to a compact binary file the
@@ -12,7 +12,9 @@
 // probes-sent counter, scanner/crosscheck.h) after the scanner counters.
 // v3 appends the attacker plane (per-victim poisoning records and the
 // trigger/forgery counters, attack/poison.h) after the cross-check plane.
-// Older files no longer parse — spills are transient per-run artifacts, not
+// v4 appends the transport plane (connection-lifecycle counters and the
+// per-target reply digests, sim/network.h + core/experiment.h) after the
+// attacker plane. Older files no longer parse — spills are transient per-run artifacts, not
 // an archival format, so there is no cross-version reader.
 //
 // Safety property: *every* strict byte prefix of a valid spill file fails to
@@ -35,9 +37,9 @@
 namespace cd::core {
 
 inline constexpr std::uint32_t kSpillMagic = 0x50534443;  // "CDSP" LE
-inline constexpr std::uint32_t kSpillVersion = 3;
+inline constexpr std::uint32_t kSpillVersion = 4;
 
-/// Serializes `results` into the CDSP v3 byte format.
+/// Serializes `results` into the CDSP v4 byte format.
 [[nodiscard]] std::vector<std::uint8_t> serialize_results(
     const ExperimentResults& results);
 

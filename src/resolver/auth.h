@@ -39,6 +39,10 @@ struct AuthConfig {
   std::vector<cd::dns::DnsName> truncate_suffixes;
   /// Keep at most this many log entries in memory (0 = unbounded).
   std::size_t max_log = 0;
+  /// RFC 7766 §6.1 server-side idle window for persistent TCP sessions
+  /// (0 = the network-wide Network::transport().idle_timeout). Ignored
+  /// entirely while the persistent-transport knob is off.
+  cd::sim::SimTime tcp_idle_timeout = 0;
 };
 
 class AuthServer {

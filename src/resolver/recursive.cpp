@@ -40,6 +40,49 @@ RecursiveResolver::RecursiveResolver(cd::sim::Host& host,
   CD_ENSURE(allocator_ != nullptr, "RecursiveResolver: null allocator");
   bound_ports_[53] = 1;  // service port is always bound
   host_.bind_udp(53, [this](const Packet& pkt) { dispatch_udp(pkt); });
+  // RFC 7766: the resolver answers the same client queries over TCP-53.
+  host_.tcp_listen_session(
+      53, [this](const cd::sim::TcpConnInfo& info,
+                 std::span<const std::uint8_t> framed,
+                 cd::sim::Host::TcpSessionReply reply) {
+        handle_tcp_client(info, framed, std::move(reply));
+      });
+}
+
+void RecursiveResolver::handle_tcp_client(
+    const cd::sim::TcpConnInfo& info, std::span<const std::uint8_t> framed,
+    cd::sim::Host::TcpSessionReply reply) {
+  ++stats_.client_queries;
+  ++stats_.tcp_client_queries;
+  DnsMessage query;
+  try {
+    query = DnsMessage::decode(tcp_unframe_view(framed));
+  } catch (const cd::ParseError&) {
+    reply({});  // garbage in, nothing out (the reply still settles the slot)
+    return;
+  }
+  if (query.header.qr || query.questions.empty()) {
+    reply({});
+    return;
+  }
+  if (!acl_allows(info.peer)) {
+    ++stats_.refused;
+    if (config_.respond_refused) {
+      reply(tcp_frame_pooled(cd::dns::make_response(query, Rcode::kRefused)));
+    } else {
+      reply({});  // the silent drop, TCP flavor: settle without a response
+    }
+    return;
+  }
+  const DnsMessage query_copy = query;
+  resolve(query.qname(), query.questions.front().qtype,
+          [this, query_copy, reply](Rcode rcode,
+                                    const std::vector<DnsRr>& records) {
+            DnsMessage resp = cd::dns::make_response(query_copy, rcode);
+            resp.header.ra = true;
+            resp.answers = records;
+            reply(tcp_frame_pooled(resp));
+          });
 }
 
 bool RecursiveResolver::acl_allows(const IpAddr& client) const {
@@ -354,7 +397,7 @@ void RecursiveResolver::retry_over_tcp(const TaskPtr& task,
       cd::dns::make_query(static_cast<std::uint16_t>(rng_.u64()),
                           task->current_qname, task->current_qtype,
                           /*rd=*/task->forward_mode);
-  host_.tcp_connect(
+  host_.tcp_query(
       *src, server, 53, tcp_frame_pooled(query),
       [this, task, server](std::optional<std::vector<std::uint8_t>> reply) {
         if (task->finished) return;

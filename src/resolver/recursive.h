@@ -58,6 +58,8 @@ struct ResolverConfig {
 
 struct ResolverStats {
   std::uint64_t client_queries = 0;
+  /// Client queries arriving over the TCP-53 service (RFC 7766 transport).
+  std::uint64_t tcp_client_queries = 0;
   std::uint64_t refused = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t upstream_queries = 0;
@@ -154,6 +156,13 @@ class RecursiveResolver {
   void dispatch_udp(const cd::net::Packet& packet);
   void handle_client_query(const cd::net::Packet& packet,
                            const cd::dns::DnsMessage& query);
+  /// TCP-53 client service (RFC 7766): one framed query in, one framed
+  /// response out via `reply` — synchronously for ACL denials, after the
+  /// (possibly multi-exchange) resolution otherwise. Serves both the
+  /// one-shot and the persistent-session lifecycle.
+  void handle_tcp_client(const cd::sim::TcpConnInfo& info,
+                         std::span<const std::uint8_t> framed,
+                         cd::sim::Host::TcpSessionReply reply);
   void handle_upstream_response(const cd::net::Packet& packet,
                                 const cd::dns::DnsMessage& response);
   void bind_port(std::uint16_t port);

@@ -21,6 +21,29 @@ void FollowupEngine::on_first_hit(const TargetRecord& record,
   const cd::net::IpAddr spoofed = source;
 
   cd::sim::SimTime at = config_.spacing;
+  if (config_.transport == FollowupTransport::kTcp) {
+    // Same battery shape, carried as RFC 7766 framed messages from the
+    // vantage's real address (spoofed sources cannot complete a TCP
+    // handshake). With the persistent transport on, all 22 messages ride
+    // one pipelined session per target instead of 22 dials.
+    for (int i = 0; i < config_.port_samples; ++i, at += config_.spacing) {
+      loop.schedule_in(at, [this, target] {
+        prober_.send_transport(target, QueryMode::kV4Only);
+      });
+    }
+    for (int i = 0; i < config_.port_samples; ++i, at += config_.spacing) {
+      loop.schedule_in(at, [this, target] {
+        prober_.send_transport(target, QueryMode::kV6Only);
+      });
+    }
+    loop.schedule_in(at,
+                     [this, target] { prober_.send_transport(target, QueryMode::kOpen); });
+    at += config_.spacing;
+    loop.schedule_in(at, [this, target] {
+      prober_.send_transport(target, QueryMode::kTcp);
+    });
+    return;
+  }
   for (int i = 0; i < config_.port_samples; ++i, at += config_.spacing) {
     loop.schedule_in(at, [this, target, spoofed] {
       prober_.send_spoofed(target, spoofed, QueryMode::kV4Only);

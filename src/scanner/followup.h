@@ -15,9 +15,23 @@
 
 namespace cd::scanner {
 
+/// Which transport carries the follow-up battery.
+enum class FollowupTransport : std::uint8_t {
+  /// The paper's shape: spoofed-source UDP queries (plus the TC-forcing
+  /// query that elicits the target's own DNS-over-TCP retry).
+  kUdp = 0,
+  /// DNS-over-TCP from the vantage's real address (spoofed sources cannot
+  /// complete a handshake): the same 10+10+open+TC battery as framed
+  /// messages via Host::tcp_query — 22 dials per target on the one-shot
+  /// baseline, one reused pipelined session per target with the
+  /// persistent-transport knob on. The scan-cost axis of the tables.
+  kTcp = 1,
+};
+
 struct FollowupConfig {
   int port_samples = 10;  // queries per family for the port-range estimate
   cd::sim::SimTime spacing = cd::sim::kSecond;
+  FollowupTransport transport = FollowupTransport::kUdp;
 };
 
 class FollowupEngine {

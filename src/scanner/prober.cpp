@@ -2,12 +2,28 @@
 
 #include "dns/message.h"
 #include "net/packet.h"
+#include "resolver/auth.h"  // tcp_frame_pooled
 #include "util/error.h"
 
 namespace cd::scanner {
 
 using cd::net::IpAddr;
 using cd::net::Packet;
+
+namespace {
+
+/// FNV-1a over a byte span; mixed before folding so structurally similar
+/// replies land far apart in the per-target digest.
+std::uint64_t reply_hash(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return cd::mix64(h);
+}
+
+}  // namespace
 
 std::size_t shard_of(cd::sim::Asn asn, std::size_t num_shards) {
   if (num_shards <= 1) return 0;
@@ -66,6 +82,38 @@ void Prober::send_open(const TargetInfo& target) {
   const std::uint16_t sport = static_cast<std::uint16_t>(
       1024 + target_rng(target.addr).uniform(64512));
   send_query(*src, sport, target, QueryMode::kOpen);
+}
+
+void Prober::send_transport(const TargetInfo& target, QueryMode mode) {
+  const auto src = vantage_.address(target.addr.family());
+  if (!src) return;
+
+  QnameInfo info;
+  info.ts = vantage_.network().loop().now();
+  info.src = *src;
+  info.dst = target.addr;
+  info.asn = target.asn;
+  info.mode = mode;
+
+  const cd::dns::DnsMessage query = cd::dns::make_query(
+      static_cast<std::uint16_t>(target_rng(target.addr).u64()),
+      codec_.encode(info), cd::dns::RrType::kA,
+      /*rd=*/true);
+
+  const IpAddr dst = target.addr;
+  // A generous timeout keeps slow-but-completing recursions from straddling
+  // the deadline: a reply either folds into the digest under every shard
+  // layout or under none.
+  vantage_.tcp_query(
+      *src, dst, 53, resolver::tcp_frame_pooled(query),
+      [this, dst](std::optional<std::vector<std::uint8_t>> reply) {
+        if (reply && !reply->empty()) {
+          transport_replies_[dst] += reply_hash(*reply);
+          cd::BufferPool::release(std::move(*reply));
+        }
+      },
+      30 * cd::sim::kSecond);
+  ++sent_;
 }
 
 void Prober::schedule_campaign(std::vector<TargetInfo> targets,

@@ -1,11 +1,26 @@
 // A simulated end host: addresses, an OS stack model, UDP services, and a
-// streaming TCP implementation (handshake + MSS-segmented request/response
-// byte streams with in-order reassembly) that carries real fingerprintable
-// SYN metadata.
+// streaming TCP transport (handshake + MSS-segmented byte streams with
+// reordering-tolerant reassembly) that carries real fingerprintable SYN
+// metadata. Two connection lifecycles share the state machine:
+//
+//  - one-shot (the PR-5 baseline, always available): tcp_connect() streams
+//    one request, the listener answers one response, and the connection is
+//    torn down — the wire shape every differential test pins.
+//  - sessions (Network::transport().persistent): connections opened while
+//    the knob is set survive completed exchanges and carry multiple RFC
+//    1035 §4.2.2 length-prefixed DNS messages per stream. tcp_query()
+//    reuses one connection per (src, dst, port), pipelines up to
+//    max_pipeline in-flight messages, and matches responses to handlers by
+//    DNS message ID (out-of-order replies supported). Servers close idle
+//    sessions with a FIN after an idle window (RFC 7766 §6.1), driven
+//    deterministically through the timing wheel. With transport().dot set,
+//    each dial additionally pays a fixed hello handshake (real stream
+//    bytes, real RTTs) plus a setup delay before the first DNS byte.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -64,6 +79,26 @@ class TcpReassembly {
   /// Returns the backing buffer to the pool (teardown without completion).
   void discard();
 
+  // --- session (message-mode) consumption -----------------------------------
+  // Persistent connections never fix a stream total (PSH is not end-of-
+  // stream when many messages share one stream); instead the receiver cuts
+  // length-prefixed messages off the front with a consumption cursor.
+
+  /// Contiguous bytes available at the cursor.
+  [[nodiscard]] std::size_t available() const;
+  /// Byte at cursor + i; requires i < available().
+  [[nodiscard]] std::uint8_t peek(std::size_t i) const;
+  /// Appends [cursor, cursor + n) to `out` and advances; requires
+  /// n <= available().
+  void read(std::size_t n, std::vector<std::uint8_t>& out);
+  /// Advances the cursor without copying (DoT hello flights).
+  void skip(std::size_t n);
+  [[nodiscard]] std::size_t consumed() const { return consumed_; }
+  /// Shifts the stream origin to the cursor, dropping consumed bytes so a
+  /// long-lived session never outgrows kMaxStreamBytes. Returns the number
+  /// of bytes dropped — the caller must add it to its stream-offset base.
+  std::size_t rebase();
+
  private:
   static constexpr std::size_t kNoTotal = ~static_cast<std::size_t>(0);
 
@@ -72,6 +107,7 @@ class TcpReassembly {
   std::array<std::pair<std::size_t, std::size_t>, kMaxRanges> ranges_{};
   std::size_t n_ranges_ = 0;
   std::size_t total_ = kNoTotal;
+  std::size_t consumed_ = 0;
 };
 
 class Host {
@@ -85,6 +121,16 @@ class Host {
   /// Receives the reassembled response stream, or nullopt on timeout.
   using TcpResponseHandler =
       std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+  /// Sends one framed response on a session connection (no-op once the
+  /// connection is gone; an empty GatherBuf sends nothing). Copyable and
+  /// deferrable — the serving application may reply asynchronously.
+  using TcpSessionReply = std::function<void(cd::GatherBuf)>;
+  /// Serves one length-prefixed message from a session stream. The message
+  /// span is valid only for the duration of the call; reply via the
+  /// callback, immediately or later (per-connection pending responses are
+  /// tracked so idle-timeout teardown never races an unsent reply).
+  using TcpSessionHandler = std::function<void(
+      const TcpConnInfo&, std::span<const std::uint8_t>, TcpSessionReply)>;
 
   /// MSS assumed for a peer that advertised none (RFC 1122 §4.2.2.6 / RFC
   /// 9293 default; every OsProfile in the fingerprint table does advertise).
@@ -120,7 +166,17 @@ class Host {
                 const cd::net::IpAddr& dst, std::uint16_t dst_port,
                 std::vector<std::uint8_t> payload);
 
-  // --- TCP (one request/response stream exchange per connection) ---
+  // --- TCP ---
+  /// Per-message session listener. With Network::transport().persistent off
+  /// an accepted connection still carries exactly one exchange (the one-shot
+  /// wire shape), the whole request stream arriving as the one message;
+  /// with it on, the connection is a session: length-prefix framed,
+  /// pipelined, idle-timed. `idle_timeout` overrides the network-wide
+  /// server idle window for this port (0 = use transport().idle_timeout).
+  void tcp_listen_session(std::uint16_t port, TcpSessionHandler handler,
+                          SimTime idle_timeout = 0);
+  /// One-exchange convenience listener: wraps `handler` (which returns its
+  /// response synchronously) in a session handler that replies in place.
   void tcp_listen(std::uint16_t port, TcpServerHandler handler);
   /// Opens a connection from `src` (one of this host's addresses), streams
   /// `request` once established (segmented at the peer's SYN-advertised
@@ -131,6 +187,17 @@ class Host {
                    std::uint16_t dst_port, cd::GatherBuf request,
                    TcpResponseHandler on_response,
                    SimTime timeout = 5 * kSecond);
+  /// Sends one length-prefixed DNS message to (dst, dst_port). With
+  /// transport().persistent off this is exactly tcp_connect — one dial per
+  /// message, the differential baseline. With it on, the message rides the
+  /// live session to (src, dst, dst_port) (dialing one if absent, redialing
+  /// if the server idle-closed it), pipelined up to transport().max_pipeline
+  /// in flight; `on_reply` receives the matching framed response (matched
+  /// by DNS message ID, so out-of-order replies pair correctly) or nullopt
+  /// after `timeout`.
+  void tcp_query(const cd::net::IpAddr& src, const cd::net::IpAddr& dst,
+                 std::uint16_t dst_port, cd::GatherBuf message,
+                 TcpResponseHandler on_reply, SimTime timeout = 5 * kSecond);
 
   /// Kernel-level acceptance of an arriving packet, implementing the paper's
   /// Table 6 rules for destination-as-source and loopback-source packets.
@@ -151,10 +218,20 @@ class Host {
   [[nodiscard]] std::uint16_t ephemeral_port();
 
   /// Live TCP connection-table entries (tests assert deterministic
-  /// teardown: zero once every exchange has completed or timed out).
+  /// teardown: zero once every exchange has completed, timed out, or been
+  /// idle-closed).
   [[nodiscard]] std::size_t open_tcp_connections() const {
     return connections_.size();
   }
+
+  /// Lifetime connection-economics counters (see sim::TransportCounters).
+  [[nodiscard]] const TransportCounters& transport_counters() const {
+    return counters_;
+  }
+
+  /// Bytes in one DoT hello flight (each handshake round trip carries one
+  /// flight in each direction, as real stream bytes).
+  static constexpr std::size_t kDotHelloBytes = 32;
 
  private:
   struct ConnKey {
@@ -167,21 +244,93 @@ class Host {
       return local_port < o.local_port;
     }
   };
-  enum class ConnState { kSynSent, kClientEstablished, kServerEstablished };
+  /// Client-side session index: one live connection per (local address,
+  /// server address, server port).
+  struct SessionKey {
+    cd::net::IpAddr local;
+    cd::net::IpAddr peer;
+    std::uint16_t peer_port;
+    bool operator<(const SessionKey& o) const {
+      if (!(local == o.local)) return local < o.local;
+      if (!(peer == o.peer)) return peer < o.peer;
+      return peer_port < o.peer_port;
+    }
+  };
+  enum class ConnState {
+    kSynSent,
+    kClientEstablished,
+    kServerEstablished,
+    kClientSession,
+    kServerSession,
+  };
+  struct Listener {
+    TcpSessionHandler handler;
+    SimTime idle_timeout = 0;  // 0 = network-wide transport().idle_timeout
+  };
+  /// A message accepted by tcp_query but not yet written to the stream
+  /// (handshake still running, or the pipeline window is full).
+  struct QueuedMsg {
+    std::vector<std::uint8_t> bytes;  // framed: 2-byte prefix + DNS message
+    std::uint16_t id = 0;
+    TcpResponseHandler on_reply;
+    EventId timeout_event = 0;
+  };
+  /// A written message awaiting its response, matched by DNS message ID.
+  struct PendingReply {
+    std::uint16_t id = 0;
+    TcpResponseHandler on_reply;
+    EventId timeout_event = 0;
+  };
   struct Connection {
     ConnState state = ConnState::kSynSent;
+    bool session = false;                // dialed/accepted in persistent mode
     cd::net::IpAddr local;
-    cd::GatherBuf request;               // client: stream to send on SYN-ACK
-    TcpResponseHandler on_response;      // client side
+    cd::GatherBuf request;               // one-shot client: send on SYN-ACK
+    TcpResponseHandler on_response;      // one-shot client side
     TcpConnInfo info;                    // server side (includes SYN)
     EventId timeout_event = 0;
     std::uint16_t peer_mss = kDefaultMss;  // from the peer's SYN / SYN-ACK
     std::uint32_t iss = 0;               // our initial send sequence number
     std::uint32_t irs = 0;               // peer's initial sequence number
     TcpReassembly rx;                    // the peer's inbound byte stream
+    // --- session mode ---
+    std::size_t tx_off = 0;         // stream bytes we have written (post-ISS)
+    std::size_t rx_base = 0;        // stream offset of rx's origin (rebases)
+    std::deque<QueuedMsg> queue;    // client: awaiting a pipeline slot
+    std::vector<PendingReply> pending;  // client: in flight
+    int server_outstanding = 0;     // server: replies promised, not yet sent
+    bool tx_ready = false;          // client: handshake + setup cost done
+    int hello_rounds_left = 0;      // DoT handshake round trips remaining
+    SimTime last_activity = 0;      // server: for the idle window
+    SimTime idle_window = 0;        // server: resolved idle timeout
+    EventId idle_event = 0;         // server: pending idle check
+    int idle_deferrals = 0;         // server: stale deadlines outstanding>0
   };
 
   void deliver_tcp(const cd::net::Packet& packet);
+  // --- session machinery ---
+  /// Writes `data` on a session stream at tx_off (advancing it) with the
+  /// current ack for the peer's stream.
+  void session_write(const ConnKey& key, Connection& conn,
+                     const cd::ConstSpans& data);
+  /// Writes one kDotHelloBytes flight on the session stream (either side).
+  void send_hello(const ConnKey& key, Connection& conn);
+  /// Promotes queued messages into the pipeline window and writes them.
+  void flush_session(const ConnKey& key);
+  /// Cuts complete length-prefixed messages (and hello flights) off the
+  /// client-side rx stream, pairing responses with pending handlers.
+  void process_client_session(const ConnKey& key);
+  /// Server-side counterpart: answers hello flights, hands complete
+  /// messages to the listener with a deferrable reply callback.
+  void process_server_session(const ConnKey& key);
+  void session_activity(Connection& conn);
+  void idle_check(const ConnKey& key);
+  /// Fails one queued/pending message by ID (its timeout fired), tearing
+  /// down a never-established dial once nothing else references it.
+  void on_message_timeout(const ConnKey& key, std::uint16_t id);
+  /// Peer closed (FIN): fail every queued/pending message, drop the session
+  /// index entry, and erase the connection.
+  void on_fin(const ConnKey& key);
   [[nodiscard]] cd::net::Packet make_segment(
       const cd::net::IpAddr& src, std::uint16_t sport,
       const cd::net::IpAddr& dst, std::uint16_t dport, cd::net::TcpFlags flags,
@@ -194,7 +343,7 @@ class Host {
   void send_stream(const cd::net::IpAddr& src, std::uint16_t sport,
                    const cd::net::IpAddr& dst, std::uint16_t dport,
                    std::uint32_t iss, std::uint32_t ack_no,
-                   std::uint16_t peer_mss, const cd::GatherBuf& data);
+                   std::uint16_t peer_mss, const cd::ConstSpans& stream);
 
   Network& network_;
   Asn asn_;
@@ -204,8 +353,10 @@ class Host {
   std::string label_;
 
   std::map<std::uint16_t, UdpHandler> udp_handlers_;
-  std::map<std::uint16_t, TcpServerHandler> tcp_listeners_;
+  std::map<std::uint16_t, Listener> tcp_listeners_;
   std::map<ConnKey, Connection> connections_;
+  std::map<SessionKey, ConnKey> sessions_;
+  TransportCounters counters_;
 };
 
 }  // namespace cd::sim

@@ -48,6 +48,26 @@ Host* Network::host_at(const IpAddr& addr) const {
   return it == hosts_.end() ? nullptr : it->second;
 }
 
+std::size_t Network::open_tcp_connections() const {
+  // A multi-address host appears once per address in hosts_; count each
+  // host once (called at end-of-run, not on a hot path).
+  std::size_t n = 0;
+  std::unordered_map<const Host*, bool> seen;
+  for (const auto& [addr, host] : hosts_) {
+    if (seen.emplace(host, true).second) n += host->open_tcp_connections();
+  }
+  return n;
+}
+
+TransportCounters Network::transport_counters() const {
+  TransportCounters sum;
+  std::unordered_map<const Host*, bool> seen;
+  for (const auto& [addr, host] : hosts_) {
+    if (seen.emplace(host, true).second) sum += host->transport_counters();
+  }
+  return sum;
+}
+
 void Network::add_anycast_site(const IpAddr& service, Host* host) {
   CD_ENSURE(host != nullptr, "add_anycast_site: null host");
   anycast_[service].push_back(host);

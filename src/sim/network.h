@@ -72,6 +72,57 @@ struct NetworkStats {
   }
 };
 
+/// Network-wide transport-layer policy (RFC 7766 persistence and DoT-style
+/// sessions). Both endpoints of a connection read the same Network instance,
+/// so no in-band negotiation is modeled: a SYN accepted while `persistent`
+/// is set opens a session connection on both sides. Toggle before traffic is
+/// in flight; connections already open keep the mode they were dialed under.
+struct TransportOptions {
+  /// RFC 7766 mode: client connections are keyed by (src, dst, port) and
+  /// survive completed exchanges; streams carry length-prefixed DNS messages
+  /// with pipelined requests and responses matched by message ID. Off (the
+  /// default) preserves the one-exchange-per-connection PR-5 wire shape
+  /// byte for byte — the differential baseline.
+  bool persistent = false;
+  /// Client-side cap on in-flight (sent, unanswered) messages per
+  /// connection; further queries queue until a response frees a slot.
+  int max_pipeline = 8;
+  /// Server-side idle window: a session connection with no activity and no
+  /// pending responses for this long is closed with a FIN through the
+  /// timing wheel (RFC 7766 §6.1). Per-listener overrides take precedence.
+  SimTime idle_timeout = 10 * kSecond;
+  /// DoT-like sessions: each dial pays `dot_handshake_rtts` hello round
+  /// trips (kDotHelloBytes of real stream bytes per flight, per direction)
+  /// plus `dot_setup_cost` before the first DNS byte is sent.
+  bool dot = false;
+  int dot_handshake_rtts = 2;
+  SimTime dot_setup_cost = kMillisecond;
+};
+
+/// Connection-economics counters a host accumulates across its lifetime
+/// (never reset; excluded from results_digest like NetworkStats). These are
+/// what the per-transport benches and the SYN-drop differential assert on.
+struct TransportCounters {
+  std::uint64_t dials = 0;            // client SYNs sent (connect + session)
+  std::uint64_t accepts = 0;          // server-side connections accepted
+  std::uint64_t session_reuses = 0;   // tcp_query served by a live session
+  std::uint64_t session_messages = 0; // session messages written by clients
+  std::uint64_t idle_closes = 0;      // server FINs after an idle window
+  std::uint64_t handshake_bytes = 0;  // DoT hello bytes put on the wire
+
+  TransportCounters& operator+=(const TransportCounters& other) {
+    dials += other.dials;
+    accepts += other.accepts;
+    session_reuses += other.session_reuses;
+    session_messages += other.session_messages;
+    idle_closes += other.idle_closes;
+    handshake_bytes += other.handshake_bytes;
+    return *this;
+  }
+  friend bool operator==(const TransportCounters&,
+                         const TransportCounters&) = default;
+};
+
 /// Packet transport over a Topology. Latency between AS pairs is a
 /// deterministic function of the pair plus small per-packet jitter derived
 /// by hashing the packet itself, so runs are reproducible but not
@@ -139,6 +190,19 @@ class Network {
   /// flight.
   void set_tcp_single_buffer(bool on) { tcp_single_buffer_ = on; }
   [[nodiscard]] bool tcp_single_buffer() const { return tcp_single_buffer_; }
+
+  /// Transport-layer policy all attached hosts consult (see
+  /// TransportOptions). Like the toggles above: set before traffic flows.
+  void set_transport(const TransportOptions& options) { transport_ = options; }
+  [[nodiscard]] const TransportOptions& transport() const { return transport_; }
+
+  /// Sum of live TCP connection-table entries across every attached host —
+  /// the campaign-wide leak check (zero once the event loop has drained:
+  /// every exchange completed, timed out, or idle-closed).
+  [[nodiscard]] std::size_t open_tcp_connections() const;
+
+  /// Aggregated TransportCounters across every attached host.
+  [[nodiscard]] TransportCounters transport_counters() const;
 
   [[nodiscard]] Host* host_at(const cd::net::IpAddr& addr) const;
 
@@ -243,6 +307,7 @@ class Network {
   bool pending_removal_ = false;
   bool batched_ = true;
   bool tcp_single_buffer_ = false;
+  TransportOptions transport_;
   /// Same-tick pending deliveries, one vector per (arrival time, host).
   using PendingMap =
       std::unordered_map<PendingSlot, std::vector<Delivery>, PendingSlotHash>;
